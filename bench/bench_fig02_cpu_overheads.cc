@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 2: CPU active time, estimated energy per frame
+ * and interrupt counts when 1..4 instances of the instrumented
+ * Grafika video player run concurrently on the baseline system.
+ *
+ * Fig 2a: total CPU active time (ms, all cores) to display one frame
+ *         for 24-FPS and 60-FPS playback, plus energy per frame.
+ * Fig 2b: number of CPU interrupts (normalized to 1 app) and the
+ *         achieved FPS.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+vip::Workload
+nPlayers(int n, double fps)
+{
+    vip::Workload w;
+    w.name = std::to_string(n) + "app";
+    w.useCase = "concurrent Grafika video playback";
+    for (int i = 0; i < n; ++i) {
+        auto app = vip::AppCatalog::grafikaPlayer(
+            vip::resolutions::r4k, fps,
+            "Grafika" + std::to_string(i));
+        for (auto &f : app.flows)
+            f.name += "#" + std::to_string(i);
+        w.apps.push_back(std::move(app));
+    }
+    return w;
+}
+
+
+vip::SocConfig
+motivationConfig(double seconds)
+{
+    // The motivation platform: IPs fast enough that *memory* is the
+    // binding constraint (the paper's point in Fig 3) -- with ideal
+    // memory even 4 concurrent players fit their deadline.
+    vip::SocConfig cfg;
+    cfg.system = vip::SystemConfig::Baseline;
+    cfg.simSeconds = seconds;
+    auto fast = [&cfg](vip::IpKind k, double bpc) {
+        vip::IpParams p = vip::defaultIpParams(k);
+        p.bytesPerCycle = bpc;
+        cfg.ipOverrides[k] = p;
+    };
+    fast(vip::IpKind::VD, 14.0);  // ~9.8 GB/s
+    fast(vip::IpKind::GPU, 20.0); // ~10.4 GB/s
+    fast(vip::IpKind::DC, 25.0);  // ~10.0 GB/s
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vip;
+    using namespace vip::bench;
+
+    double seconds = simSeconds(0.3);
+    banner("Figure 2: CPU cost of per-frame orchestration (Baseline)",
+           "Fig 2a (CPU time & energy/frame) and Fig 2b (interrupts)");
+
+    std::printf("%-6s | %12s %12s | %12s | %12s %8s\n", "apps",
+                "cpuMs/frame", "cpuMs/frame", "mJ/frame",
+                "interrupts", "FPS");
+    std::printf("%-6s | %12s %12s | %12s | %12s %8s\n", "",
+                "(24-FPS)", "(60-FPS)", "(60-FPS)", "(norm, 60)", "");
+
+    double irq1 = 0.0;
+    for (int n = 1; n <= 4; ++n) {
+        auto cfg = motivationConfig(seconds);
+        auto s24 = Simulation::run(cfg, nPlayers(n, 24.0));
+        auto s60 = Simulation::run(cfg, nPlayers(n, 60.0));
+        if (n == 1)
+            irq1 = static_cast<double>(s60.interrupts);
+        std::printf("%-6d | %12.2f %12.2f | %12.2f | %12.2f %8.1f\n",
+                    n, s24.cpuActiveMsPerFrame,
+                    s60.cpuActiveMsPerFrame, s60.energyPerFrameMj,
+                    normalized(static_cast<double>(s60.interrupts),
+                               irq1),
+                    s60.achievedFps);
+    }
+    std::printf("\nPaper shape: CPU time per frame and interrupts grow"
+                " with the app count\n(~3x interrupts at 4 apps); "
+                "achieved FPS degrades.\n");
+    return 0;
+}

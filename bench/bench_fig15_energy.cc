@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 15: normalized energy per frame for the five
+ * system configurations across A1..A7 and W1..W8 (plus AVG).
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vip;
+    using namespace vip::bench;
+
+    double seconds = simSeconds();
+    banner("Figure 15: energy per frame, normalized to Baseline",
+           "Fig 15 (5 configurations x A1..A7, W1..W8, AVG)");
+
+    auto wls = evaluationMatrix();
+    printHeader("config", wls);
+
+    std::vector<double> baseline;
+    baseline.reserve(wls.size());
+    for (const auto &wl : wls) {
+        baseline.push_back(
+            runCell(SystemConfig::Baseline, wl, seconds)
+                .energyPerFrameMj);
+    }
+
+    for (auto c : kAllConfigs) {
+        std::vector<double> row;
+        row.reserve(wls.size());
+        for (std::size_t i = 0; i < wls.size(); ++i) {
+            double e = c == SystemConfig::Baseline
+                ? baseline[i]
+                : runCell(c, wls[i], seconds).energyPerFrameMj;
+            row.push_back(normalized(e, baseline[i]));
+        }
+        printRow(systemConfigName(c), row);
+    }
+
+    std::printf("\nPaper shape: FrameBurst ~0.9x, IP-to-IP family"
+                " substantially lower, VIP lowest\n(~22%% below"
+                " IP-to-IP on average; ~38%% below Baseline).\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * event-queue throughput, DRAM transaction service, stream-engine
+ * unit processing and a whole-platform frames-per-wall-second figure.
+ * These guard the simulator's own performance (a full Fig 15 matrix
+ * is 75 platform runs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hh"
+#include "ip/ip_core.hh"
+
+namespace
+{
+
+using namespace vip;
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule((i * 37) % 4096, [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_DramTransactions(benchmark::State &state)
+{
+    for (auto _ : state) {
+        System sys(1);
+        EnergyLedger ledger;
+        MemoryController mem(sys, "b.mem", DramConfig{}, ledger);
+        int done = 0;
+        for (int i = 0; i < 512; ++i) {
+            MemRequest req;
+            req.addr = static_cast<Addr>(i) * 1024;
+            req.bytes = 1024;
+            req.onComplete = [&] { ++done; };
+            mem.access(std::move(req));
+        }
+        sys.run(fromMs(1));
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DramTransactions);
+
+void
+BM_StreamChainFrame(benchmark::State &state)
+{
+    const std::uint64_t bytes = state.range(0);
+    for (auto _ : state) {
+        System sys(1);
+        EnergyLedger ledger;
+        DramConfig dc;
+        dc.ideal = true;
+        MemoryController mem(sys, "b.mem", dc, ledger);
+        SystemAgent sa(sys, "b.sa", SaConfig{}, mem, ledger);
+        IpParams p = defaultIpParams(IpKind::VD);
+        p.clockHz = 1e9;
+        p.bytesPerCycle = 4.0;
+        IpCore prod(sys, "b.prod", p, sa, ledger);
+        IpCore sink(sys, "b.sink", defaultIpParams(IpKind::DC), sa,
+                    ledger);
+        int pl = prod.bindLane(1);
+        int sl = sink.bindLane(1);
+        prod.connectLane(pl, &sink, sl);
+        bool done = false;
+        sink.makeLaneSink(sl, [&](FlowId, std::uint64_t) {
+            done = true;
+        });
+        prod.announceFrame(pl, 0, bytes, bytes, MaxTick, true);
+        sink.announceFrame(sl, 0, bytes, 0, MaxTick, true);
+        prod.feedFrame(pl, 0, bytes, 0, false);
+        sys.run(fromSec(1));
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_StreamChainFrame)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void
+BM_FullPlatformVipRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SocConfig cfg;
+        cfg.system = SystemConfig::VIP;
+        cfg.simSeconds = 0.05;
+        auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(4));
+        benchmark::DoNotOptimize(s.framesCompleted);
+    }
+}
+BENCHMARK(BM_FullPlatformVipRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

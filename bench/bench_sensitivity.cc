@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Sensitivity studies around the Table 3 platform: how the headline
+ * comparison moves when the platform itself changes.  These are the
+ * "what if" analyses a designer would run on top of the paper:
+ *
+ *  1. Memory channels (1..8): how much DRAM parallelism the baseline
+ *     needs vs how indifferent the chained modes are.
+ *  2. CPU core count (1..4): whether the software stack bottlenecks
+ *     the baseline on small clusters.
+ *  3. QoS deadline (1.0..2.0 periods): where each configuration's
+ *     violation cliff sits.
+ *  4. Video resolution (720p..4K): where IP-to-IP's energy win starts
+ *     paying for its chain-setup overhead.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vip;
+    using namespace vip::bench;
+
+    double seconds = simSeconds(0.3);
+    banner("Sensitivity: platform scaling around Table 3",
+           "designer what-if studies (beyond the paper)");
+
+    auto wl = WorkloadCatalog::byIndex(1);
+
+    // ---- 1. memory channels ----
+    std::printf("1) DRAM channels (W1):\n");
+    std::printf("%-9s | %22s | %22s\n", "", "Baseline", "VIP");
+    std::printf("%-9s | %10s %11s | %10s %11s\n", "channels",
+                "mJ/frame", "violations", "mJ/frame", "violations");
+    for (std::uint32_t ch : {1u, 2u, 4u, 8u}) {
+        SocConfig cfg;
+        cfg.simSeconds = seconds;
+        cfg.dram.channels = ch;
+        cfg.system = SystemConfig::Baseline;
+        auto b = Simulation::run(cfg, wl);
+        cfg.system = SystemConfig::VIP;
+        auto v = Simulation::run(cfg, wl);
+        std::printf("%-9u | %10.3f %11llu | %10.3f %11llu\n", ch,
+                    b.energyPerFrameMj,
+                    static_cast<unsigned long long>(b.violations),
+                    v.energyPerFrameMj,
+                    static_cast<unsigned long long>(v.violations));
+    }
+    std::printf("Expected: the baseline needs the channel parallelism"
+                " (its frames stage\nthrough DRAM); VIP barely"
+                " notices.\n\n");
+
+    // ---- 2. CPU cores ----
+    std::printf("2) CPU cores (W1):\n");
+    std::printf("%-7s | %22s | %22s\n", "", "Baseline", "VIP");
+    std::printf("%-7s | %10s %11s | %10s %11s\n", "cores",
+                "cpuMs", "violations", "cpuMs", "violations");
+    for (std::uint32_t cores : {1u, 2u, 4u}) {
+        SocConfig cfg;
+        cfg.simSeconds = seconds;
+        cfg.cpuCores = cores;
+        cfg.system = SystemConfig::Baseline;
+        auto b = Simulation::run(cfg, wl);
+        cfg.system = SystemConfig::VIP;
+        auto v = Simulation::run(cfg, wl);
+        std::printf("%-7u | %10.1f %11llu | %10.1f %11llu\n", cores,
+                    b.cpuActiveMs,
+                    static_cast<unsigned long long>(b.violations),
+                    v.cpuActiveMs,
+                    static_cast<unsigned long long>(v.violations));
+    }
+    std::printf("Expected: per-frame orchestration saturates small"
+                " clusters in the baseline;\nburst scheduling is"
+                " nearly core-count independent.\n\n");
+
+    // ---- 3. deadline policy ----
+    std::printf("3) QoS deadline in frame periods (W2):\n");
+    std::printf("%-9s %10s %12s %8s\n", "deadline", "Baseline",
+                "IP-to-IP+FB", "VIP");
+    for (double d : {1.0, 1.25, 1.5, 2.0}) {
+        std::printf("%-9.2f", d);
+        for (auto c : {SystemConfig::Baseline,
+                       SystemConfig::IpToIpBurst, SystemConfig::VIP}) {
+            SocConfig cfg;
+            cfg.simSeconds = seconds;
+            cfg.system = c;
+            cfg.deadlineFrames = d;
+            auto s = Simulation::run(cfg,
+                                     WorkloadCatalog::byIndex(2));
+            std::printf(" %10llu",
+                        static_cast<unsigned long long>(s.violations));
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected: +FB's blocking shows up first as deadlines"
+                " tighten; VIP holds out\nthe longest.\n\n");
+
+    // ---- 4. video resolution ----
+    std::printf("4) Video resolution (2 players @60FPS):\n");
+    std::printf("%-9s | %10s %10s %12s\n", "res", "Base mJ/f",
+                "VIP mJ/f", "VIP saving");
+    struct Res { const char *name; Resolution r; };
+    const Res resv[] = {{"720p", resolutions::r720p},
+                        {"1080p", resolutions::r1080p},
+                        {"4K", resolutions::r4k}};
+    for (const auto &rv : resv) {
+        Workload w;
+        w.name = rv.name;
+        for (int i = 0; i < 2; ++i) {
+            auto app = AppCatalog::videoPlayer(rv.r, 60.0,
+                std::string("Play") + rv.name);
+            for (auto &f : app.flows)
+                f.name += "#" + std::to_string(i);
+            w.apps.push_back(std::move(app));
+        }
+        SocConfig cfg;
+        cfg.simSeconds = seconds;
+        cfg.system = SystemConfig::Baseline;
+        auto b = Simulation::run(cfg, w);
+        cfg.system = SystemConfig::VIP;
+        auto v = Simulation::run(cfg, w);
+        std::printf("%-9s | %10.3f %10.3f %11.1f%%\n", rv.name,
+                    b.energyPerFrameMj, v.energyPerFrameMj,
+                    100.0 * (1.0 - v.energyPerFrameMj /
+                                       b.energyPerFrameMj));
+    }
+    std::printf("Expected: the bigger the frames, the more DRAM"
+                " staging the chained modes\neliminate — VIP's saving"
+                " grows with resolution.\n");
+    return 0;
+}

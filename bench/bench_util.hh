@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the standard
+ * evaluation matrix (A1..A7 single apps, W1..W8 two-app workloads),
+ * table printing, normalization with divide-by-zero guards, and the
+ * simulated-duration knob (VIP_BENCH_SECONDS).
+ */
+
+#ifndef VIP_BENCH_BENCH_UTIL_HH
+#define VIP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+
+namespace vip
+{
+namespace bench
+{
+
+/** Simulated seconds per run (env VIP_BENCH_SECONDS overrides). */
+inline double
+simSeconds(double fallback = 0.25)
+{
+    if (const char *env = std::getenv("VIP_BENCH_SECONDS"))
+        return std::atof(env);
+    return fallback;
+}
+
+/** The paper's evaluation columns: A1..A7 then W1..W8. */
+inline std::vector<Workload>
+evaluationMatrix()
+{
+    std::vector<Workload> out;
+    for (int a = 1; a <= 7; ++a)
+        out.push_back(WorkloadCatalog::single(a));
+    for (int w = 1; w <= 8; ++w)
+        out.push_back(WorkloadCatalog::byIndex(w));
+    return out;
+}
+
+/** Run one (config, workload) cell of the matrix. */
+inline RunStats
+runCell(SystemConfig config, const Workload &wl, double seconds,
+        std::uint64_t seed = 1)
+{
+    SocConfig cfg;
+    cfg.system = config;
+    cfg.simSeconds = seconds;
+    cfg.seed = seed;
+    return Simulation::run(cfg, wl);
+}
+
+/** value/reference with a floor guarding zero references. */
+inline double
+normalized(double value, double reference, double floor_ref = 1e-9)
+{
+    return value / std::max(reference, floor_ref);
+}
+
+/** Geometric-free arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Print a header row: label then one column per workload + AVG. */
+inline void
+printHeader(const char *label, const std::vector<Workload> &wls)
+{
+    std::printf("%-14s", label);
+    for (const auto &w : wls)
+        std::printf(" %8s", w.name.c_str());
+    std::printf(" %8s\n", "AVG");
+}
+
+/** Print a series row with its AVG appended. */
+inline void
+printRow(const std::string &label, const std::vector<double> &vals)
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : vals)
+        std::printf(" %8.3f", v);
+    std::printf(" %8.3f\n", mean(vals));
+}
+
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n  (reproduces %s)\n", what, paper_ref);
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+} // namespace bench
+} // namespace vip
+
+#endif // VIP_BENCH_BENCH_UTIL_HH

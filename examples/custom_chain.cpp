@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Example: building a custom application and virtual IP chain with
+ * the public API — the programmer-facing story of Section 5.
+ *
+ * Defines a hypothetical "video analytics" app that was not in the
+ * paper's Table 1 (camera -> imaging -> video encoder -> storage,
+ * plus a preview flow), registers it as a workload, opens its VIP
+ * chains, sweeps burst sizes, and dumps the resulting frame trace to
+ * CSV — demonstrating that the framework generalizes beyond the
+ * built-in catalog.
+ *
+ * Usage: custom_chain [seconds] [trace.csv]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/header_packet.hh"
+#include "core/simulation.hh"
+
+namespace
+{
+
+vip::AppSpec
+videoAnalytics()
+{
+    using K = vip::IpKind;
+    vip::AppSpec app;
+    app.name = "Analytics";
+    app.cls = vip::AppClass::VideoEncode;
+
+    const auto cam = vip::resolutions::camera;
+
+    // Full-rate capture: CAM -> IMG (ISP) -> VE -> MMC.
+    vip::FlowSpec capture;
+    capture.name = "Analytics.capture";
+    capture.stages = {K::CAM, K::IMG, K::VE, K::MMC};
+    capture.fps = 30.0;
+    capture.edgeBytes = {cam.yuvBytes(), cam.yuvBytes(),
+                         cam.yuvBytes(), cam.yuvBytes() / 20};
+    capture.appInstrPerFrame = 1'200'000;
+
+    // Low-rate on-screen preview: CAM -> IMG -> DC.
+    vip::FlowSpec preview;
+    preview.name = "Analytics.preview";
+    preview.stages = {K::CAM, K::IMG, K::DC};
+    preview.fps = 15.0;
+    preview.edgeBytes = {cam.yuvBytes() / 4, cam.yuvBytes() / 4,
+                         vip::resolutions::panel.rgbaBytes()};
+    preview.appInstrPerFrame = 600'000;
+
+    app.flows = {capture, preview};
+    app.validate();
+    return app;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = argc > 1 ? std::atof(argv[1]) : 0.4;
+    const char *csv = argc > 2 ? argv[2] : nullptr;
+
+    vip::Workload wl;
+    wl.name = "Custom";
+    wl.useCase = "video analytics alongside 4K playback";
+    wl.apps = {videoAnalytics(), vip::AppCatalog::videoPlayer()};
+
+    // Show what the hardware sees: the header packet for the capture
+    // chain (Fig 12).
+    {
+        vip::HeaderPacket hp;
+        hp.setIps({vip::IpKind::CAM, vip::IpKind::IMG,
+                   vip::IpKind::VE, vip::IpKind::MMC});
+        hp.setFrameSizeKb(static_cast<std::uint32_t>(
+            vip::resolutions::camera.yuvBytes() / 1024));
+        hp.setBurstSize(5);
+        hp.setFrameRate(3); // 30 FPS code
+        std::printf("capture-chain header packet: %u bytes "
+                    "(%zu-stage chain)\n",
+                    hp.sizeBytes(), hp.ips().size());
+    }
+
+    std::printf("\nburst-size sweep under VIP:\n");
+    std::printf("%-8s %10s %12s %10s %10s\n", "burst", "mJ/frame",
+                "irq/100ms", "violations", "flowMs");
+    for (std::uint32_t burst : {1u, 5u, 10u}) {
+        vip::SocConfig cfg;
+        cfg.system = vip::SystemConfig::VIP;
+        cfg.simSeconds = seconds;
+        cfg.burstFrames = burst;
+        cfg.recordTrace = burst == 5 && csv;
+        vip::Simulation sim(cfg, wl);
+        auto s = sim.run();
+        std::printf("%-8u %10.3f %12.1f %10llu %10.3f\n", burst,
+                    s.energyPerFrameMj, s.interruptsPer100ms,
+                    static_cast<unsigned long long>(s.violations),
+                    s.meanFlowTimeMs);
+        if (cfg.recordTrace) {
+            std::ofstream out(csv);
+            s.trace.dumpCsv(out);
+            std::printf("  (frame trace for burst=5 written to %s)\n",
+                        csv);
+        }
+    }
+
+    std::printf("\nper-IP view (VIP, burst=5):\n");
+    {
+        vip::SocConfig cfg;
+        cfg.system = vip::SystemConfig::VIP;
+        cfg.simSeconds = seconds;
+        vip::Simulation sim(cfg, wl);
+        auto s = sim.run();
+        std::printf("%-6s %10s %10s %8s %12s\n", "IP", "activeMs",
+                    "stallMs", "util", "ctxSwitches");
+        for (const auto &ip : s.ips) {
+            std::printf("%-6s %10.2f %10.2f %8.2f %12llu\n",
+                        ip.name.c_str(), ip.activeMs, ip.stallMs,
+                        ip.utilization,
+                        static_cast<unsigned long long>(
+                            ip.contextSwitches));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: run one workload under all five system configurations
+ * and print the headline metrics the paper compares (energy per
+ * frame, flow time, frame drops, interrupts).
+ *
+ * Usage: quickstart [workload-index 1..8] [seconds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulation.hh"
+
+int
+main(int argc, char **argv)
+{
+    int wli = argc > 1 ? std::atoi(argv[1]) : 4;
+    double seconds = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+    vip::Workload wl = vip::WorkloadCatalog::byIndex(wli);
+    std::printf("Workload %s: %s\n", wl.name.c_str(),
+                wl.useCase.c_str());
+    for (const auto &app : wl.apps) {
+        std::printf("  app %-14s (%s)\n", app.name.c_str(),
+                    vip::appClassName(app.cls));
+        for (const auto &f : app.flows) {
+            std::printf("    flow %-26s ", f.name.c_str());
+            for (auto s : f.stages)
+                std::printf("%s-", vip::ipKindName(s));
+            std::printf("  @%.0f FPS\n", f.fps);
+        }
+    }
+
+    std::printf("\n%-12s %9s %9s %6s %6s %9s %8s | %7s %7s %7s %7s %7s\n",
+                "config", "mJ/frame", "flowMs", "viol", "drop",
+                "irq/100ms", "memGBps", "cpu mJ", "dram", "sa", "ip",
+                "buf");
+    for (auto c : vip::kAllConfigs) {
+        vip::SocConfig cfg;
+        cfg.system = c;
+        cfg.simSeconds = seconds;
+        vip::RunStats s = vip::Simulation::run(cfg, wl);
+        std::printf("%-12s %9.3f %9.3f %3llu/%-3llu %3llu %9.1f %8.2f |"
+                    " %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+                    s.configName.c_str(), s.energyPerFrameMj,
+                    s.meanFlowTimeMs,
+                    static_cast<unsigned long long>(s.violations),
+                    static_cast<unsigned long long>(s.framesCompleted),
+                    static_cast<unsigned long long>(s.drops),
+                    s.interruptsPer100ms, s.avgMemBandwidthGBps,
+                    s.cpuEnergyMj, s.dramEnergyMj, s.saEnergyMj,
+                    s.ipEnergyMj, s.bufferEnergyMj);
+    }
+    return 0;
+}

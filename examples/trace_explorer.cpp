@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: record a frame trace and explore it offline.
+ *
+ * Runs one workload under two configurations, then uses the
+ * TraceAnalysis toolkit to print per-flow latency percentiles and
+ * jank bursts, and re-judges the same trace under a sweep of deadline
+ * policies — the GemDroid-style "simulate once, analyze many times"
+ * workflow.
+ *
+ * Usage: trace_explorer [workload 1..8] [seconds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/trace_analysis.hh"
+#include "core/simulation.hh"
+
+namespace
+{
+
+void
+explore(vip::SystemConfig config, const vip::Workload &wl,
+        double seconds)
+{
+    vip::SocConfig cfg;
+    cfg.system = config;
+    cfg.simSeconds = seconds;
+    cfg.recordTrace = true;
+    vip::Simulation sim(cfg, wl);
+    auto s = sim.run();
+
+    std::printf("\n===== %s: %zu frames traced =====\n",
+                vip::systemConfigName(config), s.trace.size());
+
+    vip::TraceAnalysis ta(s.trace);
+    std::printf("%-28s %7s %6s %6s %8s %8s %8s %6s\n", "flow",
+                "frames", "viol", "drop", "mean ms", "p95 ms",
+                "p99 ms", "jank");
+    for (const auto &[name, fs] : ta.perFlow()) {
+        std::printf("%-28s %7llu %6llu %6llu %8.2f %8.2f %8.2f"
+                    " %6u\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(fs.frames),
+                    static_cast<unsigned long long>(fs.violations),
+                    static_cast<unsigned long long>(fs.drops),
+                    fs.meanFlowTimeMs, fs.p95FlowTimeMs,
+                    fs.p99FlowTimeMs, fs.worstJankRun);
+    }
+    std::printf("overall p50/p95/p99: %.2f / %.2f / %.2f ms, "
+                "jank bursts (>=2): %llu\n",
+                ta.flowTimePercentileMs(0.50),
+                ta.flowTimePercentileMs(0.95),
+                ta.flowTimePercentileMs(0.99),
+                static_cast<unsigned long long>(ta.jankEvents(2)));
+
+    std::printf("deadline-policy sweep (re-judged offline, no "
+                "re-simulation):\n");
+    std::printf("  %-18s %10s %8s\n", "deadline (periods)",
+                "violations", "drops");
+    for (double p : {0.75, 1.0, 1.25, 1.5, 2.0}) {
+        auto [v, d] = ta.rejudge(p);
+        std::printf("  %-18.2f %10llu %8llu\n", p,
+                    static_cast<unsigned long long>(v),
+                    static_cast<unsigned long long>(d));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int wli = argc > 1 ? std::atoi(argv[1]) : 2;
+    double seconds = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+    vip::Workload wl = vip::WorkloadCatalog::byIndex(wli);
+    std::printf("Workload %s: %s\n", wl.name.c_str(),
+                wl.useCase.c_str());
+
+    explore(vip::SystemConfig::IpToIpBurst, wl, seconds);
+    explore(vip::SystemConfig::VIP, wl, seconds);
+
+    std::printf("\nWhat to look for: under IP-to-IP+FB the victim "
+                "flow's p95/p99 and jank\nbursts blow up; under VIP "
+                "they settle near the mean.  The deadline sweep\n"
+                "shows how far each configuration is from the cliff."
+                "\n");
+    return 0;
+}

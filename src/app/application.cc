@@ -1,0 +1,276 @@
+#include "app/application.hh"
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+namespace
+{
+
+using K = IpKind;
+
+constexpr std::uint64_t kAudioFrame = 16_KiB;  // Table 3 Aud.Frame
+constexpr double kAudioFps = 12.0;             // ~85 ms PCM chunks
+constexpr std::uint64_t kCompressedAudio = 4_KiB;
+
+/** Video decode display flow: CPU - VD - DC. */
+FlowSpec
+videoFlow(const std::string &name, Resolution res, double fps)
+{
+    FlowSpec f;
+    f.name = name;
+    f.stages = {K::CPU, K::VD, K::DC};
+    f.fps = fps;
+    // edge 0: VD input, nominal raw footprint (GOP model compresses);
+    // edge 1: decoded YUV surface handed to the display controller.
+    f.edgeBytes = {res.yuvBytes(), res.yuvBytes()};
+    f.hasGop = true;
+    f.appInstrPerFrame = 4'000'000;
+    return f;
+}
+
+/** Game render flow: GPU - DC. */
+FlowSpec
+renderFlow(const std::string &name, Resolution res, double fps,
+           std::uint64_t app_instr)
+{
+    FlowSpec f;
+    f.name = name;
+    f.stages = {K::GPU, K::DC};
+    f.fps = fps;
+    // edge 0: command/vertex/texture traffic the GPU pulls per frame;
+    // edge 1: the rendered RGBA framebuffer scanned out by the DC.
+    f.edgeBytes = {res.rgbaBytes() / 4, res.rgbaBytes()};
+    f.appInstrPerFrame = app_instr;
+    return f;
+}
+
+} // namespace
+
+const char *
+appClassName(AppClass c)
+{
+    switch (c) {
+      case AppClass::VideoPlayback: return "video-playback";
+      case AppClass::VideoEncode: return "video-encode";
+      case AppClass::Game: return "game";
+      case AppClass::AudioOnly: return "audio";
+      default: return "?";
+    }
+}
+
+FlowSpec
+AppCatalog::audioFlow(const std::string &name, bool fromCpu)
+{
+    FlowSpec f;
+    f.name = name;
+    f.stages = fromCpu
+        ? std::vector<K>{K::CPU, K::AD, K::SND}
+        : std::vector<K>{K::AD, K::SND};
+    f.fps = kAudioFps;
+    f.edgeBytes = {kCompressedAudio, kAudioFrame};
+    f.appInstrPerFrame = 300'000;
+    f.qosCritical = false;
+    return f;
+}
+
+FlowSpec
+AppCatalog::micFlow(const std::string &name, IpKind sink)
+{
+    FlowSpec f;
+    f.name = name;
+    f.stages = {K::MIC, K::AE, sink};
+    f.fps = kAudioFps;
+    f.edgeBytes = {kAudioFrame, kAudioFrame, kCompressedAudio};
+    f.appInstrPerFrame = 200'000;
+    f.qosCritical = false;
+    return f;
+}
+
+AppSpec
+AppCatalog::game1()
+{
+    AppSpec a;
+    a.name = "Game-1";
+    a.cls = AppClass::Game;
+    a.flows = {
+        renderFlow("Game-1.render", resolutions::panel, 60.0,
+                   4'000'000),
+        audioFlow("Game-1.audio"),
+    };
+    return a;
+}
+
+AppSpec
+AppCatalog::arGame()
+{
+    AppSpec a;
+    a.name = "AR-Game";
+    a.cls = AppClass::Game;
+
+    FlowSpec enc;
+    enc.name = "AR-Game.stream";
+    enc.stages = {K::CPU, K::VE, K::NW};
+    enc.fps = 30.0;
+    enc.edgeBytes = {resolutions::panel.rgbaBytes(),
+                     resolutions::panel.rgbaBytes() / 25};
+    enc.appInstrPerFrame = 800'000;
+    enc.qosCritical = false;
+
+    a.flows = {
+        renderFlow("AR-Game.render", resolutions::panel, 60.0,
+                   5'000'000),
+        enc,
+        audioFlow("AR-Game.audio"),
+        micFlow("AR-Game.mic", K::NW),
+    };
+    return a;
+}
+
+AppSpec
+AppCatalog::audioPlay()
+{
+    AppSpec a;
+    a.name = "Audio-Play";
+    a.cls = AppClass::AudioOnly;
+
+    // A sparse UI flow: album art / progress bar redraws.
+    FlowSpec ui;
+    ui.name = "Audio-Play.ui";
+    ui.stages = {K::CPU, K::DC};
+    ui.fps = 5.0;
+    ui.edgeBytes = {resolutions::panel.rgbaBytes()};
+    ui.appInstrPerFrame = 500'000;
+    ui.qosCritical = false;
+
+    auto audio = audioFlow("Audio-Play.audio", /*fromCpu=*/true);
+    audio.qosCritical = true; // the app's primary user experience
+    a.flows = {audio, ui};
+    return a;
+}
+
+AppSpec
+AppCatalog::skype()
+{
+    AppSpec a;
+    a.name = "Skype";
+    a.cls = AppClass::VideoEncode;
+
+    // Incoming call video (720p is typical for video calls).
+    FlowSpec in = videoFlow("Skype.decode", resolutions::r720p, 30.0);
+
+    // Outgoing camera capture, encoded and sent to the radio.
+    FlowSpec out;
+    out.name = "Skype.capture";
+    out.stages = {K::CAM, K::VE, K::NW};
+    out.fps = 30.0;
+    out.edgeBytes = {resolutions::r720p.yuvBytes(),
+                     resolutions::r720p.yuvBytes(),
+                     resolutions::r720p.yuvBytes() / 25};
+    out.appInstrPerFrame = 600'000;
+    out.qosCritical = false;
+
+    a.flows = {
+        in,
+        out,
+        audioFlow("Skype.audio"),
+        micFlow("Skype.mic", K::NW),
+    };
+    return a;
+}
+
+AppSpec
+AppCatalog::videoPlayer(Resolution res, double fps,
+                        const std::string &name)
+{
+    AppSpec a;
+    a.name = name;
+    a.cls = AppClass::VideoPlayback;
+    a.flows = {
+        videoFlow(name + ".video", res, fps),
+        audioFlow(name + ".audio"),
+    };
+    return a;
+}
+
+AppSpec
+AppCatalog::videoRecord()
+{
+    AppSpec a;
+    a.name = "Video-Record";
+    a.cls = AppClass::VideoEncode;
+
+    const auto cam = resolutions::camera;
+
+    FlowSpec preview;
+    preview.name = "Video-Record.preview";
+    preview.stages = {K::CAM, K::IMG, K::DC};
+    preview.fps = 30.0;
+    preview.edgeBytes = {cam.yuvBytes(), cam.yuvBytes(),
+                         resolutions::panel.rgbaBytes()};
+    preview.appInstrPerFrame = 900'000;
+
+    FlowSpec record;
+    record.name = "Video-Record.encode";
+    record.stages = {K::CAM, K::VE, K::MMC};
+    record.fps = 30.0;
+    record.edgeBytes = {cam.yuvBytes(), cam.yuvBytes(),
+                        cam.yuvBytes() / 25};
+    record.appInstrPerFrame = 600'000;
+    record.qosCritical = false;
+
+    a.flows = {
+        preview,
+        record,
+        micFlow("Video-Record.mic", K::MMC),
+    };
+    return a;
+}
+
+AppSpec
+AppCatalog::youtube()
+{
+    // Streamed playback: the same hardware flow as the video player;
+    // the network download shows up as extra CPU-side work.
+    AppSpec a = videoPlayer(resolutions::r1080p, 60.0, "YouTube");
+    a.flows[0].appInstrPerFrame = 5'000'000; // + network stack work
+    return a;
+}
+
+AppSpec
+AppCatalog::grafikaPlayer(Resolution res, double fps,
+                          const std::string &name)
+{
+    AppSpec a;
+    a.name = name;
+    a.cls = AppClass::VideoPlayback;
+
+    FlowSpec f;
+    f.name = name + ".video";
+    f.stages = {K::CPU, K::VD, K::GPU, K::DC};
+    f.fps = fps;
+    f.edgeBytes = {res.yuvBytes(), res.yuvBytes(), res.rgbaBytes()};
+    f.hasGop = true;
+    f.appInstrPerFrame = 4'500'000;
+
+    a.flows = {f, audioFlow(name + ".audio")};
+    return a;
+}
+
+AppSpec
+AppCatalog::byIndex(int i)
+{
+    switch (i) {
+      case 1: return game1();
+      case 2: return arGame();
+      case 3: return audioPlay();
+      case 4: return skype();
+      case 5: return videoPlayer();
+      case 6: return videoRecord();
+      case 7: return youtube();
+      default: fatal("no application A", i);
+    }
+}
+
+} // namespace vip

@@ -1,0 +1,82 @@
+#include "app/flow.hh"
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+std::vector<IpKind>
+FlowSpec::hwStages() const
+{
+    std::vector<IpKind> out;
+    out.reserve(stages.size());
+    for (auto s : stages) {
+        if (s != IpKind::CPU)
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+FlowSpec::frameEdges(std::uint64_t frame_id) const
+{
+    std::vector<std::uint64_t> edges = edgeBytes;
+    if (hasGop && !edges.empty()) {
+        // Stage-0 input is the compressed bitstream: size depends on
+        // whether this is an independent or a predicted frame.  The
+        // nominal edgeBytes[0] holds the *raw* footprint.
+        edges[0] = gop.compressedBytes(edgeBytes[0], frame_id);
+    }
+    return edges;
+}
+
+bool
+FlowSpec::sourceGenerated() const
+{
+    auto hw = hwStages();
+    return !hw.empty() && ipIsSource(hw.front());
+}
+
+std::uint64_t
+FlowSpec::baselineMemBytesPerFrame() const
+{
+    // In the baseline every inter-stage hand-off stages through DRAM:
+    // stage i writes edge[i+1], stage i+1 reads it back.  The initial
+    // input is read once (unless sensor-generated, which writes then
+    // reads), and the sink only reads.
+    auto edges = frameEdges(0);
+    if (edges.empty())
+        return 0;
+    std::uint64_t total = edges[0]; // initial read (or sensor write)
+    if (sourceGenerated())
+        total += edges[0];
+    for (std::size_t i = 1; i < edges.size(); ++i)
+        total += 2 * edges[i]; // write by producer + read by consumer
+    return total;
+}
+
+void
+FlowSpec::validate() const
+{
+    auto hw = hwStages();
+    if (hw.empty())
+        fatal("flow '", name, "' has no hardware stages");
+    if (edgeBytes.size() != hw.size()) {
+        fatal("flow '", name, "': edgeBytes size ", edgeBytes.size(),
+              " != hw stage count ", hw.size());
+    }
+    for (std::size_t i = 0; i < hw.size(); ++i) {
+        if (edgeBytes[i] == 0)
+            fatal("flow '", name, "': zero bytes on edge ", i);
+        if (i + 1 < hw.size() && ipIsSink(hw[i]))
+            fatal("flow '", name, "': sink IP mid-chain");
+        if (i > 0 && ipIsSource(hw[i]))
+            fatal("flow '", name, "': source IP mid-chain");
+    }
+    if (!ipIsSink(hw.back()))
+        fatal("flow '", name, "': last stage must be a sink IP");
+    if (fps <= 0.0)
+        fatal("flow '", name, "': fps must be positive");
+}
+
+} // namespace vip

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Flow specifications: an application's data path through IP cores.
+ *
+ * A flow is a sequence of IP stages (Table 1, e.g. "CPU - VD - DC")
+ * plus the byte footprint of the data on every edge and the frame
+ * cadence.  Edge sizes may vary per frame (video GOP structure), so a
+ * flow resolves to per-frame edge vectors through frameEdges().
+ */
+
+#ifndef VIP_APP_FLOW_HH
+#define VIP_APP_FLOW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ip/ip_types.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Pixel geometry helpers. */
+struct Resolution
+{
+    std::uint32_t w = 1920;
+    std::uint32_t h = 1080;
+
+    std::uint64_t pixels() const
+    {
+        return static_cast<std::uint64_t>(w) * h;
+    }
+
+    /** YUV420 frame footprint. */
+    std::uint64_t yuvBytes() const { return pixels() * 3 / 2; }
+
+    /** RGBA8888 frame footprint. */
+    std::uint64_t rgbaBytes() const { return pixels() * 4; }
+};
+
+/** Common resolutions used in the evaluation. */
+namespace resolutions
+{
+constexpr Resolution r720p{1280, 720};
+constexpr Resolution r1080p{1920, 1080};
+constexpr Resolution r4k{3840, 2160};          // Table 3 Vid.Frame
+constexpr Resolution camera{2560, 1620};       // Table 3 Camera Frame
+constexpr Resolution panel{1280, 800};         // Nexus 7 panel
+} // namespace resolutions
+
+/**
+ * Video GOP structure (Section 4.3): an independent (I) frame every
+ * gopSize frames, predicted (P) frames in between.  Compressed input
+ * sizes differ accordingly.
+ */
+struct GopParams
+{
+    std::uint32_t gopSize = 16;     ///< "less than 20 frames" [3]
+    double iCompression = 8.0;      ///< raw/I-frame size ratio
+    double pCompression = 25.0;     ///< raw/P-frame size ratio
+
+    bool isIndependent(std::uint64_t frame_id) const
+    {
+        return gopSize == 0 || frame_id % gopSize == 0;
+    }
+
+    std::uint64_t
+    compressedBytes(std::uint64_t raw_bytes, std::uint64_t frame_id) const
+    {
+        double ratio =
+            isIndependent(frame_id) ? iCompression : pCompression;
+        auto b = static_cast<std::uint64_t>(
+            static_cast<double>(raw_bytes) / ratio);
+        return b > 0 ? b : 1;
+    }
+};
+
+/** One application data flow (a row entry of Table 1). */
+struct FlowSpec
+{
+    std::string name;
+
+    /**
+     * Stage sequence including a leading CPU pseudo-stage when the
+     * software produces the initial data (e.g. "CPU - VD - DC").
+     */
+    std::vector<IpKind> stages;
+
+    /** Target frame rate (Table 3: 60 FPS for display flows). */
+    double fps = 60.0;
+
+    /**
+     * Bytes entering each *hardware* stage for a nominal frame;
+     * edgeBytes[0] is the initial input (DRAM buffer or sensor), and
+     * edgeBytes[i] is what stage i-1 hands to stage i.  Size equals
+     * the number of hardware stages.
+     */
+    std::vector<std::uint64_t> edgeBytes;
+
+    /** Non-zero gopSize enables GOP-varied stage-0 input sizes. */
+    GopParams gop{};
+    bool hasGop = false;
+
+    /** CPU instructions to prepare one frame (app-level work). */
+    std::uint64_t appInstrPerFrame = 1'500'000;
+
+    /**
+     * True when the display path drives user-perceived QoS (frame
+     * drops are counted against flows with QoS significance).
+     */
+    bool qosCritical = true;
+
+    /** Frame period in ticks. */
+    Tick period() const { return fromSec(1.0 / fps); }
+
+    /** Hardware stages only (drops the leading CPU pseudo-stage). */
+    std::vector<IpKind> hwStages() const;
+
+    /** Number of hardware stages. */
+    std::size_t numHwStages() const { return hwStages().size(); }
+
+    /** Resolve the edge byte vector for a specific frame. */
+    std::vector<std::uint64_t> frameEdges(std::uint64_t frame_id) const;
+
+    /** True when stage 0 is a sensor source (CAM/MIC). */
+    bool sourceGenerated() const;
+
+    /** Total DRAM traffic one frame causes in the baseline (bytes). */
+    std::uint64_t baselineMemBytesPerFrame() const;
+
+    /** Sanity-check invariants; fatal()s on inconsistency. */
+    void validate() const;
+};
+
+} // namespace vip
+
+#endif // VIP_APP_FLOW_HH

@@ -1,0 +1,87 @@
+#include "app/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+std::uint64_t
+FrameTrace::countViolations() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : _events)
+        n += e.violated ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+FrameTrace::countDrops() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : _events)
+        n += e.dropped ? 1 : 0;
+    return n;
+}
+
+double
+FrameTrace::meanFlowTimeMs() const
+{
+    if (_events.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &e : _events)
+        sum += toMs(e.flowTime());
+    return sum / static_cast<double>(_events.size());
+}
+
+void
+FrameTrace::dumpCsv(std::ostream &os) const
+{
+    os << "flowId,flowName,frameId,generated,started,completed,"
+          "deadline,violated,dropped\n";
+    for (const auto &e : _events) {
+        os << e.flowId << ',' << e.flowName << ',' << e.frameId << ','
+           << e.generated << ',' << e.started << ',' << e.completed
+           << ',' << e.deadline << ',' << (e.violated ? 1 : 0) << ','
+           << (e.dropped ? 1 : 0) << '\n';
+    }
+}
+
+FrameTrace
+FrameTrace::loadCsv(std::istream &is)
+{
+    FrameTrace trace;
+    std::string line;
+    if (!std::getline(is, line))
+        return trace; // empty stream: empty trace
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        FrameEvent e;
+        std::string field;
+        auto next = [&](const char *what) {
+            if (!std::getline(ls, field, ','))
+                fatal("malformed trace CSV: missing ", what);
+            return field;
+        };
+        e.flowId = static_cast<std::uint32_t>(
+            std::stoul(next("flowId")));
+        e.flowName = next("flowName");
+        e.frameId = std::stoull(next("frameId"));
+        e.generated = std::stoull(next("generated"));
+        e.started = std::stoull(next("started"));
+        e.completed = std::stoull(next("completed"));
+        e.deadline = std::stoull(next("deadline"));
+        e.violated = next("violated") == "1";
+        e.dropped = next("dropped") == "1";
+        trace.record(std::move(e));
+    }
+    return trace;
+}
+
+} // namespace vip

@@ -1,0 +1,138 @@
+#include "app/trace_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+std::map<std::string, std::vector<const FrameEvent *>>
+TraceAnalysis::byFlow() const
+{
+    std::map<std::string, std::vector<const FrameEvent *>> out;
+    for (const auto &e : _trace.events())
+        out[e.flowName].push_back(&e);
+    for (auto &[name, ev] : out) {
+        std::sort(ev.begin(), ev.end(),
+                  [](const FrameEvent *a, const FrameEvent *b) {
+                      return a->frameId < b->frameId;
+                  });
+    }
+    return out;
+}
+
+std::map<std::string, TraceFlowStats>
+TraceAnalysis::perFlow() const
+{
+    std::map<std::string, TraceFlowStats> out;
+    for (const auto &[name, events] : byFlow()) {
+        TraceFlowStats s;
+        s.flowName = name;
+        s.frames = events.size();
+        std::vector<double> times;
+        times.reserve(events.size());
+        std::uint32_t run = 0;
+        for (const auto *e : events) {
+            s.violations += e->violated ? 1 : 0;
+            s.drops += e->dropped ? 1 : 0;
+            double ms = toMs(e->flowTime());
+            times.push_back(ms);
+            s.meanFlowTimeMs += ms;
+            if (e->violated) {
+                ++run;
+                s.worstJankRun = std::max(s.worstJankRun, run);
+            } else {
+                run = 0;
+            }
+        }
+        if (!times.empty()) {
+            s.meanFlowTimeMs /= static_cast<double>(times.size());
+            std::sort(times.begin(), times.end());
+            auto pick = [&](double q) {
+                auto idx = static_cast<std::size_t>(
+                    q * static_cast<double>(times.size() - 1));
+                return times[idx];
+            };
+            s.p95FlowTimeMs = pick(0.95);
+            s.p99FlowTimeMs = pick(0.99);
+            s.maxFlowTimeMs = times.back();
+        }
+        out.emplace(name, std::move(s));
+    }
+    return out;
+}
+
+double
+TraceAnalysis::flowTimePercentileMs(double q) const
+{
+    vip_assert(q > 0.0 && q <= 1.0, "percentile out of range");
+    std::vector<double> times;
+    times.reserve(_trace.size());
+    for (const auto &e : _trace.events())
+        times.push_back(toMs(e.flowTime()));
+    if (times.empty())
+        return 0.0;
+    std::sort(times.begin(), times.end());
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(times.size() - 1));
+    return times[idx];
+}
+
+Tick
+TraceAnalysis::inferPeriod(const std::vector<const FrameEvent *> &ev)
+{
+    std::vector<Tick> gaps;
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+        if (ev[i]->generated > ev[i - 1]->generated)
+            gaps.push_back(ev[i]->generated - ev[i - 1]->generated);
+    }
+    if (gaps.empty())
+        return 0;
+    std::sort(gaps.begin(), gaps.end());
+    return gaps[gaps.size() / 2];
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+TraceAnalysis::rejudge(double periods) const
+{
+    std::uint64_t violations = 0, drops = 0;
+    for (const auto &[name, events] : byFlow()) {
+        Tick period = inferPeriod(events);
+        if (period == 0)
+            continue;
+        for (const auto *e : events) {
+            Tick deadline = e->generated +
+                static_cast<Tick>(periods *
+                                  static_cast<double>(period));
+            if (e->completed > deadline)
+                ++violations;
+            if (e->completed > deadline + period)
+                ++drops;
+        }
+    }
+    return {violations, drops};
+}
+
+std::uint64_t
+TraceAnalysis::jankEvents(std::uint32_t run_length) const
+{
+    vip_assert(run_length >= 1, "jank run length must be positive");
+    std::uint64_t events = 0;
+    for (const auto &[name, ev] : byFlow()) {
+        std::uint32_t run = 0;
+        for (const auto *e : ev) {
+            if (e->violated) {
+                ++run;
+                if (run == run_length)
+                    ++events; // count each burst once
+            } else {
+                run = 0;
+            }
+        }
+    }
+    return events;
+}
+
+} // namespace vip

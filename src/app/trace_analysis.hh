@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Offline analysis of recorded frame traces.
+ *
+ * A FrameTrace captures every frame's lifecycle; these helpers answer
+ * the questions the paper's evaluation asks — per-flow QoS, latency
+ * percentiles, jank (consecutive misses a user perceives as stutter)
+ * — and support *re-judging* a trace under a different deadline
+ * policy without re-running the platform, which is how trace-driven
+ * frameworks like GemDroid amortize simulation cost.
+ */
+
+#ifndef VIP_APP_TRACE_ANALYSIS_HH
+#define VIP_APP_TRACE_ANALYSIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/trace.hh"
+
+namespace vip
+{
+
+/** Aggregate statistics of one flow inside a trace. */
+struct TraceFlowStats
+{
+    std::string flowName;
+    std::uint64_t frames = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t drops = 0;
+    double meanFlowTimeMs = 0.0;
+    double p95FlowTimeMs = 0.0;
+    double p99FlowTimeMs = 0.0;
+    double maxFlowTimeMs = 0.0;
+    /** Longest run of consecutive deadline misses (jank burst). */
+    std::uint32_t worstJankRun = 0;
+};
+
+/** Trace analysis toolkit. */
+class TraceAnalysis
+{
+  public:
+    explicit TraceAnalysis(const FrameTrace &trace) : _trace(trace) {}
+
+    /** Per-flow aggregates, keyed by flow name. */
+    std::map<std::string, TraceFlowStats> perFlow() const;
+
+    /** Latency percentile across every frame (0 < q <= 1). */
+    double flowTimePercentileMs(double q) const;
+
+    /**
+     * Re-judge the trace against a different deadline policy: each
+     * frame's deadline becomes generation + @p periods frame periods,
+     * where the frame period is inferred per flow from the generation
+     * cadence.  Returns total (violations, drops) under the new
+     * policy.
+     */
+    std::pair<std::uint64_t, std::uint64_t>
+    rejudge(double periods) const;
+
+    /**
+     * Jank events: runs of @p run_length or more consecutive
+     * deadline-missing frames within one flow.
+     */
+    std::uint64_t jankEvents(std::uint32_t run_length = 2) const;
+
+  private:
+    /** Median generation gap of a flow (its frame period). */
+    static Tick inferPeriod(const std::vector<const FrameEvent *> &ev);
+
+    std::map<std::string, std::vector<const FrameEvent *>>
+    byFlow() const;
+
+    const FrameTrace &_trace;
+};
+
+} // namespace vip
+
+#endif // VIP_APP_TRACE_ANALYSIS_HH

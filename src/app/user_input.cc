@@ -1,0 +1,73 @@
+#include "app/user_input.hh"
+
+#include <algorithm>
+
+#include <string>
+
+namespace vip
+{
+
+FlappyTapModel::FlappyTapModel()
+{
+    // Digitized from Fig 5 (tap-gap seconds -> weight), adjusted so
+    // that >60% of the mass lies above 0.5 s, as the text states.
+    _dist.setPoints({
+        {0.15, 1.5}, {0.20, 3.0}, {0.25, 5.0}, {0.30, 7.0},
+        {0.35, 7.5}, {0.40, 7.0}, {0.45, 5.0}, {0.50, 4.0},
+        {0.55, 5.5}, {0.60, 5.5}, {0.65, 5.0}, {0.70, 5.0},
+        {0.75, 4.5}, {0.80, 4.0}, {0.85, 4.0}, {0.90, 3.5},
+        {0.95, 3.5}, {1.00, 3.0}, {1.05, 3.0}, {1.10, 2.5},
+        {1.15, 2.5}, {1.20, 2.0}, {1.25, 2.0}, {1.50, 5.0},
+        {2.00, 4.0}, {3.00, 3.0},
+    });
+}
+
+Tick
+FlappyTapModel::nextGap(Random &rng)
+{
+    // The paper observes rapid successive taps at least 0.15 s apart.
+    double gap = std::max(0.15, _dist.sample(rng));
+    return fromSec(gap);
+}
+
+FruitFlickModel::FruitFlickModel()
+{
+    // Digitized from Fig 6b: maximum burstable frames between flicks
+    // (60 FPS).  Long tail out past 200 frames (>3 s pauses).
+    _gapFrames.setPoints({
+        {7.5, 16.0},  {10.5, 13.0}, {13.5, 10.0}, {16.5, 8.0},
+        {22.5, 6.0},  {25.5, 6.5},  {28.5, 7.0},  {31.5, 5.0},
+        {34.5, 4.0},  {52.5, 3.0},  {67.5, 2.5},  {70.5, 2.0},
+        {76.5, 2.0},  {94.5, 1.5},  {97.5, 1.5},  {100.5, 1.5},
+        {106.5, 1.5}, {109.5, 1.0}, {127.5, 1.0}, {130.5, 1.0},
+        {199.5, 1.0}, {240.0, 1.0},
+    });
+}
+
+Tick
+FruitFlickModel::nextGap(Random &rng)
+{
+    // Gap between flicks, in frames at 60 FPS.
+    double frames = _gapFrames.sample(rng);
+    return fromSec(frames / 60.0);
+}
+
+Tick
+FruitFlickModel::inputDuration(Random &rng)
+{
+    // A flick/swipe keeps the finger down for 0.2 - 0.6 s; about 40%
+    // of frames end up inside flicks (Fig 6a) given the gap model.
+    return fromSec(rng.uniform(0.2, 0.6));
+}
+
+std::unique_ptr<TouchModel>
+makeTouchModel(const std::string &app_name)
+{
+    if (app_name.find("AR") != std::string::npos ||
+        app_name.find("Ninja") != std::string::npos) {
+        return std::make_unique<FruitFlickModel>();
+    }
+    return std::make_unique<FlappyTapModel>();
+}
+
+} // namespace vip

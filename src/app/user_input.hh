@@ -1,0 +1,90 @@
+/**
+ * @file
+ * User-input models from the paper's 20-user game study.
+ *
+ * Figure 5 publishes the distribution of the interval between
+ * successive taps in FlappyBird; Figure 6 publishes, for FruitNinja,
+ * the fraction of burstable frames (60%) and the distribution of the
+ * maximum burst length between flicks.  These empirical histograms
+ * are encoded below and drive both the input-event generators used by
+ * the game workloads and the Fig 5/6 reproduction benches.
+ */
+
+#ifndef VIP_APP_USER_INPUT_HH
+#define VIP_APP_USER_INPUT_HH
+
+#include <memory>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Generator of user-input event times for a game session. */
+class TouchModel
+{
+  public:
+    virtual ~TouchModel() = default;
+
+    /** Time from one input event to the next. */
+    virtual Tick nextGap(Random &rng) = 0;
+
+    /**
+     * Duration the input occupies (a tap is instantaneous; a flick
+     * blocks bursting while the finger is down — Fig 6a).
+     */
+    virtual Tick inputDuration(Random &rng) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * FlappyBird-style tapping (Fig 5): rapid successive taps are at
+ * least 0.15 s apart and >60% of gaps exceed 0.5 s.
+ */
+class FlappyTapModel : public TouchModel
+{
+  public:
+    FlappyTapModel();
+
+    Tick nextGap(Random &rng) override;
+    Tick inputDuration(Random &) override { return 0; }
+    const char *name() const override { return "flappy-tap"; }
+
+    const EmpiricalDistribution &distribution() const { return _dist; }
+
+  private:
+    EmpiricalDistribution _dist; ///< gap in seconds
+};
+
+/**
+ * FruitNinja-style flicking (Fig 6): ~40% of frames fall inside
+ * flicks (not burstable); the burstable gaps between flicks follow
+ * the published long-tailed distribution (up to >3 s, i.e. >180
+ * frames at 60 FPS).
+ */
+class FruitFlickModel : public TouchModel
+{
+  public:
+    FruitFlickModel();
+
+    Tick nextGap(Random &rng) override;
+    Tick inputDuration(Random &rng) override;
+    const char *name() const override { return "fruit-flick"; }
+
+    const EmpiricalDistribution &gapDistribution() const
+    {
+        return _gapFrames;
+    }
+
+  private:
+    EmpiricalDistribution _gapFrames; ///< burstable gap in frames
+};
+
+/** The appropriate touch model for a game application, by name. */
+std::unique_ptr<TouchModel> makeTouchModel(const std::string &app_name);
+
+} // namespace vip
+
+#endif // VIP_APP_USER_INPUT_HH

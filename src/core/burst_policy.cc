@@ -1,0 +1,34 @@
+#include "core/burst_policy.hh"
+
+#include "core/header_packet.hh"
+
+namespace vip
+{
+
+std::unique_ptr<BurstPolicy>
+makeBurstPolicy(AppClass cls, const FlowSpec &flow,
+                std::uint32_t default_burst, std::uint32_t game_cap)
+{
+    // Burst sizes must fit the header packet's 4-bit field.
+    const std::uint32_t hw_cap = (1u << HeaderPacket::kBurstSizeBits) - 1;
+    default_burst = std::min(default_burst, hw_cap);
+    game_cap = std::min(game_cap, hw_cap);
+
+    switch (cls) {
+      case AppClass::Game:
+        return std::make_unique<GameHybridBurstPolicy>(flow.fps,
+                                                       game_cap);
+      case AppClass::VideoPlayback:
+      case AppClass::VideoEncode:
+        if (flow.hasGop) {
+            return std::make_unique<GopBurstPolicy>(
+                flow.gop, std::min(default_burst, hw_cap));
+        }
+        return std::make_unique<FixedBurstPolicy>(default_burst);
+      case AppClass::AudioOnly:
+      default:
+        return std::make_unique<FixedBurstPolicy>(default_burst);
+    }
+}
+
+} // namespace vip

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Frame-burst sizing policies (Section 4.3).
+ *
+ * - FixedBurstPolicy: a constant burst size (the paper's running
+ *   example uses 5 frames).
+ * - GopBurstPolicy: video playback/encode — bursts align to the GOP
+ *   structure so one burst covers the predicted frames between
+ *   independent frames.
+ * - GameHybridBurstPolicy: games — long bursts (capped below 10
+ *   frames, ~160 ms) while the user is not touching the screen, and
+ *   single-frame scheduling while input is active, driven by the
+ *   measured touch models of Figs 5/6.
+ */
+
+#ifndef VIP_CORE_BURST_POLICY_HH
+#define VIP_CORE_BURST_POLICY_HH
+
+#include <algorithm>
+#include <memory>
+
+#include "app/application.hh"
+#include "app/user_input.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Decides how many frames the next burst schedules. */
+class BurstPolicy
+{
+  public:
+    virtual ~BurstPolicy() = default;
+
+    /**
+     * @param next_frame  id of the first frame of the burst.
+     * @param now         current tick.
+     * @param next_input  tick of the next expected user input, or
+     *                    MaxTick when the flow has no input.
+     * @return burst size in frames, >= 1.
+     */
+    virtual std::uint32_t nextBurst(std::uint64_t next_frame, Tick now,
+                                    Tick next_input) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Constant burst size. */
+class FixedBurstPolicy : public BurstPolicy
+{
+  public:
+    explicit FixedBurstPolicy(std::uint32_t frames)
+        : _frames(std::max(1u, frames))
+    {}
+
+    std::uint32_t
+    nextBurst(std::uint64_t, Tick, Tick) override
+    {
+        return _frames;
+    }
+
+    const char *name() const override { return "fixed"; }
+
+  private:
+    std::uint32_t _frames;
+};
+
+/** GOP-aligned bursts for video playback/encoding. */
+class GopBurstPolicy : public BurstPolicy
+{
+  public:
+    GopBurstPolicy(GopParams gop, std::uint32_t max_frames)
+        : _gop(gop), _max(std::max(1u, max_frames))
+    {}
+
+    std::uint32_t
+    nextBurst(std::uint64_t next_frame, Tick, Tick) override
+    {
+        // Burst up to (and not across) the next independent frame so
+        // a burst never splits a GOP's prediction chain.
+        std::uint32_t g = _gop.gopSize ? _gop.gopSize : _max;
+        std::uint32_t toNextI =
+            static_cast<std::uint32_t>(g - (next_frame % g));
+        return std::min(toNextI, _max);
+    }
+
+    const char *name() const override { return "gop"; }
+
+  private:
+    GopParams _gop;
+    std::uint32_t _max;
+};
+
+/**
+ * Hybrid policy for games: burst while idle, frame-at-a-time while
+ * the user interacts (Section 4.3's <10 frame cap keeps worst-case
+ * touch response below perception).
+ */
+class GameHybridBurstPolicy : public BurstPolicy
+{
+  public:
+    GameHybridBurstPolicy(double fps, std::uint32_t max_frames = 9)
+        : _period(fromSec(1.0 / fps)), _max(std::max(1u, max_frames))
+    {}
+
+    std::uint32_t
+    nextBurst(std::uint64_t, Tick now, Tick next_input) override
+    {
+        if (next_input == MaxTick)
+            return _max;
+        if (next_input <= now)
+            return 1; // input in flight: maximum responsiveness
+        Tick gap = next_input - now;
+        auto frames = static_cast<std::uint32_t>(gap / _period);
+        return std::clamp(frames, 1u, _max);
+    }
+
+    const char *name() const override { return "game-hybrid"; }
+
+  private:
+    Tick _period;
+    std::uint32_t _max;
+};
+
+/** Pick the policy Section 4.3 prescribes for an application class. */
+std::unique_ptr<BurstPolicy>
+makeBurstPolicy(AppClass cls, const FlowSpec &flow,
+                std::uint32_t default_burst, std::uint32_t game_cap);
+
+} // namespace vip
+
+#endif // VIP_CORE_BURST_POLICY_HH

@@ -1,0 +1,185 @@
+#include "core/chain_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+ChainId
+ChainManager::create(FlowId flow, std::vector<IpCore *> ips,
+                     std::vector<std::uint64_t> nominal_edges,
+                     IpCore::FrameExitFn on_exit,
+                     IpCore::FrameStartFn on_start)
+{
+    vip_assert(!ips.empty(), "chain needs at least one IP");
+    vip_assert(ips.size() == nominal_edges.size(),
+               "edges/stages size mismatch");
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+        for (std::size_t j = i + 1; j < ips.size(); ++j) {
+            if (ips[i] == ips[j])
+                fatal("chain visits IP ", ips[i]->name(), " twice");
+        }
+    }
+
+    Chain c;
+    c.flow = flow;
+    c.ips = std::move(ips);
+    c.nominalEdges = std::move(nominal_edges);
+    c.onExit = std::move(on_exit);
+    c.onStart = std::move(on_start);
+    c.lanes.assign(c.ips.size(), -1);
+    c.sourceGenerated = ipIsSource(c.ips.front()->kind());
+    _chains.push_back(std::move(c));
+    return static_cast<ChainId>(_chains.size() - 1);
+}
+
+bool
+ChainManager::tryBind(Chain &c)
+{
+    vip_assert(!c.isBound, "double bind");
+    // All-or-nothing: check availability first so a partial failure
+    // never holds lanes (which could deadlock crossing chains).
+    for (auto *ip : c.ips) {
+        if (ip->boundLanes() >= ip->numLanes())
+            return false;
+    }
+    const std::size_t n = c.ips.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        int lane = c.ips[i]->bindLane(c.flow);
+        vip_assert(lane >= 0, "lane vanished between check and bind");
+        c.lanes[i] = lane;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        c.ips[i]->connectLane(c.lanes[i], c.ips[i + 1], c.lanes[i + 1]);
+    c.ips[n - 1]->makeLaneSink(c.lanes[n - 1], c.onExit);
+    if (c.onStart)
+        c.ips[0]->setLaneFrameStartCb(c.lanes[0], c.onStart);
+    c.isBound = true;
+    return true;
+}
+
+void
+ChainManager::unbind(Chain &c)
+{
+    vip_assert(c.isBound, "unbinding unbound chain");
+    for (std::size_t i = 0; i < c.ips.size(); ++i) {
+        c.ips[i]->unbindLane(c.lanes[i]);
+        c.lanes[i] = -1;
+    }
+    c.isBound = false;
+}
+
+bool
+ChainManager::bindPersistent(ChainId id)
+{
+    Chain &c = _chains.at(id);
+    if (!tryBind(c))
+        return false;
+    c.persistent = true;
+    return true;
+}
+
+bool
+ChainManager::overlapsWaiter(const Chain &c) const
+{
+    for (const auto &[wid, g] : _waiters) {
+        const Chain &w = _chains.at(wid);
+        for (auto *ip : c.ips) {
+            for (auto *wip : w.ips) {
+                if (ip == wip)
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+ChainManager::acquire(ChainId id, Granted granted)
+{
+    Chain &c = _chains.at(id);
+    vip_assert(!c.persistent, "acquire on a persistent chain");
+    // Grant immediately only when the chain is free AND no earlier
+    // waiter contends for any of its IPs (bounded unfairness).
+    if (!c.isBound && !overlapsWaiter(c) && tryBind(c)) {
+        granted();
+        return;
+    }
+    _waiters.emplace_back(id, std::move(granted));
+}
+
+void
+ChainManager::release(ChainId id)
+{
+    Chain &c = _chains.at(id);
+    vip_assert(!c.persistent, "release on a persistent chain");
+    unbind(c);
+    retryWaiters();
+}
+
+void
+ChainManager::close(ChainId id)
+{
+    Chain &c = _chains.at(id);
+    if (c.isBound)
+        unbind(c);
+    c.persistent = false;
+    retryWaiters();
+}
+
+void
+ChainManager::retryWaiters()
+{
+    // FIFO with passing: scan in arrival order and admit every waiter
+    // whose whole chain can bind.  Waiters on still-busy IPs keep
+    // their queue position, so same-resource requesters stay FIFO
+    // while disjoint chains never block each other.
+    std::vector<Granted> admitted;
+    for (auto it = _waiters.begin(); it != _waiters.end();) {
+        Chain &c = _chains.at(it->first);
+        if (!c.isBound && tryBind(c)) {
+            admitted.push_back(std::move(it->second));
+            it = _waiters.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &g : admitted)
+        g();
+}
+
+void
+ChainManager::feed(ChainId id, std::uint64_t frame_id,
+                   const std::vector<std::uint64_t> &edges, Addr addr,
+                   Tick deadline, Tick gen_span, bool txn_end)
+{
+    Chain &c = _chains.at(id);
+    vip_assert(c.isBound, "feeding an unbound chain");
+    vip_assert(edges.size() == c.ips.size(), "edge vector mismatch");
+
+    // Distribute the per-frame context (header packet contents) to
+    // every stage: per-stage input/output bytes, deadline, and the
+    // transaction boundary; then stream the data in at the head.
+    const std::size_t n = c.ips.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t out = i + 1 < n ? edges[i + 1] : 0;
+        c.ips[i]->announceFrame(c.lanes[i], frame_id, edges[i], out,
+                                deadline, txn_end);
+    }
+    c.ips[0]->feedFrame(c.lanes[0], frame_id, edges[0], addr,
+                        c.sourceGenerated, gen_span);
+}
+
+bool
+ChainManager::bound(ChainId id) const
+{
+    return _chains.at(id).isBound;
+}
+
+const std::vector<IpCore *> &
+ChainManager::stages(ChainId id) const
+{
+    return _chains.at(id).ips;
+}
+
+} // namespace vip

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Virtual IP chain construction and arbitration (Sections 4.4, 5).
+ *
+ * A chain is the hardware realization of one flow: an ordered list of
+ * IP cores with a buffer lane at each.  The manager supports two
+ * binding disciplines:
+ *
+ *  - **Persistent** (VIP): every flow binds its own lane at every
+ *    stage when the application open()s the chain; flows then share
+ *    IPs concurrently under the hardware scheduler.
+ *  - **Transactional** (IP-to-IP without virtualization): IPs have a
+ *    single lane, so a flow must acquire the whole chain exclusively
+ *    for each frame (or each burst).  Acquisition is all-or-nothing
+ *    and FIFO, which is precisely the head-of-line blocking mechanism
+ *    of Figure 7.
+ */
+
+#ifndef VIP_CORE_CHAIN_MANAGER_HH
+#define VIP_CORE_CHAIN_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "ip/ip_core.hh"
+
+namespace vip
+{
+
+/** Handle to an instantiated chain. */
+using ChainId = std::uint32_t;
+
+/** Builds, binds and feeds virtual IP chains. */
+class ChainManager
+{
+  public:
+    using Granted = std::function<void()>;
+
+    /**
+     * Describe a chain for @p flow through @p ips.
+     * @param nominal_edges  bytes entering each stage for a nominal
+     *                       frame (per-frame overrides via feed()).
+     */
+    ChainId create(FlowId flow, std::vector<IpCore *> ips,
+                   std::vector<std::uint64_t> nominal_edges,
+                   IpCore::FrameExitFn on_exit,
+                   IpCore::FrameStartFn on_start);
+
+    /**
+     * Bind lanes at every stage persistently (VIP open()).
+     * @return false when some IP has no free lane.
+     */
+    bool bindPersistent(ChainId id);
+
+    /**
+     * Acquire the chain exclusively (transactional modes); @p granted
+     * runs once every stage lane is bound.  FIFO across requesters.
+     */
+    void acquire(ChainId id, Granted granted);
+
+    /** Release a transactional acquisition (after the last exit). */
+    void release(ChainId id);
+
+    /**
+     * Tear a chain down for good (close() of the virtual device):
+     * unbinds its lanes whatever the binding discipline was.  The
+     * chain must be drained (no in-flight frames).
+     */
+    void close(ChainId id);
+
+    /**
+     * Feed one frame into the head of a bound chain.
+     * @param edges     per-stage input bytes for this frame.
+     * @param gen_span  sensor readout span for generated sources.
+     * @param txn_end   this frame closes the flow's transaction (true
+     *                  per frame, or only for a burst's last frame).
+     */
+    void feed(ChainId id, std::uint64_t frame_id,
+              const std::vector<std::uint64_t> &edges, Addr addr,
+              Tick deadline, Tick gen_span, bool txn_end = true);
+
+    /** True while the chain's lanes are bound. */
+    bool bound(ChainId id) const;
+
+    /** Stage IPs of a chain. */
+    const std::vector<IpCore *> &stages(ChainId id) const;
+
+    /** Requesters queued behind busy chains right now. */
+    std::size_t waiters() const { return _waiters.size(); }
+
+  private:
+    struct Chain
+    {
+        FlowId flow = 0;
+        std::vector<IpCore *> ips;
+        std::vector<std::uint64_t> nominalEdges;
+        std::vector<int> lanes;
+        bool isBound = false;
+        bool persistent = false;
+        bool sourceGenerated = false;
+        IpCore::FrameExitFn onExit;
+        IpCore::FrameStartFn onStart;
+    };
+
+    bool tryBind(Chain &c);
+    void unbind(Chain &c);
+    void retryWaiters();
+    bool overlapsWaiter(const Chain &c) const;
+
+    std::vector<Chain> _chains;
+    std::deque<std::pair<ChainId, Granted>> _waiters;
+};
+
+} // namespace vip
+
+#endif // VIP_CORE_CHAIN_MANAGER_HH

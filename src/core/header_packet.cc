@@ -1,0 +1,141 @@
+#include "core/header_packet.hh"
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+void
+HeaderPacket::setIps(const std::vector<IpKind> &ips)
+{
+    if (ips.size() > kMaxIps)
+        fatal("header packet supports at most ", kMaxIps, " IPs, got ",
+              ips.size());
+    for (auto ip : ips) {
+        if (ip == IpKind::CPU)
+            fatal("CPU is not an encodable chain stage");
+        if (static_cast<std::uint32_t>(ip) >= (1u << kBitsPerIp))
+            fatal("IP kind does not fit in ", kBitsPerIp, " bits");
+    }
+    _ips = ips;
+}
+
+void
+HeaderPacket::setFrameSizeKb(std::uint32_t kb)
+{
+    if (kb >= (1u << kFrameSizeBits))
+        fatal("frame size ", kb, " KB exceeds the 16-bit field");
+    _frameSizeKb = kb;
+}
+
+void
+HeaderPacket::setFrameRate(std::uint32_t fps_code)
+{
+    if (fps_code >= (1u << kFrameRateBits))
+        fatal("frame-rate code exceeds the 4-bit field");
+    _frameRate = fps_code;
+}
+
+void
+HeaderPacket::setBurstSize(std::uint32_t frames)
+{
+    if (frames >= (1u << kBurstSizeBits))
+        fatal("burst size ", frames, " exceeds the 4-bit field");
+    _burstSize = frames;
+}
+
+std::uint32_t
+HeaderPacket::fixedBytes()
+{
+    std::uint32_t bits = kIpsFieldBits + kFrameSizeBits +
+                         kFrameRateBits + kBurstSizeBits +
+                         2 * kAddrBits;
+    return (bits + 7) / 8;
+}
+
+std::uint32_t
+HeaderPacket::sizeBytes() const
+{
+    return fixedBytes() +
+           kContextBytesPerIp *
+               static_cast<std::uint32_t>(_ips.size());
+}
+
+std::vector<std::uint8_t>
+HeaderPacket::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(sizeBytes());
+
+    // IPs-in-flow field: 8 nibbles, low stage first, 0xF = unused.
+    std::uint32_t ipsField = 0xffffffffu;
+    for (std::size_t i = 0; i < _ips.size(); ++i) {
+        ipsField &= ~(0xfu << (4 * i));
+        ipsField |= static_cast<std::uint32_t>(_ips[i]) << (4 * i);
+    }
+    auto put32 = [&out](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put32(ipsField);
+    out.push_back(static_cast<std::uint8_t>(_frameSizeKb));
+    out.push_back(static_cast<std::uint8_t>(_frameSizeKb >> 8));
+    out.push_back(static_cast<std::uint8_t>(
+        (_frameRate & 0xf) | ((_burstSize & 0xf) << 4)));
+    put32(_src);
+    put32(_dst);
+    // Per-IP contexts (zero-filled placeholders in the model).
+    out.resize(out.size() +
+               kContextBytesPerIp * _ips.size(), 0);
+    return out;
+}
+
+HeaderPacket
+HeaderPacket::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < fixedBytes())
+        fatal("header packet truncated: ", bytes.size(), " bytes");
+
+    auto get32 = [&bytes](std::size_t off) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(bytes[off + i]) << (8 * i);
+        return v;
+    };
+
+    HeaderPacket h;
+    std::uint32_t ipsField = get32(0);
+    std::vector<IpKind> ips;
+    for (std::uint32_t i = 0; i < kMaxIps; ++i) {
+        std::uint32_t nib = (ipsField >> (4 * i)) & 0xf;
+        if (nib == 0xf)
+            break;
+        if (nib >= static_cast<std::uint32_t>(IpKind::NumKinds))
+            fatal("invalid IP kind nibble ", nib);
+        ips.push_back(static_cast<IpKind>(nib));
+    }
+    h.setIps(ips);
+    h.setFrameSizeKb(bytes[4] |
+                     (static_cast<std::uint32_t>(bytes[5]) << 8));
+    h.setFrameRate(bytes[6] & 0xf);
+    h.setBurstSize((bytes[6] >> 4) & 0xf);
+    h.setSrcAddr(get32(7));
+    h.setDestAddr(get32(11));
+
+    std::size_t expect =
+        fixedBytes() + kContextBytesPerIp * ips.size();
+    if (bytes.size() != expect)
+        fatal("header packet size mismatch: ", bytes.size(), " vs ",
+              expect);
+    return h;
+}
+
+bool
+HeaderPacket::operator==(const HeaderPacket &o) const
+{
+    return _ips == o._ips && _frameSizeKb == o._frameSizeKb &&
+           _frameRate == o._frameRate && _burstSize == o._burstSize &&
+           _src == o._src && _dst == o._dst;
+}
+
+} // namespace vip

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The VIP header packet (Figure 12).
+ *
+ * The header packet carries the context a chain of IPs needs to run a
+ * frame burst autonomously: the stage sequence, frame geometry, QoS
+ * deadline, burst size, source/destination addresses, and one 1 KB
+ * context blob per IP (pixel formats, codec state, ...).  It is sent
+ * once per burst through the System Agent; its size is what the paper
+ * argues is negligible next to the payload, and this class computes
+ * it exactly so the simulator can charge for it.
+ */
+
+#ifndef VIP_CORE_HEADER_PACKET_HH
+#define VIP_CORE_HEADER_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ip/ip_types.hh"
+#include "mem/mem_types.hh"
+
+namespace vip
+{
+
+/** The Fig 12 header packet. */
+class HeaderPacket
+{
+  public:
+    /** Fig 12 field widths, in bits. */
+    static constexpr std::uint32_t kIpsFieldBits = 32;    // 4 bits/IP
+    static constexpr std::uint32_t kBitsPerIp = 4;
+    static constexpr std::uint32_t kFrameSizeBits = 16;   // in KB
+    static constexpr std::uint32_t kFrameRateBits = 4;
+    static constexpr std::uint32_t kBurstSizeBits = 4;
+    static constexpr std::uint32_t kAddrBits = 32;
+    static constexpr std::uint32_t kContextBytesPerIp = 1024;
+
+    /** Maximum stages encodable in the 32-bit IPs-in-flow field. */
+    static constexpr std::uint32_t kMaxIps =
+        kIpsFieldBits / kBitsPerIp;
+
+    HeaderPacket() = default;
+
+    /** @{ Field setters (validated). */
+    void setIps(const std::vector<IpKind> &ips);
+    void setFrameSizeKb(std::uint32_t kb);
+    void setFrameRate(std::uint32_t fps_code);
+    void setBurstSize(std::uint32_t frames);
+    void setSrcAddr(Addr a) { _src = static_cast<std::uint32_t>(a); }
+    void setDestAddr(Addr a) { _dst = static_cast<std::uint32_t>(a); }
+    /** @} */
+
+    const std::vector<IpKind> &ips() const { return _ips; }
+    std::uint32_t frameSizeKb() const { return _frameSizeKb; }
+    std::uint32_t frameRate() const { return _frameRate; }
+    std::uint32_t burstSize() const { return _burstSize; }
+    std::uint32_t srcAddr() const { return _src; }
+    std::uint32_t destAddr() const { return _dst; }
+
+    /** Fixed-field bytes (everything except the per-IP contexts). */
+    static std::uint32_t fixedBytes();
+
+    /** Total wire size: fixed fields + 1 KB context per IP. */
+    std::uint32_t sizeBytes() const;
+
+    /** Pack into a byte vector (contexts zero-filled). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Inverse of serialize(); throws SimFatal on malformed input. */
+    static HeaderPacket deserialize(
+        const std::vector<std::uint8_t> &bytes);
+
+    bool operator==(const HeaderPacket &o) const;
+
+  private:
+    std::vector<IpKind> _ips;
+    std::uint32_t _frameSizeKb = 0;
+    std::uint32_t _frameRate = 0;
+    std::uint32_t _burstSize = 0;
+    std::uint32_t _src = 0;
+    std::uint32_t _dst = 0;
+};
+
+} // namespace vip
+
+#endif // VIP_CORE_HEADER_PACKET_HH

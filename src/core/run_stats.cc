@@ -1,0 +1,32 @@
+#include "core/run_stats.hh"
+
+#include <sstream>
+
+namespace vip
+{
+
+const IpResult *
+RunStats::ip(const std::string &name) const
+{
+    for (const auto &r : ips) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << workloadName << "/" << configName << ": "
+       << "E/frame=" << energyPerFrameMj << " mJ"
+       << ", flowTime=" << meanFlowTimeMs << " ms"
+       << ", drops=" << drops << "/" << framesCompleted
+       << ", irq/100ms=" << interruptsPer100ms
+       << ", memBW=" << avgMemBandwidthGBps << " GB/s"
+       << ", cpuActive=" << cpuActiveMs << " ms";
+    return os.str();
+}
+
+} // namespace vip

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Results of one platform run: everything the paper's figures plot.
+ */
+
+#ifndef VIP_CORE_RUN_STATS_HH
+#define VIP_CORE_RUN_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/trace.hh"
+
+namespace vip
+{
+
+/** Per-flow QoS outcome. */
+struct FlowResult
+{
+    std::string name;
+    bool qosCritical = true;
+    double fps = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t violations = 0; ///< completed after deadline
+    std::uint64_t drops = 0;      ///< missed by > one period
+    double meanFlowTimeMs = 0.0;  ///< latency from nominal generation
+    double meanTransitMs = 0.0;   ///< pipeline transit (start->done)
+    double achievedFps = 0.0;     ///< displayed (non-dropped) rate
+};
+
+/** Per-IP activity. */
+struct IpResult
+{
+    std::string name;
+    double activeMs = 0.0;
+    double stallMs = 0.0;
+    double utilization = 0.0;     ///< active / (active + stall)
+    double dutyCycle = 0.0;
+    std::uint64_t contextSwitches = 0;
+    /** DRAM bytes this IP moved (its DMA traffic attribution). */
+    std::uint64_t memBytes = 0;
+};
+
+/** Aggregate results of one run. */
+struct RunStats
+{
+    std::string configName;
+    std::string workloadName;
+    double seconds = 0.0;
+
+    /** @{ Energy, millijoules, by category. */
+    double cpuEnergyMj = 0.0;
+    double dramEnergyMj = 0.0;
+    double saEnergyMj = 0.0;
+    double ipEnergyMj = 0.0;
+    double bufferEnergyMj = 0.0;
+    double totalEnergyMj = 0.0;
+    /** Total energy / QoS-critical frames completed. */
+    double energyPerFrameMj = 0.0;
+    /** @} */
+
+    /** @{ QoS (Fig 18) and performance (Fig 17). */
+    std::uint64_t framesGenerated = 0; ///< QoS-critical flows
+    std::uint64_t framesCompleted = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t drops = 0;
+    double dropRate = 0.0;       ///< drops / completed
+    double violationRate = 0.0;
+    double meanFlowTimeMs = 0.0; ///< across QoS-critical frames
+    double meanTransitMs = 0.0;  ///< pipeline transit view
+    double achievedFps = 0.0;    ///< mean per-flow displayed FPS
+    /** @} */
+
+    /** @{ CPU (Figs 2, 16). */
+    std::uint64_t interrupts = 0;
+    double interruptsPer100ms = 0.0;
+    std::uint64_t instructions = 0;
+    double cpuActiveMs = 0.0;          ///< summed over cores
+    double cpuActiveMsPerFrame = 0.0;
+    double cpuSleepFraction = 0.0;     ///< of core-time asleep
+    /** @} */
+
+    /** @{ Memory (Fig 3). */
+    double avgMemBandwidthGBps = 0.0;
+    double memBytesGB = 0.0;
+    double fracTimeAbove80PctBw = 0.0;
+    double memRowHitRate = 0.0;
+    /** @} */
+
+    double saUtilization = 0.0;
+
+    std::vector<FlowResult> flows;
+    std::vector<IpResult> ips;
+
+    /** Full frame trace (when SocConfig::recordTrace). */
+    FrameTrace trace;
+
+    /** The IpResult for a named IP kind ("VD"...), nullptr if absent. */
+    const IpResult *ip(const std::string &name) const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+} // namespace vip
+
+#endif // VIP_CORE_RUN_STATS_HH

@@ -1,0 +1,269 @@
+#include "core/simulation.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <set>
+
+namespace vip
+{
+
+Simulation::Simulation(SocConfig cfg, Workload workload)
+    : _cfg(std::move(cfg)), _wl(std::move(workload)), _sys(_cfg.seed)
+{
+    for (const auto &app : _wl.apps)
+        app.validate();
+    build();
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::build()
+{
+    _mem = std::make_unique<MemoryController>(_sys, "soc.mem",
+                                              _cfg.dram, _ledger);
+    _sa = std::make_unique<SystemAgent>(_sys, "soc.sa", _cfg.sa, *_mem,
+                                        _ledger);
+    _cpus = std::make_unique<CpuCluster>(_sys, "soc.cpu", _cfg.cpu,
+                                         _cfg.cpuCores, _ledger);
+    _stack = std::make_unique<SoftwareStack>(*_cpus, _cfg.drivers);
+    _chains = std::make_unique<ChainManager>();
+
+    // One hardware instance per IP kind the workload touches: this is
+    // exactly the shared-resource contention the paper studies.
+    std::set<IpKind> kinds;
+    for (const auto &app : _wl.apps) {
+        for (const auto &f : app.flows) {
+            for (auto k : f.hwStages())
+                kinds.insert(k);
+        }
+    }
+    for (auto k : kinds) {
+        _ips.emplace(k, std::make_unique<IpCore>(
+            _sys, std::string("soc.ip.") + ipKindName(k),
+            _cfg.ipParamsFor(k), *_sa, _ledger));
+    }
+
+    PlatformRefs refs;
+    refs.sys = &_sys;
+    refs.cfg = &_cfg;
+    refs.stack = _stack.get();
+    refs.chains = _chains.get();
+    refs.sa = _sa.get();
+    refs.alloc = &_alloc;
+    refs.ipFor = [this](IpKind k) { return ip(k); };
+
+    // Small per-flow phase offsets de-synchronize the applications the
+    // way independent app startup does on a real device.
+    FlowId next = 0;
+    for (const auto &app : _wl.apps) {
+        for (const auto &f : app.flows) {
+            Tick phase = (static_cast<Tick>(next) * fromMs(1.7)) %
+                         f.period();
+            _flows.push_back(std::make_unique<FlowRuntime>(
+                refs, f, app.cls, next, phase,
+                _cfg.recordTrace ? &_trace : nullptr));
+            ++next;
+        }
+    }
+}
+
+IpCore *
+Simulation::ip(IpKind kind)
+{
+    auto it = _ips.find(kind);
+    return it == _ips.end() ? nullptr : it->second.get();
+}
+
+void
+Simulation::stopAppAt(const std::string &app_name, Tick when)
+{
+    vip_assert(!_ran, "stopAppAt must be scheduled before run()");
+    // App names look like "VideoPlay#1" (instance-suffixed in
+    // multi-app workloads) and their flow names like
+    // "VideoPlay.video#1": match the prefix before the '#' plus the
+    // instance suffix.
+    std::string prefix = app_name;
+    std::string suffix;
+    auto hash = app_name.find('#');
+    if (hash != std::string::npos) {
+        prefix = app_name.substr(0, hash);
+        suffix = app_name.substr(hash);
+    }
+    bool found = false;
+    for (auto &f : _flows) {
+        const std::string &n = f->spec().name;
+        bool prefixOk = n.rfind(prefix + ".", 0) == 0;
+        bool suffixOk = suffix.empty() ||
+            (n.size() >= suffix.size() &&
+             n.compare(n.size() - suffix.size(), suffix.size(),
+                       suffix) == 0);
+        if (prefixOk && suffixOk) {
+            found = true;
+            FlowRuntime *fr = f.get();
+            _sys.eventq().schedule(when, [fr] { fr->stop(); });
+        }
+    }
+    if (!found)
+        fatal("stopAppAt: no flows belong to app '", app_name, "'");
+}
+
+RunStats
+Simulation::run()
+{
+    vip_assert(!_ran, "Simulation::run() may only be called once");
+    _ran = true;
+
+    for (auto &f : _flows)
+        f->start();
+    _sys.run(fromSec(_cfg.simSeconds));
+    _ledger.closeAll(_sys.curTick());
+    return collect(_cfg.simSeconds);
+}
+
+RunStats
+Simulation::collect(double seconds)
+{
+    RunStats r;
+    r.configName = systemConfigName(_cfg.system);
+    r.workloadName = _wl.name;
+    r.seconds = seconds;
+
+    // ---- energy ----
+    r.cpuEnergyMj = _ledger.categoryNj("cpu") * 1e-6;
+    r.dramEnergyMj = _ledger.categoryNj("dram") * 1e-6;
+    r.saEnergyMj = _ledger.categoryNj("sa") * 1e-6;
+    r.ipEnergyMj = _ledger.categoryNj("ip") * 1e-6;
+    r.bufferEnergyMj = _ledger.categoryNj("buffer") * 1e-6;
+    r.totalEnergyMj = _ledger.totalNj() * 1e-6;
+
+    // ---- QoS / performance ----
+    double flowTimeWeighted = 0.0;
+    double transitWeighted = 0.0;
+    double fpsSum = 0.0;
+    std::uint32_t qosFlows = 0;
+    bool anyQos = false;
+    for (auto &f : _flows)
+        anyQos |= f->spec().qosCritical;
+    for (auto &f : _flows) {
+        FlowResult fr = f->result(seconds);
+        // Aggregate over the QoS-critical flows; when a workload has
+        // none (pure audio), fall back to every flow so per-frame
+        // metrics stay meaningful.
+        if (fr.qosCritical || !anyQos) {
+            r.framesGenerated += fr.generated;
+            r.framesCompleted += fr.completed;
+            r.violations += fr.violations;
+            r.drops += fr.drops;
+            flowTimeWeighted +=
+                fr.meanFlowTimeMs * static_cast<double>(fr.completed);
+            transitWeighted +=
+                fr.meanTransitMs * static_cast<double>(fr.completed);
+            fpsSum += fr.achievedFps;
+            ++qosFlows;
+        }
+        r.flows.push_back(std::move(fr));
+    }
+    if (r.framesCompleted > 0) {
+        r.dropRate = static_cast<double>(r.drops) /
+                     static_cast<double>(r.framesCompleted);
+        r.violationRate = static_cast<double>(r.violations) /
+                          static_cast<double>(r.framesCompleted);
+        r.meanFlowTimeMs =
+            flowTimeWeighted / static_cast<double>(r.framesCompleted);
+        r.meanTransitMs =
+            transitWeighted / static_cast<double>(r.framesCompleted);
+        r.energyPerFrameMj =
+            r.totalEnergyMj / static_cast<double>(r.framesCompleted);
+    }
+    if (qosFlows > 0)
+        r.achievedFps = fpsSum / qosFlows;
+
+    // ---- CPU ----
+    r.interrupts = _cpus->totalInterrupts();
+    r.interruptsPer100ms =
+        seconds > 0.0 ? static_cast<double>(r.interrupts) /
+                        (seconds * 10.0)
+                      : 0.0;
+    r.instructions = _cpus->totalInstructions();
+    r.cpuActiveMs = toMs(_cpus->totalActiveTicks());
+    if (r.framesCompleted > 0) {
+        r.cpuActiveMsPerFrame =
+            r.cpuActiveMs / static_cast<double>(r.framesCompleted);
+    }
+    Tick coreTicks = fromSec(seconds) * _cfg.cpuCores;
+    if (coreTicks > 0) {
+        r.cpuSleepFraction =
+            static_cast<double>(_cpus->totalSleepTicks()) /
+            static_cast<double>(coreTicks);
+    }
+
+    // ---- memory ----
+    r.avgMemBandwidthGBps = _mem->averageBandwidthGBps();
+    r.memBytesGB =
+        static_cast<double>(_mem->bytesRead() + _mem->bytesWritten()) /
+        (1024.0 * 1024.0 * 1024.0);
+    r.fracTimeAbove80PctBw = _mem->fractionOfTimeAbove(0.8);
+    std::uint64_t rowTotal = _mem->rowHits() + _mem->rowMisses();
+    if (rowTotal > 0) {
+        r.memRowHitRate = static_cast<double>(_mem->rowHits()) /
+                          static_cast<double>(rowTotal);
+    }
+
+    r.saUtilization = _sa->utilization();
+
+    // ---- IPs ----
+    for (auto &[kind, ip] : _ips) {
+        IpResult ir;
+        ir.name = ipKindName(kind);
+        ir.activeMs = toMs(ip->activeTicks());
+        ir.stallMs = toMs(ip->stallTicks());
+        ir.utilization = ip->utilization();
+        ir.dutyCycle = ip->dutyCycle();
+        ir.contextSwitches = ip->contextSwitches();
+        ir.memBytes = _mem->bytesForRequester(
+            static_cast<std::uint32_t>(kind));
+        r.ips.push_back(std::move(ir));
+    }
+
+    if (_cfg.recordTrace)
+        r.trace = _trace;
+    return r;
+}
+
+void
+Simulation::dumpStats(std::ostream &os)
+{
+    os << "---------- simulation stats: " << _wl.name << " / "
+       << systemConfigName(_cfg.system) << " ----------\n";
+    os << std::left << std::setw(44) << "sim.seconds"
+       << toSec(_sys.curTick()) << "  # simulated time\n";
+    os << std::left << std::setw(44) << "sim.events"
+       << _sys.eventq().servicedEvents()
+       << "  # events serviced\n";
+
+    _mem->statsGroup().print(os);
+    _sa->statsGroup().print(os);
+    for (std::uint32_t i = 0; i < _cpus->numCores(); ++i)
+        _cpus->core(i).statsGroup().print(os);
+    for (auto &[kind, ip] : _ips)
+        ip->statsGroup().print(os);
+
+    os << "---------- energy (mJ) ----------\n";
+    for (const auto &cat : _ledger.categories()) {
+        os << std::left << std::setw(44) << ("energy." + cat)
+           << _ledger.categoryNj(cat) * 1e-6 << "  # " << cat
+           << " energy\n";
+    }
+    os << std::left << std::setw(44) << "energy.total"
+       << _ledger.totalNj() * 1e-6 << "  # platform energy\n";
+}
+
+RunStats
+Simulation::run(SocConfig cfg, Workload workload)
+{
+    Simulation sim(std::move(cfg), std::move(workload));
+    return sim.run();
+}
+
+} // namespace vip

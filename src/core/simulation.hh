@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulation: the library's top-level entry point.
+ *
+ * Builds the full platform (CPU cluster, System Agent, LPDDR3 memory,
+ * one IP core per kind the workload touches) from a SocConfig,
+ * instantiates a FlowRuntime per application flow, runs the event
+ * loop for the configured duration and returns RunStats.
+ *
+ * Typical use:
+ * @code
+ *   vip::SocConfig cfg;
+ *   cfg.system = vip::SystemConfig::VIP;
+ *   vip::Simulation sim(cfg, vip::WorkloadCatalog::byIndex(4));
+ *   vip::RunStats s = sim.run();
+ * @endcode
+ */
+
+#ifndef VIP_CORE_SIMULATION_HH
+#define VIP_CORE_SIMULATION_HH
+
+#include <map>
+#include <memory>
+
+#include "app/workload.hh"
+#include "core/chain_manager.hh"
+#include "core/flow_runtime.hh"
+#include "core/run_stats.hh"
+#include "core/soc_config.hh"
+
+namespace vip
+{
+
+/** One platform + workload + configuration run. */
+class Simulation
+{
+  public:
+    Simulation(SocConfig cfg, Workload workload);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Run for cfg.simSeconds and collect results (call once). */
+    RunStats run();
+
+    /** @{ Component access (tests, benches, custom analyses). */
+    System &system() { return _sys; }
+    MemoryController &memory() { return *_mem; }
+    SystemAgent &systemAgent() { return *_sa; }
+    CpuCluster &cpus() { return *_cpus; }
+    ChainManager &chains() { return *_chains; }
+    IpCore *ip(IpKind kind);
+    const SocConfig &config() const { return _cfg; }
+    const Workload &workload() const { return _wl; }
+    const std::vector<std::unique_ptr<FlowRuntime>> &flows() const
+    {
+        return _flows;
+    }
+    /** @} */
+
+    /**
+     * Schedule an application to stop (the user closes it) at
+     * @p when: its flows stop generating, drain, and release their
+     * chain lanes.  Call before run().
+     */
+    void stopAppAt(const std::string &app_name, Tick when);
+
+    /**
+     * Dump every component's statistics (gem5 stats.txt style) plus
+     * the energy ledger to @p os.  Call after run().
+     */
+    void dumpStats(std::ostream &os);
+
+    /**
+     * Convenience: build + run in one call.
+     */
+    static RunStats run(SocConfig cfg, Workload workload);
+
+  private:
+    void build();
+    RunStats collect(double seconds);
+
+    SocConfig _cfg;
+    Workload _wl;
+    System _sys;
+    EnergyLedger _ledger;
+    FrameAllocator _alloc;
+    FrameTrace _trace;
+
+    std::unique_ptr<MemoryController> _mem;
+    std::unique_ptr<SystemAgent> _sa;
+    std::unique_ptr<CpuCluster> _cpus;
+    std::unique_ptr<SoftwareStack> _stack;
+    std::unique_ptr<ChainManager> _chains;
+    std::map<IpKind, std::unique_ptr<IpCore>> _ips;
+    std::vector<std::unique_ptr<FlowRuntime>> _flows;
+    bool _ran = false;
+};
+
+} // namespace vip
+
+#endif // VIP_CORE_SIMULATION_HH

@@ -1,0 +1,105 @@
+#include "cpu/cpu_cluster.hh"
+
+#include <limits>
+
+namespace vip
+{
+
+CpuCluster::CpuCluster(System &system, const std::string &name,
+                       const CpuConfig &cfg, std::uint32_t cores,
+                       EnergyLedger &ledger)
+{
+    vip_assert(cores > 0, "cluster needs at least one core");
+    _cores.reserve(cores);
+    for (std::uint32_t i = 0; i < cores; ++i) {
+        _cores.push_back(std::make_unique<CpuCore>(
+            system, name + ".core" + std::to_string(i), cfg, ledger));
+    }
+}
+
+CpuCore &
+CpuCluster::pickForTask()
+{
+    // Least-loaded; ties broken round-robin so single-task workloads
+    // do not always hammer core 0.
+    std::size_t best = 0;
+    std::size_t bestLoad = std::numeric_limits<std::size_t>::max();
+    for (std::size_t k = 0; k < _cores.size(); ++k) {
+        std::size_t i = (_rr + k) % _cores.size();
+        std::size_t l = _cores[i]->load();
+        if (l < bestLoad) {
+            bestLoad = l;
+            best = i;
+        }
+    }
+    _rr = (best + 1) % _cores.size();
+    return *_cores[best];
+}
+
+CpuCore &
+CpuCluster::pickForInterrupt()
+{
+    // Prefer an awake core (no wake latency); among those, least load.
+    CpuCore *awake = nullptr;
+    std::size_t awakeLoad = std::numeric_limits<std::size_t>::max();
+    for (auto &c : _cores) {
+        if (c->state() != CpuCore::State::Sleep &&
+            c->load() < awakeLoad) {
+            awakeLoad = c->load();
+            awake = c.get();
+        }
+    }
+    if (awake)
+        return *awake;
+    return *_cores[0];
+}
+
+void
+CpuCluster::dispatch(CpuTask task)
+{
+    pickForTask().dispatch(std::move(task));
+}
+
+void
+CpuCluster::interrupt(CpuTask isr)
+{
+    pickForInterrupt().interrupt(std::move(isr));
+}
+
+Tick
+CpuCluster::totalActiveTicks() const
+{
+    Tick t = 0;
+    for (const auto &c : _cores)
+        t += c->activeTicks();
+    return t;
+}
+
+Tick
+CpuCluster::totalSleepTicks() const
+{
+    Tick t = 0;
+    for (const auto &c : _cores)
+        t += c->sleepTicks();
+    return t;
+}
+
+std::uint64_t
+CpuCluster::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : _cores)
+        n += c->instructions();
+    return n;
+}
+
+std::uint64_t
+CpuCluster::totalInterrupts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : _cores)
+        n += c->interrupts();
+    return n;
+}
+
+} // namespace vip

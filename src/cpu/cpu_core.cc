@@ -1,0 +1,233 @@
+#include "cpu/cpu_core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vip
+{
+
+CpuCore::CpuCore(System &system, std::string name, const CpuConfig &cfg,
+                 EnergyLedger &ledger)
+    : ClockedObject(system, std::move(name), ClockDomain(cfg.freqHz)),
+      _cfg(cfg),
+      _energy(ledger.account("cpu", this->name())),
+      _stats(this->name()),
+      _statTasks(_stats, "tasks", "software tasks executed"),
+      _statInterrupts(_stats, "interrupts", "interrupts serviced"),
+      _statUtil(_stats, "utilization", "1 while running a task")
+{
+    _energy.setPower(_cfg.power.idleWatts, 0);
+    // Start at the nominal step (scale 1.0) when governed, else fixed.
+    _curStep = 0;
+    _curFreqHz = _cfg.freqHz;
+    if (_cfg.governor != CpuGovernor::None) {
+        vip_assert(!_cfg.freqSteps.empty(), "governor needs steps");
+        for (std::size_t i = 0; i < _cfg.freqSteps.size(); ++i) {
+            if (_cfg.freqSteps[i] <= 1.0)
+                _curStep = i;
+        }
+        _curFreqHz = _cfg.freqHz * _cfg.freqSteps[_curStep];
+    }
+}
+
+void
+CpuCore::enterState(State s)
+{
+    Tick now = curTick();
+    if (_state == State::Active)
+        _activeTicks += now - _stateSince;
+    else if (_state == State::Sleep)
+        _sleepTicks += now - _stateSince;
+
+    _state = s;
+    _stateSince = now;
+
+    double watts = 0.0;
+    double activeW = _cfg.power.activeWatts *
+                     std::pow(freqScale(), _cfg.powerExponent);
+    switch (s) {
+      case State::Active:
+        watts = activeW;
+        break;
+      case State::Idle:
+        watts = _cfg.power.idleWatts;
+        break;
+      case State::Sleep:
+        watts = _cfg.power.sleepWatts;
+        break;
+      case State::Waking:
+        // Waking burns near-active power restoring state.
+        watts = activeW;
+        break;
+    }
+    _energy.setPower(watts, now);
+    _statUtil.set(s == State::Active ? 1.0 : 0.0, now);
+}
+
+std::size_t
+CpuCore::load() const
+{
+    return _queue.size() + (_running ? 1 : 0);
+}
+
+void
+CpuCore::dispatch(CpuTask task)
+{
+    if (task.isr)
+        _queue.push_front(std::move(task));
+    else
+        _queue.push_back(std::move(task));
+
+    if (_sleepEvent != InvalidEventId) {
+        deschedule(_sleepEvent);
+        _sleepEvent = InvalidEventId;
+    }
+
+    if (_state == State::Sleep) {
+        enterState(State::Waking);
+        scheduleIn(_cfg.wakeLatency, [this] {
+            vip_assert(_state == State::Waking, "wake from wrong state");
+            enterState(State::Idle);
+            tryStart();
+        });
+        return;
+    }
+    if (_state == State::Waking)
+        return; // will start when awake
+    tryStart();
+}
+
+void
+CpuCore::interrupt(CpuTask isr)
+{
+    ++_interrupts;
+    ++_statInterrupts;
+    isr.isr = true;
+    isr.instructions += static_cast<std::uint64_t>(
+        toSec(_cfg.irqEntryLatency) * _cfg.freqHz * _cfg.ipc);
+    dispatch(std::move(isr));
+}
+
+void
+CpuCore::tryStart()
+{
+    if (_running || _queue.empty() || _state == State::Waking ||
+        _state == State::Sleep) {
+        if (!_running && _queue.empty())
+            maybeSleep();
+        return;
+    }
+
+    _running = true;
+    _current = std::move(_queue.front());
+    _queue.pop_front();
+    enterState(State::Active);
+
+    double ips = _curFreqHz * _cfg.ipc;
+    Tick duration = fromSec(
+        static_cast<double>(_current.instructions) / ips);
+    // Even a trivial task costs one cycle.
+    duration = std::max<Tick>(duration, clock().period());
+
+    scheduleIn(duration, [this] { finishTask(); });
+}
+
+void
+CpuCore::finishTask()
+{
+    vip_assert(_running, "finishTask with no running task");
+    _instructions += _current.instructions;
+    _energy.addDynamicNj(_cfg.power.energyPerInstrNj *
+                         static_cast<double>(_current.instructions));
+    ++_statTasks;
+
+    auto cb = std::move(_current.onComplete);
+    _running = false;
+    enterState(State::Idle);
+
+    if (cb)
+        cb();
+
+    if (!_queue.empty())
+        tryStart();
+    else
+        maybeSleep();
+}
+
+void
+CpuCore::startup()
+{
+    // A core that never received work still enters deep sleep after
+    // the governor threshold.
+    maybeSleep();
+    if (_cfg.governor == CpuGovernor::OnDemand) {
+        _lastGovActive = _activeTicks;
+        scheduleIn(_cfg.governorPeriod, [this] { governorTick(); },
+                   EventPriority::Stats);
+    }
+}
+
+void
+CpuCore::governorTick()
+{
+    // Utilization over the last window (include the running segment).
+    Tick active = _activeTicks;
+    if (_state == State::Active)
+        active += curTick() - _stateSince;
+    double util = static_cast<double>(active - _lastGovActive) /
+                  static_cast<double>(_cfg.governorPeriod);
+    _lastGovActive = active;
+
+    std::size_t step = _curStep;
+    if (util > _cfg.upThreshold &&
+        step + 1 < _cfg.freqSteps.size()) {
+        ++step;
+    } else if (util < _cfg.downThreshold && step > 0) {
+        --step;
+    }
+    if (step != _curStep) {
+        _curStep = step;
+        _curFreqHz = _cfg.freqHz * _cfg.freqSteps[step];
+        ++_dvfsTransitions;
+        // Re-apply the current state's power at the new voltage/freq.
+        enterState(_state);
+    }
+    scheduleIn(_cfg.governorPeriod, [this] { governorTick(); },
+               EventPriority::Stats);
+}
+
+void
+CpuCore::maybeSleep()
+{
+    if (_state != State::Idle || _sleepEvent != InvalidEventId)
+        return;
+    _sleepEvent = scheduleIn(_cfg.sleepThreshold, [this] {
+        _sleepEvent = InvalidEventId;
+        if (_state == State::Idle && !_running && _queue.empty())
+            enterState(State::Sleep);
+    });
+}
+
+Tick
+CpuCore::sleepTicks() const
+{
+    Tick total = _sleepTicks;
+    if (_state == State::Sleep)
+        total += curTick() - _stateSince;
+    return total;
+}
+
+void
+CpuCore::finalize()
+{
+    Tick now = curTick();
+    if (_state == State::Active)
+        _activeTicks += now - _stateSince;
+    else if (_state == State::Sleep)
+        _sleepTicks += now - _stateSince;
+    _stateSince = now;
+    _energy.close(now);
+    _statUtil.close(now);
+}
+
+} // namespace vip

@@ -1,0 +1,45 @@
+#include "driver/software_stack.hh"
+
+namespace vip
+{
+
+void
+SoftwareStack::submitWithRetry(IpCore &ip, StageJob job)
+{
+    auto &q = _waiting[&ip];
+    if (q.empty() && !ip.queueFull()) {
+        bool ok = ip.submitJob(std::move(job));
+        vip_assert(ok, "submit failed on non-full queue");
+        return;
+    }
+
+    if (q.empty()) {
+        // First waiter for this IP: hook the drain callback.
+        ip.setQueueDrainCb([this, ipp = &ip] { drain(ipp); });
+    }
+    q.push_back(std::move(job));
+}
+
+std::size_t
+SoftwareStack::softwareQueueLength(const IpCore &ip) const
+{
+    auto it = _waiting.find(const_cast<IpCore *>(&ip));
+    return it == _waiting.end() ? 0 : it->second.size();
+}
+
+void
+SoftwareStack::drain(IpCore *ip)
+{
+    auto it = _waiting.find(ip);
+    if (it == _waiting.end())
+        return;
+    auto &q = it->second;
+    while (!q.empty() && !ip->queueFull()) {
+        StageJob j = std::move(q.front());
+        q.pop_front();
+        bool ok = ip->submitJob(std::move(j));
+        vip_assert(ok, "submit failed on non-full queue");
+    }
+}
+
+} // namespace vip

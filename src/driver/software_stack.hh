@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Android-style software stack cost model.
+ *
+ * All CPU-side work of the frame pipeline funnels through this class:
+ * app-level frame preparation, per-IP driver setup, interrupt service
+ * routines, chain instantiation and frame-burst scheduling.  Costs
+ * are expressed in instructions and executed on the CpuCluster, so
+ * they consume real simulated time and energy and contend with each
+ * other — which is precisely the overhead the paper measures in
+ * Figs 2 and 16.
+ *
+ * The stack also owns the software-visible per-IP request queues: the
+ * hardware queue is depth-limited (7 on the Nexus 7, Section 2.2), so
+ * submissions that find it full wait here and retry on drain.
+ */
+
+#ifndef VIP_DRIVER_SOFTWARE_STACK_HH
+#define VIP_DRIVER_SOFTWARE_STACK_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "cpu/cpu_cluster.hh"
+#include "ip/ip_core.hh"
+
+namespace vip
+{
+
+/** Software cost model (instructions per operation). */
+struct DriverCosts
+{
+    /** One driver invocation: buffers, pointers, IP doorbell. */
+    std::uint64_t driverSetupInstr = 800'000;
+    /** Interrupt service routine + callback into the framework. */
+    std::uint64_t isrInstr = 350'000;
+    /** open(): instantiate a virtual IP chain (once per flow). */
+    std::uint64_t chainOpenInstr = 1'500'000;
+    /** Per-frame super-request setup (IP-to-IP without bursts). */
+    std::uint64_t chainSetupInstr = 1'400'000;
+    /** Schedule_FrameBurst() fixed part. */
+    std::uint64_t burstSetupBaseInstr = 1'000'000;
+    /** Schedule_FrameBurst() per-frame part (chunk/time arrays). */
+    std::uint64_t burstSetupPerFrameInstr = 150'000;
+};
+
+/** The host software stack. */
+class SoftwareStack
+{
+  public:
+    using Callback = std::function<void()>;
+
+    SoftwareStack(CpuCluster &cpus, const DriverCosts &costs)
+        : _cpus(cpus), _costs(costs)
+    {}
+
+    const DriverCosts &costs() const { return _costs; }
+    CpuCluster &cpus() { return _cpus; }
+
+    /** Run @p instructions of software work, then @p done. */
+    void
+    runTask(std::uint64_t instructions, Callback done)
+    {
+        CpuTask t;
+        t.instructions = instructions;
+        t.onComplete = std::move(done);
+        _cpus.dispatch(std::move(t));
+    }
+
+    /** Deliver an IP completion interrupt; ISR runs, then @p done. */
+    void
+    raiseInterrupt(Callback done)
+    {
+        CpuTask t;
+        t.instructions = _costs.isrInstr;
+        t.onComplete = std::move(done);
+        _cpus.interrupt(std::move(t));
+    }
+
+    /**
+     * Submit a job to an IP's hardware queue, waiting in the software
+     * queue when the hardware one is full.  Per-IP order preserved.
+     */
+    void submitWithRetry(IpCore &ip, StageJob job);
+
+    /** Jobs waiting in software for @p ip's hardware queue. */
+    std::size_t softwareQueueLength(const IpCore &ip) const;
+
+  private:
+    void drain(IpCore *ip);
+
+    CpuCluster &_cpus;
+    DriverCosts _costs;
+    std::unordered_map<IpCore *, std::deque<StageJob>> _waiting;
+};
+
+} // namespace vip
+
+#endif // VIP_DRIVER_SOFTWARE_STACK_HH

@@ -1,0 +1,867 @@
+#include "ip/ip_core.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace vip
+{
+
+namespace
+{
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+IpCore::IpCore(System &system, std::string name, const IpParams &params,
+               SystemAgent &sa, EnergyLedger &ledger)
+    : ClockedObject(system, std::move(name), ClockDomain(params.clockHz)),
+      _p(params),
+      _sa(sa),
+      _energy(ledger.account("ip", this->name())),
+      _bufferEnergy(ledger.account("buffer", this->name())),
+      _lanes(params.numLanes),
+      _stats(this->name()),
+      _statJobs(_stats, "jobs", "stage jobs completed"),
+      _statSubframes(_stats, "subframes", "work units processed"),
+      _statCtxSwitches(_stats, "ctxSwitches", "lane context switches"),
+      _statJobLatencyMs(_stats, "jobLatencyMs", "job latency (ms)")
+{
+    vip_assert(params.numLanes >= 1 && params.numLanes <= 8,
+               "lane count out of range");
+    vip_assert(params.subframeBytes > 0 && params.laneBytes > 0,
+               "bad buffer geometry");
+    // Input + output buffer leakage scales with total capacity.
+    auto est = SramModel::forCapacity(
+        std::max<std::uint64_t>(1, _p.laneBytes) * 2 * _p.numLanes);
+    _bufferEnergy.setPower(est.leakageWatts, 0);
+    _energy.setPower(_p.power.idleWatts, 0);
+}
+
+Tick
+IpCore::computeTime(std::uint64_t in_bytes, std::uint64_t out_bytes) const
+{
+    std::uint64_t work = std::max<std::uint64_t>(
+        {in_bytes, out_bytes, 1});
+    return streamTime(work, _p.bytesPerCycle);
+}
+
+// --------------------------------------------------------------------
+// Engine state & power accounting
+// --------------------------------------------------------------------
+
+bool
+IpCore::anyWorkPending() const
+{
+    if (_jobActive || !_jobs.empty())
+        return true;
+    for (const auto &l : _lanes) {
+        if (l.bound && l.hasBufferedWork())
+            return true;
+    }
+    return false;
+}
+
+void
+IpCore::accumulateState(Tick now)
+{
+    Tick dt = now - _stateSince;
+    if (_engineState == EngineState::Active)
+        _activeTicks += dt;
+    else if (_engineState == EngineState::Stalled)
+        _stallTicks += dt;
+    _stateSince = now;
+}
+
+void
+IpCore::updateEngineState()
+{
+    EngineState next = _computing
+        ? EngineState::Active
+        : (anyWorkPending() ? EngineState::Stalled : EngineState::Idle);
+    if (next == _engineState)
+        return;
+    Tick now = curTick();
+    accumulateState(now);
+    _engineState = next;
+    double watts = 0.0;
+    switch (next) {
+      case EngineState::Active:
+        watts = _p.power.activeWatts;
+        break;
+      case EngineState::Stalled:
+        watts = _p.power.stallWatts;
+        break;
+      case EngineState::Idle:
+        watts = _p.power.idleWatts;
+        break;
+    }
+    _energy.setPower(watts, now);
+}
+
+double
+IpCore::utilization() const
+{
+    Tick busy = _activeTicks + _stallTicks;
+    if (busy == 0)
+        return 0.0;
+    return static_cast<double>(_activeTicks) /
+           static_cast<double>(busy);
+}
+
+double
+IpCore::dutyCycle() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(_activeTicks + _stallTicks) /
+           static_cast<double>(now);
+}
+
+void
+IpCore::finalize()
+{
+    accumulateState(curTick());
+    _energy.close(curTick());
+    _bufferEnergy.close(curTick());
+}
+
+// --------------------------------------------------------------------
+// Job mode
+// --------------------------------------------------------------------
+
+bool
+IpCore::submitJob(StageJob job)
+{
+    if (queueFull())
+        return false;
+    _jobs.push_back(std::move(job));
+    tryStartJob();
+    updateEngineState();
+    return true;
+}
+
+void
+IpCore::tryStartJob()
+{
+    if (_jobActive || _jobs.empty())
+        return;
+
+    // Pick by the configured hardware policy.
+    std::size_t idx = 0;
+    if (_p.sched == SchedPolicy::EDF) {
+        for (std::size_t i = 1; i < _jobs.size(); ++i) {
+            if (_jobs[i].deadline < _jobs[idx].deadline)
+                idx = i;
+        }
+    }
+    _job = std::move(_jobs[idx]);
+    _jobs.erase(_jobs.begin() + idx);
+    _jobActive = true;
+    _jobStartTick = curTick();
+    if (_job.onStart)
+        _job.onStart();
+
+    std::uint64_t span =
+        std::max<std::uint64_t>({_job.inputBytes, _job.outputBytes, 1});
+    _unitsTotal = ceilDiv(span, _p.dmaChunkBytes);
+    _unitsIssued = 0;
+    _unitsReady = 0;
+    _unitsComputed = 0;
+    _writesDone = 0;
+    _readsOutstanding = 0;
+
+    if (!_job.readsMemory || _job.inputBytes == 0) {
+        _unitsIssued = _unitsTotal;
+        _unitsReady = _unitsTotal;
+    }
+    issueJobReads();
+    tryComputeJobUnit();
+    updateEngineState();
+}
+
+void
+IpCore::issueJobReads()
+{
+    if (!_jobActive || !_job.readsMemory || _job.inputBytes == 0)
+        return;
+    std::uint64_t in_unit =
+        std::max<std::uint64_t>(1, ceilDiv(_job.inputBytes, _unitsTotal));
+    while (_unitsIssued < _unitsTotal &&
+           _readsOutstanding < _p.maxOutstandingDma) {
+        std::uint64_t k = _unitsIssued++;
+        ++_readsOutstanding;
+        MemRequest req;
+        req.addr = _job.inputAddr + k * in_unit;
+        req.bytes = static_cast<std::uint32_t>(in_unit);
+        req.write = false;
+        req.requesterId = static_cast<std::uint32_t>(_p.kind);
+        req.onComplete = [this] {
+            --_readsOutstanding;
+            ++_unitsReady;
+            tryComputeJobUnit();
+            issueJobReads();
+        };
+        _sa.memoryAccess(std::move(req));
+    }
+}
+
+void
+IpCore::tryComputeJobUnit()
+{
+    if (!_jobActive || _computing || _unitsReady == 0) {
+        updateEngineState();
+        return;
+    }
+    --_unitsReady;
+    _computing = true;
+    std::uint64_t in_unit = ceilDiv(_job.inputBytes, _unitsTotal);
+    std::uint64_t out_unit = ceilDiv(_job.outputBytes, _unitsTotal);
+    scheduleIn(computeTime(in_unit, out_unit),
+               [this] { onJobUnitComputed(); });
+    updateEngineState();
+}
+
+void
+IpCore::onJobUnitComputed()
+{
+    vip_assert(_jobActive && _computing, "spurious job unit completion");
+    _computing = false;
+    std::uint64_t k = _unitsComputed++;
+    std::uint64_t out_unit = ceilDiv(_job.outputBytes, _unitsTotal);
+    _bytesProcessed += std::max(ceilDiv(_job.inputBytes, _unitsTotal),
+                                out_unit);
+
+    if (_job.writesMemory && _job.outputBytes > 0) {
+        MemRequest req;
+        req.addr = _job.outputAddr + k * out_unit;
+        req.bytes = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, out_unit));
+        req.write = true;
+        req.requesterId = static_cast<std::uint32_t>(_p.kind);
+        req.onComplete = [this] {
+            ++_writesDone;
+            checkJobDone();
+        };
+        _sa.memoryAccess(std::move(req));
+    } else {
+        ++_writesDone;
+    }
+
+    issueJobReads();
+    tryComputeJobUnit();
+    checkJobDone();
+    updateEngineState();
+}
+
+void
+IpCore::checkJobDone()
+{
+    if (!_jobActive || _unitsComputed < _unitsTotal ||
+        _writesDone < _unitsTotal) {
+        return;
+    }
+    _jobActive = false;
+    ++_jobsCompleted;
+    ++_statJobs;
+    _statJobLatencyMs.sample(toMs(curTick() - _jobStartTick));
+
+    auto cb = std::move(_job.onComplete);
+    auto drain = _queueDrainCb;
+    tryStartJob();
+    updateEngineState();
+    if (drain)
+        drain();
+    if (cb)
+        cb();
+}
+
+// --------------------------------------------------------------------
+// Stream mode: lane management
+// --------------------------------------------------------------------
+
+int
+IpCore::bindLane(FlowId flow)
+{
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        Lane &l = _lanes[i];
+        if (l.bound)
+            continue;
+        l = Lane{};
+        l.bound = true;
+        l.flow = flow;
+        return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+IpCore::unbindLane(int lane)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "unbinding unbound lane on ", name());
+    vip_assert(!l.active(), "unbinding active lane on ", name());
+    if (_stickyLane == lane)
+        _stickyLane = -1;
+    if (_currentLane == lane)
+        _currentLane = -1;
+    l = Lane{};
+}
+
+std::uint32_t
+IpCore::boundLanes() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : _lanes)
+        n += l.bound ? 1 : 0;
+    return n;
+}
+
+void
+IpCore::connectLane(int lane, IpCore *next, int next_lane)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "connecting unbound lane");
+    l.next = next;
+    l.nextLane = next_lane;
+    l.sink = false;
+}
+
+void
+IpCore::makeLaneSink(int lane, FrameExitFn on_exit)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "sink on unbound lane");
+    l.sink = true;
+    l.next = nullptr;
+    l.onExit = std::move(on_exit);
+}
+
+void
+IpCore::setLaneFrameStartCb(int lane, FrameStartFn cb)
+{
+    _lanes.at(lane).onFrameStart = std::move(cb);
+}
+
+void
+IpCore::announceFrame(int lane, std::uint64_t frame_id,
+                      std::uint64_t in_bytes, std::uint64_t out_bytes,
+                      Tick deadline, bool txn_end)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "announcing on unbound lane of ", name());
+    vip_assert(in_bytes > 0, "frame with no input at ", name());
+
+    StreamFrame f;
+    f.frameId = frame_id;
+    f.inBytes = in_bytes;
+    f.outBytes = out_bytes;
+    f.deadline = deadline;
+    f.txnEnd = txn_end;
+    f.units = ceilDiv(std::max(in_bytes, out_bytes), _p.subframeBytes);
+    l.frames.push_back(f);
+    kickStream();
+    updateEngineState();
+}
+
+std::size_t
+IpCore::laneDepth(int lane) const
+{
+    return _lanes.at(lane).frames.size();
+}
+
+bool
+IpCore::laneHasSpace(int lane, std::uint32_t bytes) const
+{
+    const Lane &l = _lanes.at(lane);
+    return l.occupancy + bytes <= _p.laneBytes;
+}
+
+void
+IpCore::reserveLaneSpace(int lane, std::uint32_t bytes)
+{
+    _lanes.at(lane).occupancy += bytes;
+}
+
+void
+IpCore::setCreditWaiter(int lane, std::function<void()> cb)
+{
+    _lanes.at(lane).creditWaiter = std::move(cb);
+}
+
+void
+IpCore::deliverBytes(int lane, std::uint32_t bytes)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "bytes delivered to unbound lane on ", name());
+    if (l.inAvail == 0)
+        l.headArrival = curTick();
+    l.inAvail += bytes;
+    _bufferEnergy.addDynamicNj(
+        SramModel::writeEnergyNj(_p.laneBytes, bytes));
+    kickStream();
+    updateEngineState();
+}
+
+void
+IpCore::releaseInputBytes(int lane, std::uint64_t bytes)
+{
+    Lane &l = _lanes[lane];
+    vip_assert(l.occupancy >= bytes && l.inAvail >= bytes,
+               "input buffer underflow on ", name());
+    l.occupancy -= bytes;
+    l.inAvail -= bytes;
+    if (l.creditWaiter) {
+        auto cb = std::exchange(l.creditWaiter, nullptr);
+        _sa.signal(std::move(cb));
+    }
+    pumpFeeds(lane);
+}
+
+// --------------------------------------------------------------------
+// Stream mode: head-of-chain feeds
+// --------------------------------------------------------------------
+
+void
+IpCore::feedFrame(int lane, std::uint64_t frame_id, std::uint64_t bytes,
+                  Addr addr, bool generate, Tick gen_span)
+{
+    Lane &l = _lanes.at(lane);
+    vip_assert(l.bound, "feeding unbound lane on ", name());
+    vip_assert(bytes > 0, "feeding empty frame");
+
+    Feed f;
+    f.frameId = frame_id;
+    f.addr = addr;
+    f.total = bytes;
+    f.generate = generate;
+    if (generate && gen_span > 0) {
+        std::uint64_t chunks = ceilDiv(bytes, _p.subframeBytes);
+        f.genInterval = gen_span / chunks;
+    }
+    l.feeds.push_back(std::move(f));
+    pumpFeeds(lane);
+    updateEngineState();
+}
+
+void
+IpCore::pumpFeeds(int lane)
+{
+    Lane &l = _lanes[lane];
+    if (l.feeds.empty())
+        return;
+    Feed &f = l.feeds.front();
+    const std::uint32_t chunk = _p.subframeBytes;
+
+    if (f.generate) {
+        if (f.genArmed || f.issued >= f.total)
+            return;
+        std::uint32_t sz = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, f.total - f.issued));
+        if (l.occupancy + sz > _p.laneBytes)
+            return; // wait for credit; releaseInputBytes re-pumps
+        f.genArmed = true;
+        reserveLaneSpace(lane, sz);
+        std::uint64_t offset = f.issued;
+        f.issued += sz;
+        scheduleIn(f.genInterval, [this, lane, offset, sz] {
+            Lane &ll = _lanes[lane];
+            if (!ll.feeds.empty())
+                ll.feeds.front().genArmed = false;
+            onFeedChunkReady(lane, offset, sz);
+        });
+        return;
+    }
+
+    while (f.issued < f.total &&
+           l.outstandingDma < _p.maxOutstandingDma) {
+        std::uint32_t sz = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, f.total - f.issued));
+        if (l.occupancy + sz > _p.laneBytes)
+            break; // wait for credit
+        reserveLaneSpace(lane, sz);
+        ++l.outstandingDma;
+        std::uint64_t offset = f.issued;
+        f.issued += sz;
+
+        MemRequest req;
+        req.addr = f.addr + offset;
+        req.bytes = sz;
+        req.write = false;
+        req.requesterId = static_cast<std::uint32_t>(_p.kind);
+        req.onComplete = [this, lane, offset, sz] {
+            --_lanes[lane].outstandingDma;
+            onFeedChunkReady(lane, offset, sz);
+        };
+        _sa.memoryAccess(std::move(req));
+    }
+}
+
+void
+IpCore::onFeedChunkReady(int lane, std::uint64_t offset,
+                         std::uint32_t bytes)
+{
+    Lane &l = _lanes[lane];
+    vip_assert(!l.feeds.empty(), "feed chunk for retired feed on ",
+               name());
+    l.feeds.front().ready.emplace(offset, bytes);
+    deliverInOrder(lane);
+}
+
+void
+IpCore::deliverInOrder(int lane)
+{
+    Lane &l = _lanes[lane];
+    bool deliveredAny = false;
+    bool retired = false;
+    while (!l.feeds.empty()) {
+        Feed &f = l.feeds.front();
+        auto it = f.ready.begin();
+        if (it == f.ready.end() || it->first != f.delivered)
+            break;
+        std::uint32_t sz = it->second;
+        f.ready.erase(it);
+        bool first = f.delivered == 0;
+        f.delivered += sz;
+        bool last = f.delivered >= f.total;
+
+        if (first && l.onFrameStart)
+            l.onFrameStart(l.flow, f.frameId);
+
+        if (l.inAvail == 0)
+            l.headArrival = curTick();
+        l.inAvail += sz;
+        _bufferEnergy.addDynamicNj(
+            SramModel::writeEnergyNj(_p.laneBytes, sz));
+        deliveredAny = true;
+
+        if (last) {
+            vip_assert(f.ready.empty(), "stray chunks past frame end");
+            l.feeds.pop_front();
+            retired = true;
+        }
+    }
+    if (deliveredAny || retired)
+        pumpFeeds(lane);
+    if (deliveredAny) {
+        kickStream();
+        updateEngineState();
+    }
+}
+
+// --------------------------------------------------------------------
+// Stream mode: engine
+// --------------------------------------------------------------------
+
+bool
+IpCore::laneRunnable(const Lane &l) const
+{
+    if (!l.bound || l.frames.empty())
+        return false;
+    const StreamFrame &f = l.frames.front();
+    if (f.unitsDone >= f.units)
+        return false;
+    if (l.inAvail < f.unitIn(f.unitsDone))
+        return false;
+    // Output must fit the lane's output buffer (sinks produce none).
+    // With the overflow-to-memory option the output buffer drains to
+    // DRAM instead, so it never gates the engine.
+    if (!l.sink && l.next && !_p.overflowToMemory) {
+        std::uint64_t pendingOut =
+            l.outAccum + l.outQueueBytes + f.unitOut(f.unitsDone);
+        if (pendingOut > _p.laneBytes)
+            return false;
+    }
+    return true;
+}
+
+int
+IpCore::pickLane() const
+{
+    int best = -1;
+    switch (_p.sched) {
+      case SchedPolicy::FIFO: {
+        Tick bestKey = MaxTick;
+        for (std::size_t i = 0; i < _lanes.size(); ++i) {
+            const Lane &l = _lanes[i];
+            if (!laneRunnable(l))
+                continue;
+            if (best < 0 || l.headArrival < bestKey) {
+                best = static_cast<int>(i);
+                bestKey = l.headArrival;
+            }
+        }
+        break;
+      }
+      case SchedPolicy::RoundRobin: {
+        std::size_t n = _lanes.size();
+        for (std::size_t k = 1; k <= n; ++k) {
+            std::size_t i = (_currentLane + k) % n;
+            if (laneRunnable(_lanes[i])) {
+                best = static_cast<int>(i);
+                break;
+            }
+        }
+        break;
+      }
+      case SchedPolicy::EDF: {
+        Tick bestKey = MaxTick;
+        for (std::size_t i = 0; i < _lanes.size(); ++i) {
+            const Lane &l = _lanes[i];
+            if (!laneRunnable(l))
+                continue;
+            Tick d = l.frames.front().deadline;
+            if (best < 0 || d < bestKey) {
+                best = static_cast<int>(i);
+                bestKey = d;
+            }
+        }
+        break;
+      }
+    }
+    return best;
+}
+
+void
+IpCore::kickStream()
+{
+    if (_computing || _jobActive)
+        return;
+    int lane;
+    if (_stickyLane >= 0) {
+        // Single-context IP committed to a transaction: it may only
+        // continue that lane; while the lane is not runnable the
+        // engine waits, blocking other flows (Fig 7).
+        if (!laneRunnable(_lanes[_stickyLane])) {
+            updateEngineState();
+            return;
+        }
+        lane = _stickyLane;
+    } else {
+        lane = pickLane();
+    }
+    if (lane < 0) {
+        updateEngineState();
+        return;
+    }
+    Lane &l = _lanes[lane];
+    StreamFrame &f = l.frames.front();
+
+    bool cs = _currentLane >= 0 && _currentLane != lane;
+    if (cs) {
+        ++_contextSwitches;
+        ++_statCtxSwitches;
+        _energy.addDynamicNj(_p.power.contextSwitchNj);
+    }
+    _currentLane = lane;
+
+    // Commit the single context until the frame/transaction boundary.
+    if (_p.switchGranularity != SwitchGranularity::Subframe)
+        _stickyLane = lane;
+
+    std::uint64_t uIn = f.unitIn(f.unitsDone);
+    std::uint64_t uOut = f.unitOut(f.unitsDone);
+    if (uIn > 0) {
+        _bufferEnergy.addDynamicNj(
+            SramModel::readEnergyNj(_p.laneBytes, uIn));
+        releaseInputBytes(lane, uIn);
+    }
+
+    _computing = true;
+    Tick t = computeTime(uIn, uOut) +
+             (cs ? _p.contextSwitchPenalty : 0);
+    scheduleIn(t, [this, lane] { onUnitComputed(lane); });
+    updateEngineState();
+}
+
+void
+IpCore::onUnitComputed(int lane)
+{
+    vip_assert(_computing, "spurious unit completion");
+    _computing = false;
+    ++_subframes;
+    ++_statSubframes;
+
+    Lane &l = _lanes[lane];
+    vip_assert(!l.frames.empty(), "unit completed on empty lane");
+    StreamFrame &f = l.frames.front();
+
+    std::uint64_t uIn = f.unitIn(f.unitsDone);
+    std::uint64_t uOut = f.unitOut(f.unitsDone);
+    _bytesProcessed += std::max(uIn, uOut);
+    ++f.unitsDone;
+    bool frameDone = f.unitsDone >= f.units;
+
+    if (!l.sink && l.next) {
+        l.outAccum += uOut;
+        while (l.outAccum >= _p.subframeBytes) {
+            l.outQueue.push_back(_p.subframeBytes);
+            l.outQueueBytes += _p.subframeBytes;
+            l.outAccum -= _p.subframeBytes;
+        }
+        if (frameDone && l.outAccum > 0) {
+            l.outQueue.push_back(
+                static_cast<std::uint32_t>(l.outAccum));
+            l.outQueueBytes += l.outAccum;
+            l.outAccum = 0;
+        }
+    }
+
+    if (frameDone) {
+        // Release the single context at the configured boundary.
+        if ((_p.switchGranularity == SwitchGranularity::Frame) ||
+            (_p.switchGranularity == SwitchGranularity::Transaction &&
+             f.txnEnd)) {
+            _stickyLane = -1;
+        }
+        bool sink = l.sink;
+        FlowId flow = l.flow;
+        std::uint64_t frame_id = f.frameId;
+        auto onExit = l.onExit;
+        // Retire the frame context *before* signalling the exit: the
+        // callback may tear the (now drained) chain down, which
+        // unbinds this very lane; the local copies survive the reset.
+        l.frames.pop_front();
+        if (sink) {
+            ++_framesExited;
+            if (onExit)
+                onExit(flow, frame_id);
+            // The lane (and this reference) may be gone now.
+            kickStream();
+            updateEngineState();
+            return;
+        }
+    }
+
+    pushOutput(lane);
+    kickStream();
+    updateEngineState();
+}
+
+void
+IpCore::pushOutput(int lane)
+{
+    Lane &l = _lanes[lane];
+    if (!l.next)
+        return;
+    bool pushed = false;
+    while (!l.outQueue.empty()) {
+        std::uint32_t sz = l.outQueue.front();
+        // Ordering: while spilled data awaits the consumer, direct
+        // pushes must follow it through memory.
+        bool blocked = !l.spillQueue.empty() ||
+                       !l.next->laneHasSpace(l.nextLane, sz);
+        if (blocked && _p.overflowToMemory) {
+            l.outQueue.pop_front();
+            l.outQueueBytes -= sz;
+            spillChunk(lane, sz);
+            pushed = true;
+            continue;
+        }
+        if (blocked) {
+            IpCore *next = l.next;
+            int nl = l.nextLane;
+            next->setCreditWaiter(nl, [this, lane] {
+                pushOutput(lane);
+                kickStream();
+                updateEngineState();
+            });
+            break;
+        }
+        l.next->reserveLaneSpace(l.nextLane, sz);
+        l.outQueue.pop_front();
+        l.outQueueBytes -= sz;
+        _bufferEnergy.addDynamicNj(
+            SramModel::readEnergyNj(_p.laneBytes, sz));
+        IpCore *next = l.next;
+        int nl = l.nextLane;
+        _sa.peerTransfer(sz, [next, nl, sz] {
+            next->deliverBytes(nl, sz);
+        });
+        pushed = true;
+    }
+    if (pushed) {
+        kickStream();
+        updateEngineState();
+    }
+}
+
+void
+IpCore::spillChunk(int lane, std::uint32_t bytes)
+{
+    Lane &l = _lanes[lane];
+    // Stage the chunk in a per-IP DRAM spill region (bump pointer
+    // over a wrapping window; the data is transient).
+    constexpr Addr kSpillBase = Addr(1) << 40;
+    constexpr Addr kSpillWindow = 16_MiB;
+    Addr addr = kSpillBase + (_spillNext % kSpillWindow);
+    _spillNext += bytes;
+    _bytesSpilled += bytes;
+    l.spillBytes += bytes;
+
+    l.spillQueue.push_back(Lane::Spill{addr, bytes, false});
+    auto *entry = &l.spillQueue.back();
+
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.write = true;
+    req.requesterId = static_cast<std::uint32_t>(_p.kind);
+    req.onComplete = [this, lane, addr] {
+        Lane &ll = _lanes[lane];
+        for (auto &sp : ll.spillQueue) {
+            if (sp.addr == addr && !sp.writeDone) {
+                sp.writeDone = true;
+                break;
+            }
+        }
+        pumpSpills(lane);
+    };
+    (void)entry;
+    _sa.memoryAccess(std::move(req));
+}
+
+void
+IpCore::pumpSpills(int lane)
+{
+    Lane &l = _lanes[lane];
+    if (l.refillInFlight || l.spillQueue.empty() || !l.next)
+        return;
+    Lane::Spill &sp = l.spillQueue.front();
+    if (!sp.writeDone)
+        return; // read-after-write hazard: wait for the store
+    if (!l.next->laneHasSpace(l.nextLane, sp.bytes)) {
+        l.next->setCreditWaiter(l.nextLane,
+                                [this, lane] { pumpSpills(lane); });
+        return;
+    }
+    l.next->reserveLaneSpace(l.nextLane, sp.bytes);
+    l.refillInFlight = true;
+
+    MemRequest req;
+    req.addr = sp.addr;
+    req.bytes = sp.bytes;
+    req.write = false;
+    req.requesterId = static_cast<std::uint32_t>(_p.kind);
+    std::uint32_t bytes = sp.bytes;
+    IpCore *next = l.next;
+    int nl = l.nextLane;
+    req.onComplete = [this, lane, next, nl, bytes] {
+        Lane &ll = _lanes[lane];
+        vip_assert(!ll.spillQueue.empty(), "spill queue underflow");
+        ll.spillQueue.pop_front();
+        ll.spillBytes -= bytes;
+        ll.refillInFlight = false;
+        next->deliverBytes(nl, bytes);
+        pumpSpills(lane);
+        pushOutput(lane);
+    };
+    _sa.memoryAccess(std::move(req));
+}
+
+} // namespace vip

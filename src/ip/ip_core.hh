@@ -1,0 +1,384 @@
+/**
+ * @file
+ * The IP core model — an accelerator with two operating interfaces.
+ *
+ * **Job mode** (Baseline / FrameBurst): the driver enqueues StageJobs
+ * into a depth-limited hardware queue.  The engine processes one job
+ * at a time as a pipeline of DMA-chunk work units: prefetch reads from
+ * DRAM (bounded outstanding), compute, write back to DRAM, then fire
+ * the job's completion continuation (CPU interrupt or hardware
+ * doorbell).
+ *
+ * **Stream mode** (IP-to-IP / VIP): the IP exposes lane buffers — an
+ * input and an output buffer per lane, as in Fig 13.  Each lane is
+ * bound to one flow and connected to a downstream IP's lane.  Frames
+ * are *announced* per stage (the header-packet context: input bytes,
+ * output bytes, deadline, transaction boundary) and then their data
+ * streams through as anonymous in-order bytes.  The engine consumes
+ * sub-frame-sized work units: a unit needs its share of input bytes
+ * available and space in the lane's output buffer; an independent
+ * per-lane pusher forwards output chunks across the System Agent into
+ * the downstream lane under credit-based flow control.  The hardware
+ * scheduler picks the next runnable lane (FIFO / RR / EDF); a
+ * non-virtualized IP has a single context and may only switch lanes
+ * at frame or transaction (burst) boundaries — the head-of-line
+ * blocking regime of Fig 7 — while a virtualized IP switches at
+ * sub-frame granularity with a small context-switch penalty.
+ *
+ * The same object integrates its three-state power model (active /
+ * stalled / idle) and the lane-buffer access energy through the
+ * CACTI-like SramModel.
+ */
+
+#ifndef VIP_IP_IP_CORE_HH
+#define VIP_IP_IP_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ip/ip_types.hh"
+#include "ip/work.hh"
+#include "power/energy_account.hh"
+#include "power/sram_model.hh"
+#include "sa/system_agent.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace vip
+{
+
+/** One accelerator of the SoC. */
+class IpCore : public ClockedObject
+{
+  public:
+    /** Callback for sink lanes: (flowId, frameId) fully consumed. */
+    using FrameExitFn = std::function<void(FlowId, std::uint64_t)>;
+    /** Callback when a fed frame's first chunk arrives. */
+    using FrameStartFn = std::function<void(FlowId, std::uint64_t)>;
+
+    IpCore(System &system, std::string name, const IpParams &params,
+           SystemAgent &sa, EnergyLedger &ledger);
+
+    const IpParams &params() const { return _p; }
+    IpKind kind() const { return _p.kind; }
+
+    /** @{ -------------------- Job mode -------------------- */
+
+    /**
+     * Enqueue a job.
+     * @return false when the hardware queue is full (the Nexus-7
+     *         depth-7 limit); the driver must retry later.
+     */
+    bool submitJob(StageJob job);
+
+    /** Queued (not yet started) jobs. */
+    std::size_t queueLength() const { return _jobs.size(); }
+
+    bool queueFull() const { return _jobs.size() >= _p.hwQueueDepth; }
+
+    /**
+     * Register a callback invoked whenever a job completes; the driver
+     * uses it to retry blocked submissions.
+     */
+    void setQueueDrainCb(std::function<void()> cb)
+    {
+        _queueDrainCb = std::move(cb);
+    }
+
+    /** @} */
+
+    /** @{ ------------------- Stream mode ------------------ */
+
+    /**
+     * Bind a free lane to @p flow.
+     * @return lane index, or -1 when every lane is taken.
+     */
+    int bindLane(FlowId flow);
+
+    /** Release a lane (chain teardown); the lane must be drained. */
+    void unbindLane(int lane);
+
+    /** Number of lanes currently bound. */
+    std::uint32_t boundLanes() const;
+
+    std::uint32_t numLanes() const
+    {
+        return static_cast<std::uint32_t>(_lanes.size());
+    }
+
+    /** Route a lane's output into @p next's lane @p next_lane. */
+    void connectLane(int lane, IpCore *next, int next_lane);
+
+    /** Mark a lane as terminal: data is consumed here (sink IP). */
+    void makeLaneSink(int lane, FrameExitFn on_exit);
+
+    /** Observe the first fed chunk of every frame on @p lane. */
+    void setLaneFrameStartCb(int lane, FrameStartFn cb);
+
+    /**
+     * Announce a frame's per-stage context (distributed via the
+     * header packet): how many bytes enter this stage, how many it
+     * produces, the QoS deadline (EDF key) and whether the frame
+     * closes its transaction (single frame, or last frame of a
+     * burst — the boundary at which a single-context IP may switch).
+     * Frames on a lane are processed in announcement order.
+     */
+    void announceFrame(int lane, std::uint64_t frame_id,
+                       std::uint64_t in_bytes, std::uint64_t out_bytes,
+                       Tick deadline, bool txn_end);
+
+    /**
+     * Feed a frame's input data into a head-of-chain lane.  The frame
+     * must have been announced first.
+     * @param generate  true for sensor sources (camera/mic).
+     * @param gen_span  sensor readout span for generated frames.
+     */
+    void feedFrame(int lane, std::uint64_t frame_id,
+                   std::uint64_t bytes, Addr addr, bool generate,
+                   Tick gen_span = 0);
+
+    /** True when @p bytes can be accepted into @p lane's input now. */
+    bool laneHasSpace(int lane, std::uint32_t bytes) const;
+
+    /** Reserve input space ahead of an SA transfer (producer side). */
+    void reserveLaneSpace(int lane, std::uint32_t bytes);
+
+    /** Deliver data into a lane (called after the SA transfer). */
+    void deliverBytes(int lane, std::uint32_t bytes);
+
+    /**
+     * Register the upstream's retry callback, invoked (via an SA
+     * credit signal) when input space frees up in @p lane.
+     */
+    void setCreditWaiter(int lane, std::function<void()> cb);
+
+    /** Frames announced but not yet fully processed on @p lane. */
+    std::size_t laneDepth(int lane) const;
+
+    /** @} */
+
+    /** @{ ------------------- Accounting ------------------- */
+
+    Tick activeTicks() const { return _activeTicks; }
+    Tick stallTicks() const { return _stallTicks; }
+
+    /**
+     * Utilization while busy: active / (active + stalled), the Fig 3b
+     * metric (1.0 under ideal memory).
+     */
+    double utilization() const;
+
+    /** Busy fraction of total time: (active + stall) / elapsed. */
+    double dutyCycle() const;
+
+    std::uint64_t jobsCompleted() const { return _jobsCompleted; }
+    std::uint64_t subframesProcessed() const { return _subframes; }
+    std::uint64_t framesExited() const { return _framesExited; }
+    std::uint64_t contextSwitches() const { return _contextSwitches; }
+    std::uint64_t bytesProcessed() const { return _bytesProcessed; }
+    /** Bytes detoured through DRAM by the overflow-to-memory path. */
+    std::uint64_t bytesSpilled() const { return _bytesSpilled; }
+
+    stats::Group &statsGroup() { return _stats; }
+
+    /** @} */
+
+    void finalize() override;
+
+  private:
+    /** Occupancy/power accounting state. */
+    enum class EngineState
+    {
+        Idle,
+        Active,
+        Stalled,
+    };
+
+    /** Announced per-stage frame context (header-packet contents). */
+    struct StreamFrame
+    {
+        std::uint64_t frameId = 0;
+        std::uint64_t inBytes = 0;
+        std::uint64_t outBytes = 0;
+        Tick deadline = MaxTick;
+        bool txnEnd = true;
+        std::uint64_t units = 1;
+        std::uint64_t unitsDone = 0;
+
+        /** Input bytes unit @p u consumes (fractional distribution). */
+        std::uint64_t
+        unitIn(std::uint64_t u) const
+        {
+            return inBytes * (u + 1) / units - inBytes * u / units;
+        }
+
+        /** Output bytes unit @p u produces. */
+        std::uint64_t
+        unitOut(std::uint64_t u) const
+        {
+            return outBytes * (u + 1) / units - outBytes * u / units;
+        }
+    };
+
+    /** A head-of-chain input feed (DMA or sensor). */
+    struct Feed
+    {
+        std::uint64_t frameId = 0;
+        Addr addr = 0;
+        std::uint64_t total = 0;      ///< frame bytes at this stage
+        std::uint64_t issued = 0;     ///< bytes issued to DMA/sensor
+        std::uint64_t delivered = 0;  ///< bytes delivered, in order
+        /** Out-of-order DMA completions awaiting in-order delivery. */
+        std::map<std::uint64_t, std::uint32_t> ready;
+        bool generate = false;
+        Tick genInterval = 0;   ///< sensor pacing between chunks
+        bool genArmed = false;  ///< a generation event is scheduled
+    };
+
+    struct Lane
+    {
+        bool bound = false;
+        FlowId flow = 0;
+
+        /** @{ input side */
+        std::uint64_t occupancy = 0; ///< avail + reserved in-flight
+        std::uint64_t inAvail = 0;   ///< bytes ready to consume
+        Tick headArrival = MaxTick;  ///< FIFO scheduling key
+        std::deque<Feed> feeds;
+        std::uint32_t outstandingDma = 0;
+        std::function<void()> creditWaiter;
+        /** @} */
+
+        /** @{ frame contexts, in order */
+        std::deque<StreamFrame> frames;
+        /** @} */
+
+        /** @{ output side */
+        std::uint64_t outAccum = 0;       ///< partial chunk
+        std::deque<std::uint32_t> outQueue;
+        std::uint64_t outQueueBytes = 0;
+        /** @} */
+
+        /** @{ memory-overflow path (IpParams::overflowToMemory) */
+        struct Spill
+        {
+            Addr addr = 0;
+            std::uint32_t bytes = 0;
+            bool writeDone = false;
+        };
+        std::deque<Spill> spillQueue;
+        std::uint64_t spillBytes = 0;   ///< queued + in-flight
+        bool refillInFlight = false;
+        /** @} */
+
+        IpCore *next = nullptr;
+        int nextLane = -1;
+        bool sink = false;
+        FrameExitFn onExit;
+        FrameStartFn onFrameStart;
+
+        /** Work exists somewhere (for teardown checks). */
+        bool
+        active() const
+        {
+            return !frames.empty() || !feeds.empty() || inAvail > 0 ||
+                   outQueueBytes > 0 || outAccum > 0 || spillBytes > 0;
+        }
+
+        /**
+         * Data is buffered and actionable: this burns stall power.
+         * Merely waiting for upstream data (empty input) or holding a
+         * partial chunk in the output accumulation register lets the
+         * engine clock-gate (idle power).
+         */
+        bool
+        hasBufferedWork() const
+        {
+            return inAvail > 0 || outQueueBytes > 0;
+        }
+    };
+
+    /** @{ job-mode engine */
+    void tryStartJob();
+    void issueJobReads();
+    void tryComputeJobUnit();
+    void onJobUnitComputed();
+    void checkJobDone();
+    /** @} */
+
+    /** @{ stream-mode engine */
+    void pumpFeeds(int lane);
+    void onFeedChunkReady(int lane, std::uint64_t offset,
+                          std::uint32_t bytes);
+    void deliverInOrder(int lane);
+    bool laneRunnable(const Lane &l) const;
+    int pickLane() const;
+    void kickStream();
+    void onUnitComputed(int lane);
+    void pushOutput(int lane);
+    void spillChunk(int lane, std::uint32_t bytes);
+    void pumpSpills(int lane);
+    void releaseInputBytes(int lane, std::uint64_t bytes);
+    /** @} */
+
+    void updateEngineState();
+    void accumulateState(Tick now);
+    bool anyWorkPending() const;
+
+    Tick computeTime(std::uint64_t in_bytes,
+                     std::uint64_t out_bytes) const;
+
+    IpParams _p;
+    SystemAgent &_sa;
+    EnergyAccount &_energy;
+    EnergyAccount &_bufferEnergy;
+
+    // ---- job mode state ----
+    std::deque<StageJob> _jobs;
+    bool _jobActive = false;
+    StageJob _job;
+    std::uint64_t _unitsTotal = 0;
+    std::uint64_t _unitsIssued = 0;   ///< reads issued
+    std::uint64_t _unitsReady = 0;    ///< reads completed, compute pending
+    std::uint64_t _unitsComputed = 0;
+    std::uint64_t _writesDone = 0;
+    std::uint32_t _readsOutstanding = 0;
+    Tick _jobStartTick = 0;
+    bool _computing = false;          ///< engine busy (either mode)
+    std::function<void()> _queueDrainCb;
+
+    // ---- stream mode state ----
+    std::vector<Lane> _lanes;
+    int _currentLane = -1;
+    /**
+     * Lane the single context is committed to until the boundary of
+     * its current frame/transaction (-1 when free to switch).
+     * Always -1 for Subframe granularity.
+     */
+    int _stickyLane = -1;
+
+    // ---- accounting ----
+    EngineState _engineState = EngineState::Idle;
+    Tick _stateSince = 0;
+    Tick _activeTicks = 0;
+    Tick _stallTicks = 0;
+    std::uint64_t _jobsCompleted = 0;
+    std::uint64_t _subframes = 0;
+    std::uint64_t _framesExited = 0;
+    std::uint64_t _contextSwitches = 0;
+    std::uint64_t _bytesProcessed = 0;
+    std::uint64_t _bytesSpilled = 0;
+    Addr _spillNext = 0; ///< bump pointer into the spill region
+
+    stats::Group _stats;
+    stats::Scalar _statJobs;
+    stats::Scalar _statSubframes;
+    stats::Scalar _statCtxSwitches;
+    stats::Accumulator _statJobLatencyMs;
+};
+
+} // namespace vip
+
+#endif // VIP_IP_IP_CORE_HH

@@ -1,0 +1,130 @@
+#include "ip/ip_types.hh"
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+const char *
+ipKindName(IpKind k)
+{
+    switch (k) {
+      case IpKind::CPU: return "CPU";
+      case IpKind::VD:  return "VD";
+      case IpKind::VE:  return "VE";
+      case IpKind::GPU: return "GPU";
+      case IpKind::DC:  return "DC";
+      case IpKind::AD:  return "AD";
+      case IpKind::AE:  return "AE";
+      case IpKind::CAM: return "CAM";
+      case IpKind::MIC: return "MIC";
+      case IpKind::IMG: return "IMG";
+      case IpKind::NW:  return "NW";
+      case IpKind::SND: return "SND";
+      case IpKind::MMC: return "MMC";
+      default: return "?";
+    }
+}
+
+bool
+ipIsSource(IpKind k)
+{
+    return k == IpKind::CAM || k == IpKind::MIC;
+}
+
+bool
+ipIsSink(IpKind k)
+{
+    return k == IpKind::DC || k == IpKind::NW || k == IpKind::SND ||
+           k == IpKind::MMC;
+}
+
+const char *
+switchGranularityName(SwitchGranularity g)
+{
+    switch (g) {
+      case SwitchGranularity::Subframe: return "subframe";
+      case SwitchGranularity::Frame: return "frame";
+      case SwitchGranularity::Transaction: return "transaction";
+      default: return "?";
+    }
+}
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::FIFO: return "fifo";
+      case SchedPolicy::RoundRobin: return "rr";
+      case SchedPolicy::EDF: return "edf";
+      default: return "?";
+    }
+}
+
+IpParams
+defaultIpParams(IpKind k)
+{
+    IpParams p;
+    p.kind = k;
+    switch (k) {
+      case IpKind::VD:
+        p.clockHz = 700e6;
+        p.bytesPerCycle = 3.5;   // ~2.45 GB/s: 4K YUV in ~5 ms
+        p.power.activeWatts = 0.45;
+        break;
+      case IpKind::VE:
+        p.clockHz = 700e6;
+        p.bytesPerCycle = 1.8;
+        p.power.activeWatts = 0.45;
+        break;
+      case IpKind::GPU:
+        p.clockHz = 520e6;
+        p.bytesPerCycle = 3.2;   // ~1.7 GB/s on the output surface
+        p.power.activeWatts = 0.55;
+        break;
+      case IpKind::DC:
+        p.clockHz = 400e6;
+        p.bytesPerCycle = 6.5;   // ~2.6 GB/s composition + scanout
+        break;
+      case IpKind::AD:
+      case IpKind::AE:
+        p.clockHz = 200e6;
+        p.bytesPerCycle = 1.0;   // 200 MB/s, audio frames are 16 KB
+        break;
+      case IpKind::CAM:
+        p.clockHz = 500e6;
+        p.bytesPerCycle = 2.0;   // sensor readout ~1 GB/s
+        break;
+      case IpKind::MIC:
+        p.clockHz = 100e6;
+        p.bytesPerCycle = 1.0;
+        break;
+      case IpKind::IMG:
+        p.clockHz = 600e6;
+        p.bytesPerCycle = 2.5;   // ISP ~1.5 GB/s
+        break;
+      case IpKind::NW:
+        p.clockHz = 200e6;
+        p.bytesPerCycle = 0.3;   // ~60 MB/s radio
+        break;
+      case IpKind::SND:
+        p.clockHz = 100e6;
+        p.bytesPerCycle = 1.0;
+        break;
+      case IpKind::MMC:
+        p.clockHz = 200e6;
+        p.bytesPerCycle = 1.0;   // ~200 MB/s eMMC
+        break;
+      case IpKind::CPU:
+      default:
+        panic("no hardware params for IP kind ", ipKindName(k));
+    }
+    // Sinks and sources are lighter engines.
+    if (ipIsSink(k) || ipIsSource(k)) {
+        p.power.activeWatts = 0.15;
+        p.power.stallWatts = 0.06;
+    }
+    return p;
+}
+
+} // namespace vip

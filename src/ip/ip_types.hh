@@ -1,0 +1,121 @@
+/**
+ * @file
+ * IP core taxonomy and per-IP hardware parameters.
+ *
+ * The IP kinds follow the abbreviations of Table 1 (and GemDroid):
+ * VD/VE video decode/encode, GPU, DC display controller, AD/AE audio
+ * decode/encode, CAM camera, MIC microphone, IMG imaging/ISP, NW
+ * network, SND speaker, MMC flash storage.  "CPU" appears in flow
+ * descriptions as the software producer stage and is not a hardware IP.
+ */
+
+#ifndef VIP_IP_IP_TYPES_HH
+#define VIP_IP_IP_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "power/power_params.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** The IP cores of the platform (Table 1 abbreviations). */
+enum class IpKind : std::uint8_t
+{
+    CPU,  ///< software stage (not a hardware IP)
+    VD,   ///< video decoder
+    VE,   ///< video encoder
+    GPU,  ///< graphics
+    DC,   ///< display controller (sink)
+    AD,   ///< audio decoder
+    AE,   ///< audio encoder
+    CAM,  ///< camera sensor + readout (source)
+    MIC,  ///< microphone (source)
+    IMG,  ///< imaging / ISP
+    NW,   ///< network interface (sink)
+    SND,  ///< speaker / audio out (sink)
+    MMC,  ///< flash storage (sink)
+    NumKinds,
+};
+
+/** Short name, e.g. "VD". */
+const char *ipKindName(IpKind k);
+
+/** True for IPs that generate data without an upstream producer. */
+bool ipIsSource(IpKind k);
+
+/** True for IPs that consume data with no downstream consumer. */
+bool ipIsSink(IpKind k);
+
+/** Lane scheduling policy of a virtualized IP. */
+enum class SchedPolicy : std::uint8_t
+{
+    FIFO,        ///< oldest queued data first (arrival order)
+    RoundRobin,  ///< rotate across lanes
+    EDF,         ///< earliest deadline first (the paper's choice)
+};
+
+const char *schedPolicyName(SchedPolicy p);
+
+/**
+ * How often a stream-mode IP may switch between lanes.  A single-
+ * context IP (no virtualization) must drain its current frame -- or,
+ * with frame bursts, the whole burst -- before reconfiguring for
+ * another flow; this is the head-of-line blocking of Figure 7.  A
+ * virtualized IP context-switches at sub-frame granularity.
+ */
+enum class SwitchGranularity : std::uint8_t
+{
+    Subframe,     ///< virtualized: switch any time (VIP)
+    Frame,        ///< single context, switch between frames
+    Transaction,  ///< single context, switch between bursts
+};
+
+const char *switchGranularityName(SwitchGranularity g);
+
+/** Hardware parameters of one IP core. */
+struct IpParams
+{
+    IpKind kind = IpKind::VD;
+    /** IP clock frequency. */
+    double clockHz = 600e6;
+    /**
+     * Compute throughput, bytes per cycle, applied to the larger of a
+     * work unit's input and output footprint.
+     */
+    double bytesPerCycle = 2.0;
+
+    /** @{ Virtualization (Section 5.5). */
+    std::uint32_t numLanes = 1;        ///< buffer lanes (max 4)
+    std::uint32_t laneBytes = 2048;    ///< 2 KB = 32 cache lines
+    std::uint32_t subframeBytes = 1024;///< forwarding granularity
+    Tick contextSwitchPenalty = fromNs(500);
+    SchedPolicy sched = SchedPolicy::FIFO;
+    SwitchGranularity switchGranularity = SwitchGranularity::Subframe;
+    /**
+     * Section 5.5's alternative to stalling the producer when the
+     * consumer lane is full: spill the output to DRAM and let the
+     * consumer pick it up later.  The paper rejects this for its
+     * extra traffic and protocol complexity; modelling it lets the
+     * ablation bench quantify that choice.
+     */
+    bool overflowToMemory = false;
+    /** @} */
+
+    /** @{ Job (memory) mode. */
+    std::uint32_t dmaChunkBytes = 4096;   ///< DMA burst granularity
+    std::uint32_t maxOutstandingDma = 4;  ///< read prefetch depth
+    std::uint32_t hwQueueDepth = 7;       ///< request queue (Nexus 7)
+    /** @} */
+
+    IpPowerParams power{};
+};
+
+/** Reference throughput presets for each IP kind (see DESIGN.md). */
+IpParams defaultIpParams(IpKind k);
+
+} // namespace vip
+
+#endif // VIP_IP_IP_TYPES_HH

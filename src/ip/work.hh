@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Units of IP work: sub-frames (stream mode) and stage jobs (job mode).
+ */
+
+#ifndef VIP_IP_WORK_HH
+#define VIP_IP_WORK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/mem_types.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Globally unique flow identifier. */
+using FlowId = std::uint32_t;
+
+/**
+ * A sub-frame: the unit of IP-to-IP forwarding and of hardware
+ * scheduling (Section 5.5; analogous to a flit).
+ */
+struct SubFrame
+{
+    FlowId flowId = 0;
+    std::uint64_t frameId = 0;
+    std::uint32_t bytes = 0;
+    /** Last sub-frame of its frame at this hop. */
+    bool last = false;
+    /**
+     * Last sub-frame of its *transaction* (frame or burst) — the
+     * boundary at which a non-virtualized IP may switch context.
+     */
+    bool txnEnd = false;
+    /** QoS deadline of the carrying frame (EDF key). */
+    Tick deadline = MaxTick;
+    /** Tick the sub-frame entered its current lane (FIFO key). */
+    Tick arrival = 0;
+};
+
+/**
+ * One IP invocation for one frame, in job (memory staged) mode: read
+ * the input from DRAM, process, write the output to DRAM, signal.
+ * This is how the Baseline and FrameBurst configurations drive IPs.
+ */
+struct StageJob
+{
+    FlowId flowId = 0;
+    std::uint64_t frameId = 0;
+    std::uint64_t inputBytes = 0;
+    std::uint64_t outputBytes = 0;
+    Addr inputAddr = 0;
+    Addr outputAddr = 0;
+    /** False for source IPs (camera) whose input is the sensor. */
+    bool readsMemory = true;
+    /** False for sink IPs (display) that consume the data. */
+    bool writesMemory = true;
+    /** QoS deadline of the frame. */
+    Tick deadline = MaxTick;
+    /**
+     * Continuation: the driver's interrupt path (Baseline) or the
+     * hardware doorbell to the next stage (FrameBurst).
+     */
+    std::function<void()> onComplete;
+    /** Fired when the engine begins this job (flow-time metric). */
+    std::function<void()> onStart;
+};
+
+} // namespace vip
+
+#endif // VIP_IP_WORK_HH

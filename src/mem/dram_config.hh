@@ -1,0 +1,88 @@
+/**
+ * @file
+ * LPDDR3 device/controller configuration (Table 3 of the paper).
+ */
+
+#ifndef VIP_MEM_DRAM_CONFIG_HH
+#define VIP_MEM_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "power/power_params.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** LPDDR3 parameters; defaults follow Table 3. */
+struct DramConfig
+{
+    /** Number of independent channels. */
+    std::uint32_t channels = 4;
+    /** Ranks per channel (Table 3: 1). */
+    std::uint32_t ranksPerChannel = 1;
+    /** Banks per rank (Table 3: 8). */
+    std::uint32_t banksPerRank = 8;
+    /** Row (page) size per bank, bytes. */
+    std::uint32_t rowBytes = 4096;
+
+    /** @{ Core timing (Table 3: tCL = tRP = tRCD = 12 ns). */
+    Tick tCL = fromNs(12);
+    Tick tRP = fromNs(12);
+    Tick tRCD = fromNs(12);
+    /** @} */
+
+    /**
+     * Peak data rate per channel, bytes per nanosecond.  4 x 4.0 B/ns
+     * gives the ~16 GB/s aggregate peak visible in Fig 3c.
+     */
+    double channelBytesPerNs = 4.0;
+
+    /** Per-channel transaction queue capacity. */
+    std::uint32_t queueDepth = 32;
+
+    /**
+     * Interleave granularity (bytes): consecutive 1 KB blocks map to
+     * consecutive channels, matching the sub-frame size.
+     */
+    std::uint32_t interleaveBytes = 1024;
+
+    /**
+     * Ideal-memory mode (Fig 3 "Ideal"): every request completes in
+     * idealLatency with no bandwidth or bank constraints.
+     */
+    bool ideal = false;
+    Tick idealLatency = fromNs(10);
+
+    /** Bandwidth-monitor sampling window. */
+    Tick bwWindow = fromUs(100);
+
+    /** @{ Low-power states (LPDDR3 power-down / self-refresh).
+     * When every channel has been idle for powerDownDelay the device
+     * enters fast power-down; after selfRefreshDelay of further
+     * idleness it drops into self-refresh.  Exiting costs tXP / tXS
+     * added to the first access.  IP-to-IP communication is what
+     * creates idle windows long enough for these states to matter. */
+    bool enableLowPower = true;
+    Tick powerDownDelay = fromUs(3);
+    Tick selfRefreshDelay = fromUs(150);
+    Tick tXP = fromNs(20);    ///< power-down exit
+    Tick tXS = fromNs(1000);  ///< self-refresh exit
+    /** @} */
+
+    DramPowerParams power{};
+
+    /** Aggregate peak bandwidth in bytes/ns. */
+    double
+    peakBytesPerNs() const
+    {
+        return channelBytesPerNs * channels;
+    }
+
+    /** Aggregate peak bandwidth in GB/s. */
+    double peakGBps() const { return peakBytesPerNs(); }
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_DRAM_CONFIG_HH

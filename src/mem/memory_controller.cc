@@ -1,0 +1,364 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace vip
+{
+
+MemoryController::MemoryController(System &system, std::string name,
+                                   const DramConfig &cfg,
+                                   EnergyLedger &ledger)
+    : SimObject(system, std::move(name)),
+      _cfg(cfg),
+      _channels(cfg.channels),
+      _energy(ledger.account("dram", this->name())),
+      _stats(this->name()),
+      _statReads(_stats, "reads", "number of read transactions"),
+      _statWrites(_stats, "writes", "number of write transactions"),
+      _latency(_stats, "latencyNs", "service latency (ns)"),
+      _bwHist(_stats, "bwPctPeak",
+              "time-at-bandwidth histogram (% of peak)", 0.0, 100.0, 10),
+      _busyChannels(_stats, "busyChannels", "busy channels over time")
+{
+    vip_assert(cfg.channels > 0 && (cfg.channels & (cfg.channels - 1)) == 0,
+               "channel count must be a power of two");
+    for (auto &c : _channels)
+        c.banks.resize(cfg.banksPerRank * cfg.ranksPerChannel);
+    // Background power is always on while the platform runs.
+    _energy.setPower(
+        cfg.power.backgroundWattsPerChannel * cfg.channels, 0);
+}
+
+std::uint32_t
+MemoryController::channelOf(Addr addr) const
+{
+    return (addr / _cfg.interleaveBytes) & (_cfg.channels - 1);
+}
+
+std::uint32_t
+MemoryController::bankOf(Addr addr) const
+{
+    std::uint64_t block = addr / (_cfg.interleaveBytes * _cfg.channels);
+    return block % _channels[0].banks.size();
+}
+
+std::uint64_t
+MemoryController::rowOf(Addr addr) const
+{
+    return addr / (static_cast<std::uint64_t>(_cfg.rowBytes) *
+                   _cfg.channels * _channels[0].banks.size());
+}
+
+void
+MemoryController::startup()
+{
+    _windowStart = curTick();
+    scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
+               EventPriority::Stats);
+    armLpTimer();
+}
+
+// --------------------------------------------------------------------
+// LPDDR low-power state machine
+// --------------------------------------------------------------------
+
+void
+MemoryController::enterLpState(LpState s)
+{
+    if (s == _lpState)
+        return;
+    Tick now = curTick();
+    if (_lpState == LpState::PowerDown)
+        _powerDownTicks += now - _lpSince;
+    else if (_lpState == LpState::SelfRefresh)
+        _selfRefreshTicks += now - _lpSince;
+    _lpState = s;
+    _lpSince = now;
+
+    double base = _cfg.power.backgroundWattsPerChannel * _cfg.channels;
+    double watts = base;
+    if (s == LpState::PowerDown)
+        watts = base * _cfg.power.powerDownFraction;
+    else if (s == LpState::SelfRefresh)
+        watts = base * _cfg.power.selfRefreshFraction;
+    _energy.setPower(watts, now);
+    if (s != LpState::Active)
+        ++_lpEntries;
+    if (s == LpState::SelfRefresh) {
+        // Self-refresh loses the open-row state.
+        for (auto &c : _channels) {
+            for (auto &b : c.banks)
+                b.open = false;
+        }
+    }
+}
+
+void
+MemoryController::armLpTimer()
+{
+    if (!_cfg.enableLowPower || _cfg.ideal)
+        return;
+    if (_lpTimer != InvalidEventId) {
+        deschedule(_lpTimer);
+        _lpTimer = InvalidEventId;
+    }
+    if (inFlight() > 0)
+        return;
+    Tick delay = _lpState == LpState::Active
+        ? _cfg.powerDownDelay
+        : (_lpState == LpState::PowerDown ? _cfg.selfRefreshDelay
+                                          : MaxTick);
+    if (delay == MaxTick)
+        return; // already in the deepest state
+    _lpTimer = scheduleIn(delay, [this] {
+        _lpTimer = InvalidEventId;
+        if (inFlight() > 0)
+            return;
+        enterLpState(_lpState == LpState::Active
+                         ? LpState::PowerDown
+                         : LpState::SelfRefresh);
+        armLpTimer();
+    });
+}
+
+Tick
+MemoryController::wakeForAccess()
+{
+    if (_lpTimer != InvalidEventId) {
+        deschedule(_lpTimer);
+        _lpTimer = InvalidEventId;
+    }
+    Tick penalty = 0;
+    if (_lpState == LpState::PowerDown)
+        penalty = _cfg.tXP;
+    else if (_lpState == LpState::SelfRefresh)
+        penalty = _cfg.tXS;
+    enterLpState(LpState::Active);
+    return penalty;
+}
+
+void
+MemoryController::onAllIdle()
+{
+    armLpTimer();
+}
+
+void
+MemoryController::sampleBandwidth()
+{
+    Tick now = curTick();
+    Tick dt = now - _windowStart;
+    if (dt > 0) {
+        double gbps = static_cast<double>(_windowBytes) /
+                      static_cast<double>(dt) * 1000.0;
+        double pct = 100.0 * gbps / _cfg.peakGBps();
+        _bwHist.sample(std::min(pct, 99.99));
+    }
+    _windowBytes = 0;
+    _windowStart = now;
+    scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
+               EventPriority::Stats);
+}
+
+void
+MemoryController::access(MemRequest req)
+{
+    vip_assert(req.bytes > 0, "zero-byte memory request");
+    if (req.write) {
+        ++_statWrites;
+        _bytesWritten += req.bytes;
+    } else {
+        ++_statReads;
+        _bytesRead += req.bytes;
+    }
+    _windowBytes += req.bytes;
+    _byRequester[req.requesterId] += req.bytes;
+    _energy.addDynamicNj(_cfg.power.energyPerByteNj * req.bytes);
+    if (!_cfg.ideal)
+        _wakePenalty = std::max(_wakePenalty, wakeForAccess());
+
+    if (_cfg.ideal) {
+        auto cb = std::move(req.onComplete);
+        Tick lat = _cfg.idealLatency;
+        _latency.sample(toNs(lat));
+        scheduleIn(lat, [cb = std::move(cb)] {
+            if (cb)
+                cb();
+        });
+        return;
+    }
+
+    // Transactions larger than the interleave granularity stripe
+    // across consecutive channels (this is what the interleaving is
+    // for); the original completion fires when every stripe is done.
+    if (req.bytes > _cfg.interleaveBytes) {
+        std::uint32_t stripes =
+            (req.bytes + _cfg.interleaveBytes - 1) /
+            _cfg.interleaveBytes;
+        auto left = std::make_shared<std::uint32_t>(stripes);
+        auto cb = std::make_shared<std::function<void()>>(
+            std::move(req.onComplete));
+        std::uint32_t remaining = req.bytes;
+        for (std::uint32_t s = 0; s < stripes; ++s) {
+            Pending p;
+            p.req.addr = req.addr + static_cast<Addr>(s) *
+                         _cfg.interleaveBytes;
+            p.req.bytes =
+                std::min(remaining, _cfg.interleaveBytes);
+            remaining -= p.req.bytes;
+            p.req.write = req.write;
+            p.req.requesterId = req.requesterId;
+            p.req.onComplete = [left, cb] {
+                if (--*left == 0 && *cb)
+                    (*cb)();
+            };
+            p.enqueued = curTick();
+            std::uint32_t ch = channelOf(p.req.addr);
+            _channels[ch].queue.push_back(std::move(p));
+            trySchedule(ch);
+        }
+        return;
+    }
+
+    std::uint32_t ch = channelOf(req.addr);
+    _channels[ch].queue.push_back(Pending{std::move(req), curTick()});
+    trySchedule(ch);
+}
+
+bool
+MemoryController::queueFull(Addr addr) const
+{
+    if (_cfg.ideal)
+        return false;
+    const auto &c = _channels[channelOf(addr)];
+    return c.queue.size() >= _cfg.queueDepth;
+}
+
+std::size_t
+MemoryController::inFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &c : _channels)
+        n += c.queue.size() + (c.busy ? 1 : 0);
+    return n;
+}
+
+std::size_t
+MemoryController::pickNext(const Channel &c, std::uint32_t ch) const
+{
+    (void)ch;
+    // FR-FCFS: oldest row-hit first, else the oldest request.
+    for (std::size_t i = 0; i < c.queue.size(); ++i) {
+        const auto &p = c.queue[i];
+        const Bank &b = c.banks[bankOf(p.req.addr)];
+        if (b.open && b.row == rowOf(p.req.addr))
+            return i;
+    }
+    return 0;
+}
+
+void
+MemoryController::trySchedule(std::uint32_t ch)
+{
+    Channel &c = _channels[ch];
+    if (c.busy || c.queue.empty())
+        return;
+
+    std::size_t idx = pickNext(c, ch);
+    Pending p = std::move(c.queue[idx]);
+    c.queue.erase(c.queue.begin() + idx);
+
+    Bank &bank = c.banks[bankOf(p.req.addr)];
+    std::uint64_t row = rowOf(p.req.addr);
+
+    Tick access = _cfg.tCL;
+    if (!bank.open) {
+        access += _cfg.tRCD;
+        ++_rowMisses;
+        _energy.addDynamicNj(_cfg.power.activateNj);
+    } else if (bank.row != row) {
+        access += _cfg.tRP + _cfg.tRCD;
+        ++_rowMisses;
+        _energy.addDynamicNj(_cfg.power.activateNj);
+    } else {
+        ++_rowHits;
+    }
+    bank.open = true;
+    bank.row = row;
+
+    Tick burst = fromNs(static_cast<double>(p.req.bytes) /
+                        _cfg.channelBytesPerNs);
+    Tick service = access + burst + _wakePenalty;
+    _wakePenalty = 0; // exit latency charged once
+
+    c.busy = true;
+    double busyCount = 0;
+    for (const auto &cc : _channels)
+        busyCount += cc.busy ? 1.0 : 0.0;
+    _busyChannels.set(busyCount, curTick());
+
+    Tick enqueue = p.enqueued;
+    auto cb = std::move(p.req.onComplete);
+    scheduleIn(service, [this, ch, enqueue, cb = std::move(cb)] {
+        Channel &cc = _channels[ch];
+        cc.busy = false;
+        double busy = 0;
+        for (const auto &c2 : _channels)
+            busy += c2.busy ? 1.0 : 0.0;
+        _busyChannels.set(busy, curTick());
+        _latency.sample(toNs(curTick() - enqueue));
+        if (cb)
+            cb();
+        trySchedule(ch);
+        if (inFlight() == 0)
+            onAllIdle();
+    });
+}
+
+std::uint64_t
+MemoryController::bytesForRequester(std::uint32_t requester) const
+{
+    auto it = _byRequester.find(requester);
+    return it == _byRequester.end() ? 0 : it->second;
+}
+
+double
+MemoryController::averageBandwidthGBps() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(_bytesRead + _bytesWritten) /
+           static_cast<double>(now) * 1000.0;
+}
+
+double
+MemoryController::fractionOfTimeAbove(double fraction) const
+{
+    if (_bwHist.total() == 0)
+        return 0.0;
+    double pct = fraction * 100.0;
+    std::uint64_t above = 0;
+    for (std::size_t i = 0; i < _bwHist.numBins(); ++i) {
+        if (_bwHist.binLo(i) >= pct)
+            above += _bwHist.binCount(i);
+    }
+    return static_cast<double>(above) /
+           static_cast<double>(_bwHist.total());
+}
+
+void
+MemoryController::finalize()
+{
+    Tick now = curTick();
+    if (_lpState == LpState::PowerDown)
+        _powerDownTicks += now - _lpSince;
+    else if (_lpState == LpState::SelfRefresh)
+        _selfRefreshTicks += now - _lpSince;
+    _lpSince = now;
+    _busyChannels.close(now);
+    _energy.close(now);
+}
+
+} // namespace vip

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Transaction-level LPDDR3 memory controller.
+ *
+ * Requests (sub-frame sized, ~1 KB) are interleaved across channels by
+ * address.  Each channel services its queue with an FR-FCFS policy
+ * over a per-bank open-row state machine: a row hit pays CAS plus the
+ * data burst; a miss additionally pays precharge + activate.
+ *
+ * The controller also hosts the bandwidth monitor that produces the
+ * Fig 3c/3d data (average bandwidth and time-at-bandwidth histogram).
+ */
+
+#ifndef VIP_MEM_MEMORY_CONTROLLER_HH
+#define VIP_MEM_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dram_config.hh"
+#include "mem/mem_types.hh"
+#include "power/energy_account.hh"
+#include "sim/sim_object.hh"
+#include "stats/stats.hh"
+
+namespace vip
+{
+
+/** The platform memory controller (all channels). */
+class MemoryController : public SimObject
+{
+  public:
+    MemoryController(System &system, std::string name,
+                     const DramConfig &cfg, EnergyLedger &ledger);
+
+    /**
+     * Issue a transaction.  Completion is signalled through
+     * req.onComplete.  The queue is unbounded; requesters implement
+     * back-pressure with their own outstanding-request credits, but
+     * queueFull() lets them honour the modelled queue depth.
+     */
+    void access(MemRequest req);
+
+    /** True when the channel serving @p addr has a full queue. */
+    bool queueFull(Addr addr) const;
+
+    /** Number of queued + in-flight transactions on all channels. */
+    std::size_t inFlight() const;
+
+    const DramConfig &config() const { return _cfg; }
+
+    /** @{ Aggregate traffic statistics. */
+    std::uint64_t bytesRead() const { return _bytesRead; }
+    std::uint64_t bytesWritten() const { return _bytesWritten; }
+    std::uint64_t rowHits() const { return _rowHits; }
+    std::uint64_t rowMisses() const { return _rowMisses; }
+    /** Bytes moved on behalf of @p requester (req.requesterId). */
+    std::uint64_t bytesForRequester(std::uint32_t requester) const;
+    /** @} */
+
+    /** Average observed bandwidth over the whole run, GB/s. */
+    double averageBandwidthGBps() const;
+
+    /**
+     * Fraction of monitor windows whose bandwidth exceeded
+     * @p fraction of peak (Fig 3d's "time near peak").
+     */
+    double fractionOfTimeAbove(double fraction) const;
+
+    /** The raw time-at-bandwidth histogram (% of peak, 10 bins). */
+    const stats::Histogram &bwHistogram() const { return _bwHist; }
+
+    /** Mean service latency (queue + device) in ns. */
+    double avgLatencyNs() const { return _latency.mean(); }
+
+    /** LPDDR low-power state (power-down / self-refresh). */
+    enum class LpState
+    {
+        Active,
+        PowerDown,
+        SelfRefresh,
+    };
+
+    LpState lpState() const { return _lpState; }
+    Tick powerDownTicks() const { return _powerDownTicks; }
+    Tick selfRefreshTicks() const { return _selfRefreshTicks; }
+    std::uint64_t lpEntries() const { return _lpEntries; }
+
+    stats::Group &statsGroup() { return _stats; }
+
+    void startup() override;
+    void finalize() override;
+
+  private:
+    struct Pending
+    {
+        MemRequest req;
+        Tick enqueued;
+    };
+
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<Pending> queue;
+        std::vector<Bank> banks;
+        bool busy = false;
+    };
+
+    std::uint32_t channelOf(Addr addr) const;
+    std::uint32_t bankOf(Addr addr) const;
+    std::uint64_t rowOf(Addr addr) const;
+
+    /** Start servicing the next request on @p ch if idle. */
+    void trySchedule(std::uint32_t ch);
+
+    /** FR-FCFS: index of the first row-hit request, else 0. */
+    std::size_t pickNext(const Channel &c, std::uint32_t ch) const;
+
+    void sampleBandwidth();
+
+    /** @{ low-power state machine */
+    void enterLpState(LpState s);
+    void armLpTimer();
+    /** Wake for an access; returns the exit penalty to charge. */
+    Tick wakeForAccess();
+    void onAllIdle();
+    /** @} */
+
+    DramConfig _cfg;
+    std::vector<Channel> _channels;
+    EnergyAccount &_energy;
+
+    // Bandwidth monitor state
+    std::uint64_t _windowBytes = 0;
+    Tick _windowStart = 0;
+
+    // Aggregate counters
+    std::uint64_t _bytesRead = 0;
+    std::uint64_t _bytesWritten = 0;
+    std::uint64_t _rowHits = 0;
+    std::uint64_t _rowMisses = 0;
+
+    /** Per-requester traffic attribution. */
+    std::unordered_map<std::uint32_t, std::uint64_t> _byRequester;
+
+    // Low-power state machine
+    LpState _lpState = LpState::Active;
+    Tick _lpSince = 0;
+    Tick _powerDownTicks = 0;
+    Tick _selfRefreshTicks = 0;
+    std::uint64_t _lpEntries = 0;
+    EventId _lpTimer = InvalidEventId;
+    /** Exit penalty pending application to the next scheduled burst. */
+    Tick _wakePenalty = 0;
+
+    stats::Group _stats;
+    stats::Scalar _statReads;
+    stats::Scalar _statWrites;
+    stats::Accumulator _latency;
+    stats::Histogram _bwHist;
+    stats::TimeWeighted _busyChannels;
+};
+
+} // namespace vip
+
+#endif // VIP_MEM_MEMORY_CONTROLLER_HH

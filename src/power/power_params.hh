@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Platform power parameters.
+ *
+ * One struct per component class.  Defaults are calibrated to a
+ * handheld SoC of the Nexus-7 era so that the *proportions* of the
+ * energy breakdown match published measurements; the paper (and this
+ * reproduction) reports normalized energy, so proportions are what
+ * matter.
+ */
+
+#ifndef VIP_POWER_POWER_PARAMS_HH
+#define VIP_POWER_POWER_PARAMS_HH
+
+namespace vip
+{
+
+/** CPU core power, one in-order core. */
+struct CpuPowerParams
+{
+    double activeWatts = 1.00;    ///< running driver/app code
+    double idleWatts = 0.12;      ///< clock-gated, can wake instantly
+    double sleepWatts = 0.008;    ///< deep sleep (power gated)
+    /** Extra dynamic energy per instruction (nJ). */
+    double energyPerInstrNj = 0.25;
+};
+
+/** IP core power. */
+struct IpPowerParams
+{
+    double activeWatts = 0.40;    ///< computing on a sub-frame
+    double stallWatts = 0.15;     ///< powered, waiting on memory/credits
+    double idleWatts = 0.004;     ///< power-gated between frames
+    /** Context-switch energy between lanes (nJ). */
+    double contextSwitchNj = 8.0;
+};
+
+/**
+ * LPDDR3 DRAM + controller power.  ~40 pJ/bit (device + I/O +
+ * controller) is the accepted LPDDR3-class figure, i.e. ~0.32 nJ/B;
+ * this is what makes staging frames through DRAM expensive and gives
+ * IP-to-IP communication its energy win (Fig 15).
+ */
+struct DramPowerParams
+{
+    /** Dynamic energy per byte read or written (nJ/B), incl. I/O. */
+    double energyPerByteNj = 0.17;
+    /** Background power per channel (W) while powered up. */
+    double backgroundWattsPerChannel = 0.030;
+    /** Background power fraction in fast power-down. */
+    double powerDownFraction = 0.25;
+    /** Background power fraction in self-refresh. */
+    double selfRefreshFraction = 0.06;
+    /** Extra energy per row activation (nJ). */
+    double activateNj = 3.0;
+};
+
+/** System Agent (central interconnect) power. */
+struct SaPowerParams
+{
+    /** Energy per byte crossing the SA (nJ/B). */
+    double energyPerByteNj = 0.02;
+    /** Static power (W). */
+    double staticWatts = 0.020;
+};
+
+} // namespace vip
+
+#endif // VIP_POWER_POWER_PARAMS_HH

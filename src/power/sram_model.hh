@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytical SRAM energy/area model standing in for CACTI.
+ *
+ * The paper sizes the per-lane flow buffers using CACTI's dynamic
+ * read energy and area for 0.5 KB .. 64 KB SRAMs (Fig 14b).  CACTI is
+ * not available offline, so this model reproduces the published curve:
+ *
+ *   read energy (nJ) ~= e0 + e1 * sqrt(KB)     (wordline/bitline term)
+ *   area (mm^2)      ~= a0 + a1 * KB           (cell-array dominated)
+ *
+ * with coefficients fit to the Fig 14b endpoints (64 KB: ~0.065 nJ,
+ * ~0.35 mm^2; 0.5 KB: ~0.005 nJ, ~0.003 mm^2).
+ */
+
+#ifndef VIP_POWER_SRAM_MODEL_HH
+#define VIP_POWER_SRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace vip
+{
+
+/** CACTI-like buffer energy/area estimator (32 nm-class process). */
+class SramModel
+{
+  public:
+    struct Estimate
+    {
+        double readEnergyNj;  ///< dynamic energy per 64 B read
+        double writeEnergyNj; ///< dynamic energy per 64 B write
+        double areaMm2;       ///< total macro area
+        double leakageWatts;  ///< standby leakage
+    };
+
+    /** Estimate for a buffer of @p bytes capacity. */
+    static Estimate forCapacity(std::uint64_t bytes);
+
+    /** Energy (nJ) to read @p bytes from a buffer of @p capacity. */
+    static double readEnergyNj(std::uint64_t capacity,
+                               std::uint64_t bytes);
+
+    /** Energy (nJ) to write @p bytes into a buffer of @p capacity. */
+    static double writeEnergyNj(std::uint64_t capacity,
+                                std::uint64_t bytes);
+};
+
+} // namespace vip
+
+#endif // VIP_POWER_SRAM_MODEL_HH

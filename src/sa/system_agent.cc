@@ -1,0 +1,80 @@
+#include "sa/system_agent.hh"
+
+#include <algorithm>
+
+namespace vip
+{
+
+SystemAgent::SystemAgent(System &system, std::string name,
+                         const SaConfig &cfg, MemoryController &mem,
+                         EnergyLedger &ledger)
+    : SimObject(system, std::move(name)),
+      _cfg(cfg),
+      _mem(mem),
+      _energy(ledger.account("sa", this->name())),
+      _stats(this->name()),
+      _statMemXfers(_stats, "memTransfers", "DMA transactions routed"),
+      _statPeerXfers(_stats, "peerTransfers",
+                     "IP-to-IP sub-frames routed")
+{
+    vip_assert(cfg.bytesPerNs > 0.0, "SA bandwidth must be positive");
+    _energy.setPower(cfg.power.staticWatts, 0);
+}
+
+Tick
+SystemAgent::occupy(std::uint32_t bytes)
+{
+    Tick now = curTick();
+    Tick start = std::max(now, _busyUntil);
+    Tick duration =
+        fromNs(static_cast<double>(bytes) / _cfg.bytesPerNs);
+    _busyUntil = start + duration;
+    _busyTicks += duration;
+    _bytesMoved += bytes;
+    _energy.addDynamicNj(_cfg.power.energyPerByteNj * bytes);
+    return _busyUntil + _cfg.hopLatency;
+}
+
+void
+SystemAgent::memoryAccess(MemRequest req)
+{
+    ++_statMemXfers;
+    Tick delivered = occupy(req.bytes);
+    schedule(delivered, [this, req = std::move(req)]() mutable {
+        _mem.access(std::move(req));
+    });
+}
+
+void
+SystemAgent::peerTransfer(std::uint32_t bytes, Callback on_delivered)
+{
+    ++_statPeerXfers;
+    _peerBytes += bytes;
+    Tick delivered = occupy(bytes);
+    schedule(delivered, std::move(on_delivered));
+}
+
+void
+SystemAgent::signal(Callback on_delivered)
+{
+    ++_signals;
+    scheduleIn(_cfg.signalLatency, std::move(on_delivered));
+}
+
+double
+SystemAgent::utilization() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    Tick busy = std::min(_busyTicks, now);
+    return static_cast<double>(busy) / static_cast<double>(now);
+}
+
+void
+SystemAgent::finalize()
+{
+    _energy.close(curTick());
+}
+
+} // namespace vip

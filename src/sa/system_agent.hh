@@ -1,0 +1,103 @@
+/**
+ * @file
+ * System Agent: the centralized interconnect of the handheld SoC.
+ *
+ * Every byte that moves on the platform crosses the SA: CPU/IP DMA to
+ * DRAM, and (in chained modes) IP-to-IP sub-frame forwarding plus the
+ * low-bandwidth flow-control credit signals.  The SA is modelled as a
+ * single shared link with a fixed bandwidth and per-hop latency;
+ * transfers serialize on it, which is exactly the shared-conduit
+ * contention the paper describes.
+ */
+
+#ifndef VIP_SA_SYSTEM_AGENT_HH
+#define VIP_SA_SYSTEM_AGENT_HH
+
+#include <functional>
+
+#include "mem/memory_controller.hh"
+#include "power/energy_account.hh"
+#include "sim/sim_object.hh"
+#include "stats/stats.hh"
+
+namespace vip
+{
+
+/** System Agent configuration. */
+struct SaConfig
+{
+    /** Link bandwidth, bytes per ns (default 32 GB/s). */
+    double bytesPerNs = 32.0;
+    /** Per-hop latency added to every transfer. */
+    Tick hopLatency = fromNs(40);
+    /** Latency of a credit/doorbell signal (no bandwidth charged). */
+    Tick signalLatency = fromNs(20);
+    SaPowerParams power{};
+};
+
+/** The central interconnect and controller. */
+class SystemAgent : public SimObject
+{
+  public:
+    using Callback = std::function<void()>;
+
+    SystemAgent(System &system, std::string name, const SaConfig &cfg,
+                MemoryController &mem, EnergyLedger &ledger);
+
+    /**
+     * DMA a transaction to/from DRAM.  Charges SA occupancy for the
+     * payload, then issues the DRAM access; req.onComplete fires when
+     * the DRAM transaction finishes.
+     */
+    void memoryAccess(MemRequest req);
+
+    /**
+     * Forward @p bytes from one IP's output to another IP's input
+     * lane (IP-to-IP communication).  @p on_delivered fires when the
+     * payload has crossed the SA.  No DRAM involvement.
+     */
+    void peerTransfer(std::uint32_t bytes, Callback on_delivered);
+
+    /**
+     * Deliver a low-bandwidth signal (flow-control credit, hardware
+     * doorbell between chained IPs).  Only latency, no occupancy.
+     */
+    void signal(Callback on_delivered);
+
+    const SaConfig &config() const { return _cfg; }
+    MemoryController &memory() { return _mem; }
+
+    std::uint64_t bytesMoved() const { return _bytesMoved; }
+    std::uint64_t peerBytes() const { return _peerBytes; }
+    std::uint64_t signalsSent() const { return _signals; }
+
+    /** Fraction of elapsed time the link was busy. */
+    double utilization() const;
+
+    stats::Group &statsGroup() { return _stats; }
+
+    void finalize() override;
+
+  private:
+    /** Charge occupancy for @p bytes; returns the delivery tick. */
+    Tick occupy(std::uint32_t bytes);
+
+    SaConfig _cfg;
+    MemoryController &_mem;
+    EnergyAccount &_energy;
+
+    Tick _busyUntil = 0;
+    Tick _busyTicks = 0;
+
+    std::uint64_t _bytesMoved = 0;
+    std::uint64_t _peerBytes = 0;
+    std::uint64_t _signals = 0;
+
+    stats::Group _stats;
+    stats::Scalar _statMemXfers;
+    stats::Scalar _statPeerXfers;
+};
+
+} // namespace vip
+
+#endif // VIP_SA_SYSTEM_AGENT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Clock domains and clocked components.
+ *
+ * Each hardware block (CPU core, IP core, memory channel, System Agent)
+ * runs in a ClockDomain; ClockedObject adds cycle<->tick conversion on
+ * top of SimObject.
+ */
+
+#ifndef VIP_SIM_CLOCKED_HH
+#define VIP_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz Frequency in Hz. */
+    explicit ClockDomain(double freq_hz = 1e9)
+        : _freqHz(freq_hz), _period(periodFromFreq(freq_hz))
+    {
+        vip_assert(freq_hz > 0.0, "clock frequency must be positive");
+        vip_assert(_period > 0, "clock period underflow");
+    }
+
+    double freqHz() const { return _freqHz; }
+    Tick period() const { return _period; }
+
+    /** Ticks taken by @p n cycles. */
+    Tick cyclesToTicks(Cycles n) const { return n * _period; }
+
+    /** Whole cycles elapsed by tick @p t (rounded down). */
+    Cycles ticksToCycles(Tick t) const { return t / _period; }
+
+  private:
+    double _freqHz;
+    Tick _period;
+};
+
+/** A SimObject that lives in a ClockDomain. */
+class ClockedObject : public SimObject
+{
+  public:
+    ClockedObject(System &system, std::string name, ClockDomain clock)
+        : SimObject(system, std::move(name)), _clock(clock)
+    {}
+
+    const ClockDomain &clock() const { return _clock; }
+
+    Tick cyclesToTicks(Cycles n) const { return _clock.cyclesToTicks(n); }
+
+    /**
+     * Ticks needed to stream @p bytes at @p bytes_per_cycle in this
+     * clock domain (rounded up to whole cycles).
+     */
+    Tick
+    streamTime(std::uint64_t bytes, double bytes_per_cycle) const
+    {
+        vip_assert(bytes_per_cycle > 0.0, "throughput must be positive");
+        double cycles = static_cast<double>(bytes) / bytes_per_cycle;
+        auto whole = static_cast<Cycles>(cycles);
+        if (static_cast<double>(whole) < cycles)
+            ++whole;
+        return cyclesToTicks(whole);
+    }
+
+  private:
+    ClockDomain _clock;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_CLOCKED_HH

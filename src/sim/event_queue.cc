@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+namespace vip
+{
+
+bool
+EventQueue::serviceOne()
+{
+    while (!_heap.empty()) {
+        Entry e = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        auto it = _cancelled.find(e.id);
+        if (it != _cancelled.end()) {
+            _cancelled.erase(it);
+            continue;
+        }
+        vip_assert(e.when >= _curTick, "time went backwards");
+        _curTick = e.when;
+        --_livePending;
+        ++_serviced;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty()) {
+        // Skip tombstoned entries without advancing time.
+        const Entry &top = _heap.top();
+        auto it = _cancelled.find(top.id);
+        if (it != _cancelled.end()) {
+            _cancelled.erase(it);
+            _heap.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        serviceOne();
+    }
+    if (_curTick < limit && limit != MaxTick)
+        _curTick = limit;
+    return _curTick;
+}
+
+} // namespace vip

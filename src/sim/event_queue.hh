@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue owns simulated time.  Components schedule callbacks at
+ * absolute ticks; the queue services them in (tick, priority, insertion
+ * order) order, which makes simulations fully deterministic.
+ */
+
+#ifndef VIP_SIM_EVENT_QUEUE_HH
+#define VIP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Scheduling priority; lower value runs first within a tick. */
+enum class EventPriority : int
+{
+    ClockTick = -10,   ///< clock/vsync edges fire before normal work
+    Default = 0,
+    Stats = 10,        ///< sampling events observe post-update state
+    Teardown = 100,
+};
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+constexpr EventId InvalidEventId = 0;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Callbacks are plain std::function objects.  Cancellation is handled
+ * by id-tombstoning so cancel is O(1) and service skips dead entries.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @return an id usable with deschedule().
+     */
+    EventId
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        vip_assert(when >= _curTick,
+                   "scheduling in the past: when=", when,
+                   " cur=", _curTick);
+        EventId id = _nextId++;
+        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+        ++_livePending;
+        return id;
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_curTick + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event.  Harmless if the event
+     * already ran (ids are unique and never reused).
+     */
+    void
+    deschedule(EventId id)
+    {
+        if (id != InvalidEventId && _cancelled.insert(id).second &&
+            _livePending > 0) {
+            --_livePending;
+        }
+    }
+
+    /** Number of scheduled, not-yet-run, not-cancelled events. */
+    std::size_t pending() const { return _livePending; }
+
+    /** True when no live events remain. */
+    bool empty() const { return _livePending == 0; }
+
+    /**
+     * Service the single next live event.
+     * @return false when the queue is empty.
+     */
+    bool serviceOne();
+
+    /**
+     * Run until the queue drains or simulated time reaches @p limit.
+     * Events scheduled exactly at @p limit do run.
+     * @return the final current tick.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Run until the queue drains completely. */
+    Tick run() { return runUntil(MaxTick); }
+
+    /** Total number of events ever serviced (for kernel stats). */
+    std::uint64_t servicedEvents() const { return _serviced; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    Tick _curTick = 0;
+    EventId _nextId = 1;
+    std::uint64_t _serviced = 0;
+    std::size_t _livePending = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    // Tombstones for cancelled ids that are still in the heap.
+    struct IdHash
+    {
+        std::size_t
+        operator()(EventId v) const
+        {
+            // splitmix64 finalizer
+            v += 0x9e3779b97f4a7c15ull;
+            v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+            v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+            return static_cast<std::size_t>(v ^ (v >> 31));
+        }
+    };
+    std::unordered_set<EventId, IdHash> _cancelled;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,34 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace vip
+{
+namespace logging
+{
+
+namespace
+{
+int gVerbosity = 1;
+} // namespace
+
+int
+verbosity()
+{
+    return gVerbosity;
+}
+
+void
+setVerbosity(int level)
+{
+    gVerbosity = level;
+}
+
+void
+emit(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+} // namespace logging
+} // namespace vip

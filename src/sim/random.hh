@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic random number generation for workload models.
+ *
+ * A small xoshiro-style generator plus the distributions the paper's
+ * workload models need: uniform, exponential, normal, and empirical
+ * (histogram-CDF) sampling for the user-study figures (Figs 5 and 6).
+ */
+
+#ifndef VIP_SIM_RANDOM_HH
+#define VIP_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+/** splitmix64/xorshift-based deterministic RNG. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 1) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread the seed into the state
+        _state = seed + 0x9e3779b97f4a7c15ull;
+        for (int i = 0; i < 4; ++i)
+            next64();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        // xorshift64*
+        _state ^= _state >> 12;
+        _state ^= _state << 25;
+        _state ^= _state >> 27;
+        return _state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        vip_assert(hi >= lo, "bad uniformInt range");
+        return lo + next64() % (hi - lo + 1);
+    }
+
+    /** Exponential with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return -mean * std::log(u);
+    }
+
+    /** Normal via Box-Muller. */
+    double
+    normal(double mean, double stddev)
+    {
+        double u1 = uniform(), u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 1e-12;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        return mean + stddev * z;
+    }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t _state = 0;
+};
+
+/**
+ * An empirical distribution defined by (value, weight) points; samples
+ * a value by inverse-CDF with linear interpolation between points.
+ * Used to encode the histograms published in Figs 5 and 6.
+ */
+class EmpiricalDistribution
+{
+  public:
+    struct Point
+    {
+        double value;
+        double weight;
+    };
+
+    EmpiricalDistribution() = default;
+
+    explicit EmpiricalDistribution(std::vector<Point> points)
+    {
+        setPoints(std::move(points));
+    }
+
+    void
+    setPoints(std::vector<Point> points)
+    {
+        vip_assert(!points.empty(), "empirical distribution needs points");
+        _points = std::move(points);
+        _cdf.resize(_points.size());
+        double total = 0.0;
+        for (std::size_t i = 0; i < _points.size(); ++i) {
+            vip_assert(_points[i].weight >= 0.0, "negative weight");
+            total += _points[i].weight;
+            _cdf[i] = total;
+        }
+        vip_assert(total > 0.0, "empirical distribution has zero mass");
+        for (auto &c : _cdf)
+            c /= total;
+    }
+
+    bool empty() const { return _points.empty(); }
+
+    /** Sample a value; interpolates within the selected bin. */
+    double
+    sample(Random &rng) const
+    {
+        vip_assert(!_points.empty(), "sampling empty distribution");
+        double u = rng.uniform();
+        std::size_t i = 0;
+        while (i + 1 < _cdf.size() && u > _cdf[i])
+            ++i;
+        double lo = i == 0 ? _points[i].value * 0.9 : _points[i - 1].value;
+        double hi = _points[i].value;
+        if (hi < lo)
+            std::swap(lo, hi);
+        return lo + (hi - lo) * rng.uniform();
+    }
+
+    /** Weighted mean of the distribution. */
+    double
+    mean() const
+    {
+        double num = 0.0, den = 0.0;
+        for (const auto &p : _points) {
+            num += p.value * p.weight;
+            den += p.weight;
+        }
+        return den > 0.0 ? num / den : 0.0;
+    }
+
+    const std::vector<Point> &points() const { return _points; }
+
+  private:
+    std::vector<Point> _points;
+    std::vector<double> _cdf;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_RANDOM_HH

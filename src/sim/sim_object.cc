@@ -1,0 +1,44 @@
+#include "sim/sim_object.hh"
+
+#include "sim/system.hh"
+
+namespace vip
+{
+
+SimObject::SimObject(System &system, std::string name)
+    : _system(system), _name(std::move(name))
+{
+    _system.registerObject(this);
+}
+
+SimObject::~SimObject()
+{
+    _system.unregisterObject(this);
+}
+
+Tick
+SimObject::curTick() const
+{
+    return _system.curTick();
+}
+
+EventId
+SimObject::schedule(Tick when, EventQueue::Callback cb, EventPriority prio)
+{
+    return _system.eventq().schedule(when, std::move(cb), prio);
+}
+
+EventId
+SimObject::scheduleIn(Tick delta, EventQueue::Callback cb,
+                      EventPriority prio)
+{
+    return _system.eventq().scheduleIn(delta, std::move(cb), prio);
+}
+
+void
+SimObject::deschedule(EventId id)
+{
+    _system.eventq().deschedule(id);
+}
+
+} // namespace vip

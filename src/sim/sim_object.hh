@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SimObject: the common base of every named simulated component.
+ *
+ * A SimObject belongs to a System (see system.hh), through which it
+ * reaches the shared event queue.  Names are hierarchical
+ * ("soc.mem.ctrl0") and unique within a System.
+ */
+
+#ifndef VIP_SIM_SIM_OBJECT_HH
+#define VIP_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+class System;
+
+/** Base class for all named simulation components. */
+class SimObject
+{
+  public:
+    /**
+     * @param system Owning system (must outlive this object).
+     * @param name   Hierarchical, unique instance name.
+     */
+    SimObject(System &system, std::string name);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    System &system() const { return _system; }
+
+    /** Current simulated time. */
+    Tick curTick() const;
+
+    /** Schedule a callback at an absolute tick. */
+    EventId schedule(Tick when, EventQueue::Callback cb,
+                     EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback @p delta ticks from now. */
+    EventId scheduleIn(Tick delta, EventQueue::Callback cb,
+                       EventPriority prio = EventPriority::Default);
+
+    /** Cancel a scheduled callback. */
+    void deschedule(EventId id);
+
+    /**
+     * Hook called by System::run() just before the first event is
+     * serviced; components start periodic activity here.
+     */
+    virtual void startup() {}
+
+    /**
+     * Hook called when simulation ends; components should fold any
+     * in-progress accounting (e.g. energy integration) into stats.
+     */
+    virtual void finalize() {}
+
+  private:
+    System &_system;
+    std::string _name;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_SIM_OBJECT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * System: owns the event queue, the SimObject registry and the RNG.
+ *
+ * One System corresponds to one simulated platform run.  All components
+ * register with it on construction and are visited for startup() /
+ * finalize() around the event loop.
+ */
+
+#ifndef VIP_SIM_SYSTEM_HH
+#define VIP_SIM_SYSTEM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+class SimObject;
+
+/** The root container of a simulation. */
+class System
+{
+  public:
+    explicit System(std::uint64_t seed = 1);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    EventQueue &eventq() { return _eventq; }
+    const EventQueue &eventq() const { return _eventq; }
+
+    Tick curTick() const { return _eventq.curTick(); }
+
+    Random &random() { return _random; }
+
+    /** @{ Registry; called by SimObject's ctor/dtor. */
+    void registerObject(SimObject *obj);
+    void unregisterObject(SimObject *obj);
+    /** @} */
+
+    /** Find a registered object by full name (nullptr if absent). */
+    SimObject *find(const std::string &name) const;
+
+    /** All registered objects in registration order. */
+    const std::vector<SimObject *> &objects() const { return _objects; }
+
+    /**
+     * Run the simulation until @p limit (absolute tick).  Calls
+     * startup() on first use and finalize() on every object after the
+     * loop.  May be called repeatedly to extend a run; finalize() is
+     * re-applied each time so stats are always consistent.
+     */
+    Tick run(Tick limit);
+
+    /** True once run() was called at least once. */
+    bool started() const { return _started; }
+
+  private:
+    EventQueue _eventq;
+    Random _random;
+    bool _started = false;
+    std::vector<SimObject *> _objects;
+    std::unordered_map<std::string, SimObject *> _byName;
+};
+
+} // namespace vip
+
+#endif // VIP_SIM_SYSTEM_HH

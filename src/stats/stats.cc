@@ -1,0 +1,87 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace vip
+{
+namespace stats
+{
+
+Stat::Stat(Group &parent, std::string name, std::string desc)
+    : _name(parent.name() + "." + std::move(name)), _desc(std::move(desc))
+{
+    parent.add(this);
+}
+
+void
+Group::print(std::ostream &os) const
+{
+    for (const auto *s : _stats)
+        s->print(os);
+}
+
+void
+Group::resetAll()
+{
+    for (auto *s : _stats)
+        s->reset();
+}
+
+namespace
+{
+
+void
+line(std::ostream &os, const std::string &name, double value,
+     const std::string &desc, const char *suffix = "")
+{
+    os << std::left << std::setw(44) << name << ' '
+       << std::setw(16) << std::setprecision(8) << value << suffix
+       << "  # " << desc << '\n';
+}
+
+} // namespace
+
+void
+Scalar::print(std::ostream &os) const
+{
+    line(os, name(), _value, desc());
+}
+
+void
+TimeWeighted::print(std::ostream &os) const
+{
+    line(os, name() + ".avg", average(), desc());
+}
+
+void
+Accumulator::print(std::ostream &os) const
+{
+    line(os, name() + ".count", static_cast<double>(_n), desc());
+    line(os, name() + ".mean", mean(), desc());
+    line(os, name() + ".min", min(), desc());
+    line(os, name() + ".max", max(), desc());
+    line(os, name() + ".stddev", stddev(), desc());
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    line(os, name(), value(), desc());
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < _bins.size(); ++i) {
+        if (!_bins[i])
+            continue;
+        std::ostringstream nm;
+        nm << name() << "[" << binLo(i) << "," << binHi(i) << ")";
+        line(os, nm.str(), static_cast<double>(_bins[i]), desc());
+    }
+}
+
+} // namespace stats
+} // namespace vip

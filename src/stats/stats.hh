@@ -1,0 +1,317 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Stats register themselves with a Group; a Group dumps every stat with
+ * name, description and value(s).  The types provided cover everything
+ * the paper's evaluation needs:
+ *
+ *  - Scalar:        a running counter / value.
+ *  - TimeWeighted:  time-weighted average of a piecewise-constant
+ *                   signal (e.g. queue occupancy, power state).
+ *  - Accumulator:   min/max/mean/stddev over samples.
+ *  - Histogram:     fixed-width binned distribution (Fig 3d, Fig 5).
+ *  - Rate helpers on top of Scalar (per-second, per-100ms).
+ */
+
+#ifndef VIP_STATS_STATS_HH
+#define VIP_STATS_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+namespace stats
+{
+
+class Group;
+
+/** Base class: every stat has a name and description. */
+class Stat
+{
+  public:
+    Stat(Group &parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Write "name value # desc" lines to @p os. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A named collection of stats (usually one per SimObject). */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    void add(Stat *s) { _stats.push_back(s); }
+
+    const std::vector<Stat *> &all() const { return _stats; }
+
+    /** Dump every registered stat. */
+    void print(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::vector<Stat *> _stats;
+};
+
+/** A simple scalar counter/value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    void set(double v) { _value = v; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal.  Call set()
+ * whenever the signal changes; call close() (idempotent) at the end of
+ * simulation to account the final segment.
+ */
+class TimeWeighted : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Record that the signal has value @p v from @p now onward. */
+    void
+    set(double v, Tick now)
+    {
+        accumulate(now);
+        _current = v;
+    }
+
+    /** Fold the final segment ending at @p now into the average. */
+    void close(Tick now) { accumulate(now); }
+
+    double
+    average() const
+    {
+        return _elapsed > 0
+            ? _weighted / static_cast<double>(_elapsed) : _current;
+    }
+
+    double current() const { return _current; }
+
+    /** Total ticks during which the signal was > @p threshold. */
+    double timeAbove() const { return _timeAbove; }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        _weighted = 0.0;
+        _elapsed = 0;
+        _last = 0;
+        _timeAbove = 0.0;
+        // _current intentionally preserved: the signal still has its
+        // physical value after a stats reset.
+    }
+
+  private:
+    void
+    accumulate(Tick now)
+    {
+        vip_assert(now >= _last, "TimeWeighted time went backwards");
+        Tick dt = now - _last;
+        _weighted += _current * static_cast<double>(dt);
+        if (_current > 0.0)
+            _timeAbove += static_cast<double>(dt);
+        _elapsed += dt;
+        _last = now;
+    }
+
+    double _current = 0.0;
+    double _weighted = 0.0;
+    double _timeAbove = 0.0;
+    Tick _elapsed = 0;
+    Tick _last = 0;
+};
+
+/** Sample accumulator: count/min/max/mean/stddev. */
+class Accumulator : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        ++_n;
+        _sum += v;
+        _sumSq += v * v;
+        if (_n == 1 || v < _min)
+            _min = v;
+        if (_n == 1 || v > _max)
+            _max = v;
+    }
+
+    std::uint64_t count() const { return _n; }
+    double sum() const { return _sum; }
+    double mean() const { return _n ? _sum / _n : 0.0; }
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (_n < 2)
+            return 0.0;
+        double m = mean();
+        double var = _sumSq / _n - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        _n = 0;
+        _sum = _sumSq = _min = _max = 0.0;
+    }
+
+  private:
+    std::uint64_t _n = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Fixed-range histogram with uniform bins; samples clamp to range. */
+class Histogram : public Stat
+{
+  public:
+    Histogram(Group &parent, std::string name, std::string desc,
+              double lo, double hi, std::size_t bins)
+        : Stat(parent, std::move(name), std::move(desc)),
+          _lo(lo), _hi(hi), _bins(bins, 0)
+    {
+        vip_assert(hi > lo && bins > 0, "bad histogram shape");
+    }
+
+    void
+    sample(double v, std::uint64_t weight = 1)
+    {
+        std::size_t idx;
+        if (v <= _lo) {
+            idx = 0;
+        } else if (v >= _hi) {
+            idx = _bins.size() - 1;
+        } else {
+            idx = static_cast<std::size_t>(
+                (v - _lo) / (_hi - _lo) * _bins.size());
+            if (idx >= _bins.size())
+                idx = _bins.size() - 1;
+        }
+        _bins[idx] += weight;
+        _total += weight;
+    }
+
+    std::size_t numBins() const { return _bins.size(); }
+    std::uint64_t binCount(std::size_t i) const { return _bins.at(i); }
+    std::uint64_t total() const { return _total; }
+
+    /** Fraction of samples in bin @p i. */
+    double
+    binFraction(std::size_t i) const
+    {
+        return _total ? static_cast<double>(_bins.at(i)) / _total : 0.0;
+    }
+
+    /** Lower edge of bin @p i. */
+    double
+    binLo(std::size_t i) const
+    {
+        return _lo + (_hi - _lo) * i / _bins.size();
+    }
+
+    /** Upper edge of bin @p i. */
+    double binHi(std::size_t i) const { return binLo(i + 1); }
+
+    void print(std::ostream &os) const override;
+
+    void
+    reset() override
+    {
+        std::fill(_bins.begin(), _bins.end(), 0);
+        _total = 0;
+    }
+
+  private:
+    double _lo, _hi;
+    std::vector<std::uint64_t> _bins;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * A derived statistic: evaluates a function of other stats at print
+ * time (gem5's Formula, reduced to what this simulator needs).
+ */
+class Formula : public Stat
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(Group &parent, std::string name, std::string desc, Fn fn)
+        : Stat(parent, std::move(name), std::move(desc)),
+          _fn(std::move(fn))
+    {
+        vip_assert(static_cast<bool>(_fn), "formula needs a function");
+    }
+
+    double value() const { return _fn(); }
+
+    void print(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    Fn _fn;
+};
+
+} // namespace stats
+} // namespace vip
+
+#endif // VIP_STATS_STATS_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the Section 4.3 frame-burst sizing policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/burst_policy.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(FixedBurst, ConstantSize)
+{
+    FixedBurstPolicy p(5);
+    EXPECT_EQ(p.nextBurst(0, 0, MaxTick), 5u);
+    EXPECT_EQ(p.nextBurst(123, fromMs(50), 0), 5u);
+}
+
+TEST(FixedBurst, ClampsToAtLeastOne)
+{
+    FixedBurstPolicy p(0);
+    EXPECT_EQ(p.nextBurst(0, 0, MaxTick), 1u);
+}
+
+TEST(GopBurst, NeverCrossesAnIndependentFrame)
+{
+    GopParams gop;
+    gop.gopSize = 16;
+    GopBurstPolicy p(gop, 8);
+    std::uint64_t frame = 0;
+    for (int burst = 0; burst < 100; ++burst) {
+        std::uint32_t n = p.nextBurst(frame, 0, MaxTick);
+        ASSERT_GE(n, 1u);
+        ASSERT_LE(n, 8u);
+        // No frame strictly inside (frame, frame+n) may be an
+        // I-frame boundary.
+        for (std::uint64_t k = frame + 1; k < frame + n; ++k)
+            ASSERT_NE(k % gop.gopSize, 0u) << "burst crossed a GOP";
+        frame += n;
+    }
+}
+
+TEST(GopBurst, AlignsToGopRemainder)
+{
+    GopParams gop;
+    gop.gopSize = 16;
+    GopBurstPolicy p(gop, 8);
+    // 2 frames before the next I-frame: the burst shrinks to 2.
+    EXPECT_EQ(p.nextBurst(14, 0, MaxTick), 2u);
+    EXPECT_EQ(p.nextBurst(16, 0, MaxTick), 8u);
+}
+
+TEST(GameHybridBurst, FullBurstWhenNoInputExpected)
+{
+    GameHybridBurstPolicy p(60.0, 9);
+    EXPECT_EQ(p.nextBurst(0, 0, MaxTick), 9u);
+}
+
+TEST(GameHybridBurst, SingleFrameWhileInputActive)
+{
+    GameHybridBurstPolicy p(60.0, 9);
+    // Input is happening right now (next_input <= now).
+    EXPECT_EQ(p.nextBurst(0, fromMs(100), fromMs(100)), 1u);
+    EXPECT_EQ(p.nextBurst(0, fromMs(100), fromMs(50)), 1u);
+}
+
+TEST(GameHybridBurst, ScalesBurstToInputGap)
+{
+    GameHybridBurstPolicy p(60.0, 9);
+    // 100 ms until next input at 60 FPS = 6 frames of slack.
+    EXPECT_EQ(p.nextBurst(0, 0, fromMs(100)), 6u);
+    // 50 ms -> 3 frames.
+    EXPECT_EQ(p.nextBurst(0, 0, fromMs(50)), 3u);
+    // A whole second: capped at 9 (< 10 frames per Section 4.3).
+    EXPECT_EQ(p.nextBurst(0, 0, fromSec(1)), 9u);
+}
+
+TEST(MakeBurstPolicy, GameClassGetsHybrid)
+{
+    FlowSpec f;
+    f.fps = 60.0;
+    auto p = makeBurstPolicy(AppClass::Game, f, 5, 9);
+    EXPECT_STREQ(p->name(), "game-hybrid");
+}
+
+TEST(MakeBurstPolicy, GopVideoGetsGopPolicy)
+{
+    FlowSpec f;
+    f.fps = 60.0;
+    f.hasGop = true;
+    f.gop.gopSize = 16;
+    auto p = makeBurstPolicy(AppClass::VideoPlayback, f, 5, 9);
+    EXPECT_STREQ(p->name(), "gop");
+}
+
+TEST(MakeBurstPolicy, AudioGetsFixed)
+{
+    FlowSpec f;
+    f.fps = 12.0;
+    auto p = makeBurstPolicy(AppClass::AudioOnly, f, 5, 9);
+    EXPECT_STREQ(p->name(), "fixed");
+}
+
+TEST(MakeBurstPolicy, BurstsFitHeaderField)
+{
+    // The header packet's burst-size field is 4 bits; every policy
+    // the factory builds must stay below 16 frames.
+    FlowSpec f;
+    f.fps = 60.0;
+    f.hasGop = true;
+    f.gop.gopSize = 64; // larger than the field allows
+    auto p = makeBurstPolicy(AppClass::VideoPlayback, f, 64, 64);
+    for (std::uint64_t k = 0; k < 256; k += 7)
+        EXPECT_LE(p->nextBurst(k, 0, MaxTick), 15u);
+}
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the CPU core / cluster model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_cluster.hh"
+#include "sim/system.hh"
+
+namespace vip
+{
+namespace
+{
+
+class CpuTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sys = std::make_unique<System>(1);
+        ledger = std::make_unique<EnergyLedger>();
+    }
+
+    CpuCore &
+    makeCore(CpuConfig cfg = CpuConfig{})
+    {
+        core = std::make_unique<CpuCore>(*sys, "t.cpu", cfg, *ledger);
+        return *core;
+    }
+
+    std::unique_ptr<System> sys;
+    std::unique_ptr<EnergyLedger> ledger;
+    std::unique_ptr<CpuCore> core;
+};
+
+TEST_F(CpuTest, TaskDurationMatchesInstructions)
+{
+    CpuConfig cfg;
+    cfg.freqHz = 1e9;
+    cfg.ipc = 1.0;
+    auto &c = makeCore(cfg);
+
+    Tick done = 0;
+    CpuTask t;
+    t.instructions = 1'000'000; // 1 M instr @ 1 GIPS -> 1 ms
+    t.onComplete = [&] { done = sys->curTick(); };
+    c.dispatch(std::move(t));
+    sys->run(fromMs(10));
+    EXPECT_EQ(done, fromMs(1.0));
+    EXPECT_EQ(c.instructions(), 1'000'000u);
+}
+
+TEST_F(CpuTest, TasksRunFifo)
+{
+    auto &c = makeCore();
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+        CpuTask t;
+        t.instructions = 1000;
+        t.onComplete = [&order, i] { order.push_back(i); };
+        c.dispatch(std::move(t));
+    }
+    sys->run(fromMs(1));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(CpuTest, IsrPreemptsQueuedTasks)
+{
+    auto &c = makeCore();
+    std::vector<int> order;
+    CpuTask a;
+    a.instructions = 100'000;
+    a.onComplete = [&] { order.push_back(0); };
+    CpuTask b;
+    b.instructions = 1000;
+    b.onComplete = [&] { order.push_back(1); };
+    CpuTask isr;
+    isr.instructions = 1000;
+    isr.onComplete = [&] { order.push_back(2); };
+    c.dispatch(std::move(a));
+    c.dispatch(std::move(b));
+    c.interrupt(std::move(isr)); // goes ahead of b, behind running a
+    sys->run(fromMs(5));
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+    EXPECT_EQ(c.interrupts(), 1u);
+}
+
+TEST_F(CpuTest, EntersSleepAfterThreshold)
+{
+    CpuConfig cfg;
+    cfg.sleepThreshold = fromUs(100);
+    auto &c = makeCore(cfg);
+    CpuTask t;
+    t.instructions = 1000;
+    c.dispatch(std::move(t));
+    sys->run(fromUs(50));
+    EXPECT_NE(c.state(), CpuCore::State::Sleep);
+    sys->run(fromMs(1));
+    EXPECT_EQ(c.state(), CpuCore::State::Sleep);
+    EXPECT_GT(c.sleepTicks(), 0u);
+}
+
+TEST_F(CpuTest, WakeLatencyDelaysTaskAfterSleep)
+{
+    CpuConfig cfg;
+    cfg.freqHz = 1e9;
+    cfg.sleepThreshold = fromUs(10);
+    cfg.wakeLatency = fromUs(60);
+    auto &c = makeCore(cfg);
+
+    // Let the core fall asleep.
+    sys->run(fromUs(100));
+    EXPECT_EQ(c.state(), CpuCore::State::Sleep);
+
+    Tick done = 0;
+    sys->eventq().schedule(fromUs(100), [&] {
+        CpuTask t;
+        t.instructions = 1000; // 1 us @ 1 GIPS
+        t.onComplete = [&] { done = sys->curTick(); };
+        c.dispatch(std::move(t));
+    });
+    sys->run(fromMs(1));
+    EXPECT_EQ(done, fromUs(100) + cfg.wakeLatency + fromUs(1));
+}
+
+TEST_F(CpuTest, PendingWorkCancelsSleepEntry)
+{
+    CpuConfig cfg;
+    cfg.sleepThreshold = fromUs(100);
+    auto &c = makeCore(cfg);
+    // Keep dispatching short tasks every 50 us: the core must never
+    // reach deep sleep.
+    for (int i = 0; i < 20; ++i) {
+        sys->eventq().schedule(fromUs(50) * i, [&] {
+            CpuTask t;
+            t.instructions = 1000;
+            c.dispatch(std::move(t));
+        });
+    }
+    sys->run(fromUs(50) * 19 + fromUs(10));
+    EXPECT_EQ(c.sleepTicks(), 0u);
+}
+
+TEST_F(CpuTest, EnergyTracksActiveAndSleepStates)
+{
+    CpuConfig cfg;
+    cfg.freqHz = 1e9;
+    cfg.sleepThreshold = fromUs(50);
+    auto &c = makeCore(cfg);
+    CpuTask t;
+    t.instructions = 10'000'000; // 10 ms busy
+    c.dispatch(std::move(t));
+    sys->run(fromMs(100));
+    ledger->closeAll(sys->curTick());
+    double nj = ledger->categoryNj("cpu");
+    // Lower bound: 10 ms at active power; upper bound: 100 ms active.
+    double active_only = cfg.power.activeWatts * 0.010 * 1e9;
+    double all_active = cfg.power.activeWatts * 0.100 * 1e9;
+    EXPECT_GT(nj, active_only);
+    EXPECT_LT(nj, all_active);
+    EXPECT_GT(c.activeTicks(), fromMs(9.9));
+    EXPECT_GT(c.sleepTicks(), fromMs(80));
+}
+
+TEST_F(CpuTest, LoadCountsQueuedAndRunning)
+{
+    auto &c = makeCore();
+    EXPECT_EQ(c.load(), 0u);
+    for (int i = 0; i < 3; ++i) {
+        CpuTask t;
+        t.instructions = 100'000;
+        c.dispatch(std::move(t));
+    }
+    EXPECT_EQ(c.load(), 3u);
+    sys->run(fromMs(10));
+    EXPECT_EQ(c.load(), 0u);
+}
+
+TEST(CpuCluster, SpreadsTasksAcrossCores)
+{
+    System sys(1);
+    EnergyLedger ledger;
+    CpuCluster cluster(sys, "t.cpu", CpuConfig{}, 4, ledger);
+    int done = 0;
+    for (int i = 0; i < 4; ++i) {
+        CpuTask t;
+        t.instructions = 1'300'000; // ~1 ms each
+        t.onComplete = [&] { ++done; };
+        cluster.dispatch(std::move(t));
+    }
+    sys.run(fromMs(2));
+    EXPECT_EQ(done, 4);
+    // All four ran in parallel: every core has instructions.
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(cluster.core(i).instructions(), 1'300'000u);
+}
+
+TEST(CpuCluster, InterruptPrefersAwakeCore)
+{
+    System sys(1);
+    EnergyLedger ledger;
+    CpuConfig cfg;
+    cfg.sleepThreshold = fromUs(10);
+    CpuCluster cluster(sys, "t.cpu", cfg, 2, ledger);
+
+    // Keep core busy-ish via a long task on one core, let the other
+    // sleep, then interrupt: the awake (busy) core should take it to
+    // avoid wake latency.
+    CpuTask longTask;
+    longTask.instructions = 13'000'000; // ~10 ms
+    cluster.dispatch(std::move(longTask));
+    sys.run(fromMs(5));
+
+    cluster.interrupt(CpuTask{1000, true, nullptr});
+    sys.run(fromMs(20));
+    EXPECT_EQ(cluster.totalInterrupts(), 1u);
+    // The sleeping core must not have been woken for it.
+    bool core0_took = cluster.core(0).interrupts() == 1;
+    bool core1_took = cluster.core(1).interrupts() == 1;
+    EXPECT_NE(core0_took, core1_took);
+}
+
+TEST(CpuCluster, AggregatesAcrossCores)
+{
+    System sys(1);
+    EnergyLedger ledger;
+    CpuCluster cluster(sys, "t.cpu", CpuConfig{}, 2, ledger);
+    for (int i = 0; i < 2; ++i) {
+        CpuTask t;
+        t.instructions = 500'000;
+        cluster.dispatch(std::move(t));
+    }
+    sys.run(fromMs(5));
+    EXPECT_EQ(cluster.totalInstructions(), 1'000'000u);
+    EXPECT_GT(cluster.totalActiveTicks(), 0u);
+}
+
+} // namespace
+} // namespace vip

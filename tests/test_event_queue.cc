@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ServicesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickUsesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(50, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBreaksTieBeforeInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(1); },
+                EventPriority::Default);
+    eq.schedule(50, [&] { order.push_back(0); },
+                EventPriority::ClockTick);
+    eq.schedule(50, [&] { order.push_back(2); },
+                EventPriority::Stats);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [&] {
+        EXPECT_THROW(eq.schedule(50, [] {}), SimPanic);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(100, [&] { ran = true; });
+    eq.deschedule(id);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleIsIdempotentAndSafeAfterRun)
+{
+    EventQueue eq;
+    int runs = 0;
+    EventId id = eq.schedule(10, [&] { ++runs; });
+    eq.run();
+    EXPECT_EQ(runs, 1);
+    eq.deschedule(id); // already ran: harmless
+    eq.deschedule(id);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelledEventDoesNotAdvanceTime)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(1000, [] {});
+    eq.schedule(2000, [] {});
+    eq.deschedule(id);
+    eq.serviceOne();
+    EXPECT_EQ(eq.curTick(), 2000u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitAndAdvancesTime)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(100, [&] { ++ran; });
+    eq.schedule(300, [&] { ++ran; });
+    Tick t = eq.runUntil(200);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(t, 200u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(400);
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, EventExactlyAtLimitRuns)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(200, [&] { ran = true; });
+    eq.runUntil(200);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recur = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(1, recur);
+    };
+    eq.schedule(0, recur);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.curTick(), 99u);
+    EXPECT_EQ(eq.servicedEvents(), 100u);
+}
+
+TEST(EventQueue, PendingTracksLiveEvents)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressDeterminism)
+{
+    // Two identical queues fed the same schedule must service events
+    // identically (the whole simulator depends on this).
+    auto runOnce = [] {
+        EventQueue eq;
+        std::vector<std::uint64_t> log;
+        for (std::uint64_t i = 0; i < 1000; ++i) {
+            Tick when = (i * 7919) % 4096;
+            eq.schedule(when, [&log, i] { log.push_back(i); });
+        }
+        eq.run();
+        return log;
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+} // namespace
+} // namespace vip

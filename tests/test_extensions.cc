@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the extension features: the CPU DVFS governor, vsync-
+ * aligned QoS judging, the overflow-to-memory lane policy at the
+ * platform level, and the stats dump facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulation.hh"
+
+namespace vip
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// DVFS governor
+// ------------------------------------------------------------------
+
+class DvfsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sys = std::make_unique<System>(1);
+        ledger = std::make_unique<EnergyLedger>();
+    }
+
+    CpuCore &
+    makeCore(CpuConfig cfg)
+    {
+        core = std::make_unique<CpuCore>(*sys, "t.cpu", cfg, *ledger);
+        return *core;
+    }
+
+    static CpuConfig
+    governed()
+    {
+        CpuConfig cfg;
+        cfg.freqHz = 1e9;
+        cfg.governor = CpuGovernor::OnDemand;
+        cfg.freqSteps = {0.5, 1.0, 1.5};
+        cfg.governorPeriod = fromMs(5);
+        return cfg;
+    }
+
+    std::unique_ptr<System> sys;
+    std::unique_ptr<EnergyLedger> ledger;
+    std::unique_ptr<CpuCore> core;
+};
+
+TEST_F(DvfsTest, StartsAtNominalStep)
+{
+    auto &c = makeCore(governed());
+    EXPECT_DOUBLE_EQ(c.currentFreqHz(), 1e9);
+}
+
+TEST_F(DvfsTest, SaturatedCoreClocksUp)
+{
+    auto &c = makeCore(governed());
+    // 50 ms of back-to-back work saturates the governor window.
+    for (int i = 0; i < 50; ++i) {
+        CpuTask t;
+        t.instructions = 1'000'000; // ~1 ms each at nominal
+        c.dispatch(std::move(t));
+    }
+    sys->run(fromMs(30));
+    EXPECT_GT(c.currentFreqHz(), 1e9);
+    EXPECT_GT(c.dvfsTransitions(), 0u);
+}
+
+TEST_F(DvfsTest, IdleCoreClocksDown)
+{
+    auto &c = makeCore(governed());
+    sys->run(fromMs(30)); // no work at all
+    EXPECT_LT(c.currentFreqHz(), 1e9);
+}
+
+TEST_F(DvfsTest, HigherFrequencyShortensTasks)
+{
+    // A step table whose only entry is 2x nominal pins the governed
+    // core at 2 GHz, so task duration halves deterministically.
+    CpuConfig cfg = governed();
+    cfg.freqSteps = {2.0};
+    auto &c = makeCore(cfg);
+    ASSERT_DOUBLE_EQ(c.currentFreqHz(), 2e9);
+
+    Tick done = 0;
+    CpuTask t;
+    t.instructions = 2'000'000;
+    t.onComplete = [&] { done = sys->curTick(); };
+    c.dispatch(std::move(t));
+    sys->run(fromMs(50));
+    // 2 M instr at 2 GIPS = 1 ms (vs 2 ms at nominal).
+    EXPECT_NEAR(toMs(done), 1.0, 0.01);
+}
+
+TEST_F(DvfsTest, FixedGovernorNeverChangesFrequency)
+{
+    CpuConfig cfg;
+    cfg.freqHz = 1e9;
+    auto &c = makeCore(cfg);
+    for (int i = 0; i < 50; ++i) {
+        CpuTask t;
+        t.instructions = 1'000'000;
+        c.dispatch(std::move(t));
+    }
+    sys->run(fromMs(100));
+    EXPECT_DOUBLE_EQ(c.currentFreqHz(), 1e9);
+    EXPECT_EQ(c.dvfsTransitions(), 0u);
+}
+
+TEST(DvfsPlatform, GovernorSavesCpuEnergyOnLightLoad)
+{
+    // A lightly-loaded CPU (audio playback) sits below the governor's
+    // down-threshold, so ondemand settles at a low step and cuts CPU
+    // energy vs fixed frequency.
+    SocConfig fixed;
+    fixed.system = SystemConfig::VIP;
+    fixed.simSeconds = 0.25;
+    SocConfig gov = fixed;
+    gov.cpu.governor = CpuGovernor::OnDemand;
+
+    auto a = Simulation::run(fixed, WorkloadCatalog::single(3));
+    auto b = Simulation::run(gov, WorkloadCatalog::single(3));
+    EXPECT_LT(b.cpuEnergyMj, a.cpuEnergyMj);
+    EXPECT_GE(b.framesCompleted + 1, a.framesCompleted);
+}
+
+TEST(DvfsPlatform, GovernorKeepsHeavyWorkloadLive)
+{
+    SocConfig gov;
+    gov.system = SystemConfig::VIP;
+    gov.simSeconds = 0.25;
+    gov.cpu.governor = CpuGovernor::OnDemand;
+    auto fixed = gov;
+    fixed.cpu.governor = CpuGovernor::None;
+
+    auto a = Simulation::run(fixed, WorkloadCatalog::byIndex(1));
+    auto b = Simulation::run(gov, WorkloadCatalog::byIndex(1));
+    EXPECT_GT(b.framesCompleted, a.framesCompleted * 8 / 10);
+}
+
+// ------------------------------------------------------------------
+// Vsync-aligned QoS
+// ------------------------------------------------------------------
+
+TEST(Vsync, AlignmentOnlyAddsViolations)
+{
+    SocConfig plain;
+    plain.system = SystemConfig::Baseline;
+    plain.simSeconds = 0.2;
+    SocConfig vs = plain;
+    vs.vsyncAligned = true;
+
+    auto a = Simulation::run(plain, WorkloadCatalog::byIndex(1));
+    auto b = Simulation::run(vs, WorkloadCatalog::byIndex(1));
+    // Judging at the next scanout can only round completion times up.
+    EXPECT_GE(b.violations, a.violations);
+    EXPECT_EQ(a.framesCompleted, b.framesCompleted);
+}
+
+// ------------------------------------------------------------------
+// Overflow-to-memory at platform level
+// ------------------------------------------------------------------
+
+TEST(OverflowPolicy, SpillRestoresDramTraffic)
+{
+    SocConfig stall;
+    stall.system = SystemConfig::VIP;
+    stall.simSeconds = 0.2;
+    // Make the decoder outrun the display so lanes actually fill.
+    IpParams fastVd = defaultIpParams(IpKind::VD);
+    fastVd.bytesPerCycle = 7.0;
+    stall.ipOverrides[IpKind::VD] = fastVd;
+
+    SocConfig spill = stall;
+    spill.overflowToMemory = true;
+
+    auto a = Simulation::run(stall, WorkloadCatalog::byIndex(1));
+    auto b = Simulation::run(spill, WorkloadCatalog::byIndex(1));
+    EXPECT_GT(b.memBytesGB, a.memBytesGB * 2.0);
+    EXPECT_GT(b.dramEnergyMj, a.dramEnergyMj * 2.0);
+}
+
+// ------------------------------------------------------------------
+// Stats dump
+// ------------------------------------------------------------------
+
+TEST(StatsDump, ContainsEveryComponent)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.1;
+    Simulation sim(cfg, WorkloadCatalog::byIndex(4));
+    sim.run();
+
+    std::ostringstream os;
+    sim.dumpStats(os);
+    std::string text = os.str();
+    for (const char *needle :
+         {"sim.seconds", "sim.events", "soc.mem.reads",
+          "soc.mem.latencyNs", "soc.sa.peerTransfers",
+          "soc.cpu.core0.tasks", "soc.cpu.core3.interrupts",
+          "soc.ip.VD.subframes", "soc.ip.DC.ctxSwitches",
+          "energy.cpu", "energy.dram", "energy.total"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing stat: " << needle;
+    }
+}
+
+TEST(StatsDump, DramLowPowerEngagesInChainedModes)
+{
+    // IP-to-IP communication leaves DRAM idle; the LPDDR low-power
+    // machine must spend real time in power-down / self-refresh.
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.2;
+    Simulation sim(cfg, WorkloadCatalog::single(5));
+    sim.run();
+    Tick lp = sim.memory().powerDownTicks() +
+              sim.memory().selfRefreshTicks();
+    EXPECT_GT(toMs(lp), 50.0); // most of the run
+
+    SocConfig base;
+    base.system = SystemConfig::Baseline;
+    base.simSeconds = 0.2;
+    Simulation sim2(base, WorkloadCatalog::single(5));
+    sim2.run();
+    Tick lp2 = sim2.memory().powerDownTicks() +
+               sim2.memory().selfRefreshTicks();
+    EXPECT_LT(lp2, lp); // staging traffic keeps DRAM awake
+}
+
+
+// ------------------------------------------------------------------
+// Dynamic app lifecycle
+// ------------------------------------------------------------------
+
+TEST(AppLifecycle, StoppedAppFreesItsLanes)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.3;
+    Simulation sim(cfg, WorkloadCatalog::byIndex(1));
+    // Close the second player a third of the way in.
+    sim.stopAppAt("VideoPlay#1", fromMs(100));
+    auto s = sim.run();
+
+    // Its lanes were released: one video flow remains bound at VD/DC.
+    ASSERT_NE(sim.ip(IpKind::VD), nullptr);
+    EXPECT_EQ(sim.ip(IpKind::VD)->boundLanes(), 1u);
+
+    // The survivor kept running for the whole window; the stopped app
+    // generated roughly a third of the survivor's frames.
+    const FlowResult *alive = nullptr, *stopped = nullptr;
+    for (const auto &f : s.flows) {
+        if (f.name == "VideoPlay.video#0.video#0")
+            alive = &f;
+        if (f.name == "VideoPlay.video#1.video#1")
+            stopped = &f;
+    }
+    // Names are "<app>#i" instances: fall back to scanning.
+    if (!alive || !stopped) {
+        for (const auto &f : s.flows) {
+            if (f.name.find("video#0") != std::string::npos &&
+                f.name.find(".video") != std::string::npos)
+                alive = &f;
+            if (f.name.find("video#1") != std::string::npos &&
+                f.name.find(".video") != std::string::npos)
+                stopped = &f;
+        }
+    }
+    ASSERT_NE(alive, nullptr);
+    ASSERT_NE(stopped, nullptr);
+    EXPECT_GT(alive->generated, stopped->generated * 2);
+    EXPECT_GT(stopped->completed, 0u);
+}
+
+TEST(AppLifecycle, StopWorksInEveryConfiguration)
+{
+    for (auto c : kAllConfigs) {
+        SocConfig cfg;
+        cfg.system = c;
+        cfg.simSeconds = 0.2;
+        Simulation sim(cfg, WorkloadCatalog::byIndex(4));
+        sim.stopAppAt("Skype#0", fromMs(80));
+        auto s = sim.run();
+        EXPECT_GT(s.framesCompleted, 0u) << systemConfigName(c);
+    }
+}
+
+TEST(AppLifecycle, UnknownAppIsFatal)
+{
+    SocConfig cfg;
+    cfg.simSeconds = 0.05;
+    Simulation sim(cfg, WorkloadCatalog::single(5));
+    EXPECT_THROW(sim.stopAppAt("NoSuchApp", fromMs(1)), SimFatal);
+}
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the Fig 12 header packet layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/header_packet.hh"
+#include "sim/logging.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(HeaderPacket, FixedFieldBytesMatchFig12)
+{
+    // 32b IPs + 16b frame size + 4b rate + 4b burst + 2 x 32b addrs
+    // = 120 bits = 15 bytes.
+    EXPECT_EQ(HeaderPacket::fixedBytes(), 15u);
+}
+
+TEST(HeaderPacket, SizeGrowsByOneKbPerIp)
+{
+    HeaderPacket h;
+    h.setIps({IpKind::VD, IpKind::DC});
+    EXPECT_EQ(h.sizeBytes(), 15u + 2 * 1024u);
+    h.setIps({IpKind::CAM, IpKind::VE, IpKind::NW});
+    EXPECT_EQ(h.sizeBytes(), 15u + 3 * 1024u);
+}
+
+TEST(HeaderPacket, FourIpFlowIsAboutFourKb)
+{
+    // Section 5.4: "the longest app flow has about 4 IPs ... we
+    // expect the header packet to be about 4 KB".
+    HeaderPacket h;
+    h.setIps({IpKind::VD, IpKind::GPU, IpKind::DC, IpKind::SND});
+    EXPECT_NEAR(h.sizeBytes(), 4096.0, 64.0);
+}
+
+TEST(HeaderPacket, SerializeDeserializeRoundTrip)
+{
+    HeaderPacket h;
+    h.setIps({IpKind::VD, IpKind::GPU, IpKind::DC});
+    h.setFrameSizeKb(12288); // a 4K YUV frame
+    h.setFrameRate(6);       // 60 FPS code
+    h.setBurstSize(5);
+    h.setSrcAddr(0xdeadb000);
+    h.setDestAddr(0xbeef0000);
+
+    auto bytes = h.serialize();
+    EXPECT_EQ(bytes.size(), h.sizeBytes());
+    HeaderPacket back = HeaderPacket::deserialize(bytes);
+    EXPECT_TRUE(back == h);
+    EXPECT_EQ(back.ips().size(), 3u);
+    EXPECT_EQ(back.ips()[1], IpKind::GPU);
+    EXPECT_EQ(back.frameSizeKb(), 12288u);
+    EXPECT_EQ(back.burstSize(), 5u);
+    EXPECT_EQ(back.srcAddr(), 0xdeadb000u);
+}
+
+TEST(HeaderPacket, EmptyChainRoundTrips)
+{
+    HeaderPacket h;
+    auto bytes = h.serialize();
+    EXPECT_EQ(bytes.size(), 15u);
+    HeaderPacket back = HeaderPacket::deserialize(bytes);
+    EXPECT_TRUE(back == h);
+}
+
+TEST(HeaderPacket, FieldLimitsAreEnforced)
+{
+    HeaderPacket h;
+    EXPECT_THROW(h.setFrameSizeKb(1u << 16), SimFatal);
+    EXPECT_THROW(h.setFrameRate(16), SimFatal);
+    EXPECT_THROW(h.setBurstSize(16), SimFatal);
+    EXPECT_NO_THROW(h.setBurstSize(15));
+}
+
+TEST(HeaderPacket, AtMostEightIps)
+{
+    HeaderPacket h;
+    std::vector<IpKind> nine(9, IpKind::VD);
+    EXPECT_THROW(h.setIps(nine), SimFatal);
+    std::vector<IpKind> eight(8, IpKind::VD);
+    EXPECT_NO_THROW(h.setIps(eight));
+}
+
+TEST(HeaderPacket, CpuIsNotEncodable)
+{
+    HeaderPacket h;
+    EXPECT_THROW(h.setIps({IpKind::CPU, IpKind::DC}), SimFatal);
+}
+
+TEST(HeaderPacket, TruncatedBufferRejected)
+{
+    std::vector<std::uint8_t> junk(7, 0);
+    EXPECT_THROW(HeaderPacket::deserialize(junk), SimFatal);
+}
+
+TEST(HeaderPacket, SizeMismatchRejected)
+{
+    HeaderPacket h;
+    h.setIps({IpKind::VD});
+    auto bytes = h.serialize();
+    bytes.push_back(0); // stray byte
+    EXPECT_THROW(HeaderPacket::deserialize(bytes), SimFatal);
+}
+
+TEST(HeaderPacket, HeaderIsNegligibleVsPayload)
+{
+    // The argument of Section 5.4: one header per burst is small
+    // against the burst's frame payload.
+    HeaderPacket h;
+    h.setIps({IpKind::VD, IpKind::DC});
+    double header = h.sizeBytes();
+    double payload = 5.0 * 3840 * 2160 * 1.5; // 5-frame 4K burst
+    EXPECT_LT(header / payload, 0.001);
+}
+
+} // namespace
+} // namespace vip

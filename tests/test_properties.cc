@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Property-style parameterized sweeps (TEST_P) over configurations,
+ * workloads and hardware knobs: invariants that must hold everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hh"
+
+namespace vip
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Invariants over every (config, workload) combination
+// ---------------------------------------------------------------
+
+using ConfigWorkload = std::tuple<SystemConfig, int>;
+
+class ConfigWorkloadSweep
+    : public ::testing::TestWithParam<ConfigWorkload>
+{
+};
+
+TEST_P(ConfigWorkloadSweep, PlatformInvariantsHold)
+{
+    SystemConfig config = std::get<0>(GetParam());
+    int wli = std::get<1>(GetParam());
+    SocConfig cfg;
+    cfg.system = config;
+    cfg.simSeconds = 0.12;
+    Workload wl = wli <= 0 ? WorkloadCatalog::single(-wli)
+                           : WorkloadCatalog::byIndex(wli);
+    auto s = Simulation::run(cfg, wl);
+
+    // Liveness: frames complete under every configuration.
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.framesCompleted, s.framesGenerated);
+    // Energy sanity.
+    EXPECT_GT(s.totalEnergyMj, 0.0);
+    double sum = s.cpuEnergyMj + s.dramEnergyMj + s.saEnergyMj +
+                 s.ipEnergyMj + s.bufferEnergyMj;
+    EXPECT_NEAR(sum, s.totalEnergyMj, 1e-6 * s.totalEnergyMj + 1e-9);
+    // QoS counters are ordered.
+    EXPECT_LE(s.drops, s.violations);
+    EXPECT_LE(s.violations, s.framesCompleted);
+    // Rates derive from counters.
+    if (s.framesCompleted > 0) {
+        EXPECT_NEAR(s.dropRate,
+                    double(s.drops) / double(s.framesCompleted), 1e-12);
+    }
+    // IP utilization is a fraction; busy time below elapsed time.
+    for (const auto &ip : s.ips) {
+        EXPECT_GE(ip.utilization, 0.0);
+        EXPECT_LE(ip.utilization, 1.0);
+        EXPECT_LE(ip.activeMs + ip.stallMs,
+                  cfg.simSeconds * 1000.0 * 1.001);
+    }
+    // CPU time bounded by cores x wall time.
+    EXPECT_LE(s.cpuActiveMs,
+              cfg.simSeconds * 1000.0 * cfg.cpuCores * 1.001);
+    // Memory bandwidth below configured peak.
+    EXPECT_LE(s.avgMemBandwidthGBps, cfg.dram.peakGBps() * 1.001);
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<ConfigWorkload> &info)
+{
+    SystemConfig c = std::get<0>(info.param);
+    int w = std::get<1>(info.param);
+    std::string name = systemConfigName(c);
+    for (auto &ch : name) {
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    name += w <= 0 ? "_A" + std::to_string(-w)
+                   : "_W" + std::to_string(w);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsKeyWorkloads, ConfigWorkloadSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllConfigs),
+                       ::testing::Values(-1, -5, -6, 1, 4, 6, 7)),
+    sweepName);
+
+// ---------------------------------------------------------------
+// Buffer-size sweep (the Fig 14a experiment as a property)
+// ---------------------------------------------------------------
+
+class BufferSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BufferSweep, ChainedModeWorksAtAnyBufferSize)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.1;
+    cfg.laneBytes = GetParam();
+    cfg.subframeBytes = std::min(GetParam(), 1024u);
+    auto s = Simulation::run(cfg, WorkloadCatalog::single(5));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_GT(s.meanFlowTimeMs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig14Sizes, BufferSweep,
+                         ::testing::Values(512u, 1024u, 2048u, 4096u,
+                                           8192u, 16384u));
+
+// ---------------------------------------------------------------
+// Lane-count sweep
+// ---------------------------------------------------------------
+
+class LaneSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LaneSweep, VipDegradesGracefullyWithFewLanes)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.12;
+    cfg.vipLanes = GetParam();
+    // W4 has up to 2 flows per IP: with 1 lane some flows fall back
+    // to transactional acquisition but everything still completes.
+    auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(4));
+    EXPECT_GT(s.framesCompleted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------
+// Scheduling-policy sweep
+// ---------------------------------------------------------------
+
+class PolicySweep : public ::testing::TestWithParam<SchedPolicy>
+{
+};
+
+TEST_P(PolicySweep, VipRunsUnderEveryHardwareScheduler)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.12;
+    cfg.vipSched = GetParam();
+    auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(1));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.drops, s.framesCompleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(SchedPolicy::FIFO,
+                                           SchedPolicy::RoundRobin,
+                                           SchedPolicy::EDF));
+
+// ---------------------------------------------------------------
+// Burst-size sweep
+// ---------------------------------------------------------------
+
+class BurstSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BurstSweep, LargerBurstsNeverRaiseInterruptRate)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.2;
+    cfg.burstFrames = GetParam();
+    auto s = Simulation::run(cfg, WorkloadCatalog::single(5));
+    // Interrupt rate is roughly fps/burst per flow; it must decrease
+    // (weakly) in the burst size.
+    SocConfig one = cfg;
+    one.burstFrames = 1;
+    auto s1 = Simulation::run(one, WorkloadCatalog::single(5));
+    EXPECT_LE(s.interruptsPer100ms, s1.interruptsPer100ms * 1.05);
+    EXPECT_GT(s.framesCompleted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, BurstSweep,
+                         ::testing::Values(1u, 2u, 5u, 10u, 15u));
+
+// ---------------------------------------------------------------
+// Seed sweep: determinism and liveness under different user input
+// ---------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, GameWorkloadLivenessUnderAnySeed)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.2;
+    cfg.seed = GetParam();
+    auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(6));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.drops, s.framesCompleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u,
+                                           987654321u));
+
+
+// ---------------------------------------------------------------
+// Deadline-policy sweep: looser deadlines never add violations
+// ---------------------------------------------------------------
+
+class DeadlineSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DeadlineSweep, ViolationsShrinkWithLooserDeadlines)
+{
+    SocConfig tight;
+    tight.system = SystemConfig::IpToIpBurst;
+    tight.simSeconds = 0.15;
+    tight.deadlineFrames = 1.0;
+    SocConfig loose = tight;
+    loose.deadlineFrames = GetParam();
+    auto a = Simulation::run(tight, WorkloadCatalog::byIndex(1));
+    auto b = Simulation::run(loose, WorkloadCatalog::byIndex(1));
+    // Identical seed and schedule: only the judging changes.
+    EXPECT_EQ(a.framesCompleted, b.framesCompleted);
+    EXPECT_LE(b.violations, a.violations);
+    EXPECT_LE(b.drops, a.drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeadlineSweep,
+                         ::testing::Values(1.25, 1.5, 2.0, 3.0));
+
+// ---------------------------------------------------------------
+// Memory-channel sweep: more channels never hurt
+// ---------------------------------------------------------------
+
+class ChannelSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ChannelSweep, PlatformScalesWithChannels)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::Baseline;
+    cfg.simSeconds = 0.1;
+    cfg.dram.channels = GetParam();
+    auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(1));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.avgMemBandwidthGBps, cfg.dram.peakGBps() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---------------------------------------------------------------
+// Overflow-policy sweep across chained configurations
+// ---------------------------------------------------------------
+
+class OverflowSweep
+    : public ::testing::TestWithParam<std::tuple<SystemConfig, bool>>
+{
+};
+
+TEST_P(OverflowSweep, ChainedModesCompleteUnderEitherLanePolicy)
+{
+    SocConfig cfg;
+    cfg.system = std::get<0>(GetParam());
+    cfg.overflowToMemory = std::get<1>(GetParam());
+    cfg.simSeconds = 0.12;
+    auto s = Simulation::run(cfg, WorkloadCatalog::byIndex(4));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.drops, s.violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, OverflowSweep,
+    ::testing::Combine(::testing::Values(SystemConfig::IpToIp,
+                                         SystemConfig::IpToIpBurst,
+                                         SystemConfig::VIP),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------
+// Subframe-size sweep
+// ---------------------------------------------------------------
+
+class SubframeSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SubframeSweep, ForwardingGranularityIsTransparent)
+{
+    SocConfig cfg;
+    cfg.system = SystemConfig::VIP;
+    cfg.simSeconds = 0.1;
+    cfg.subframeBytes = GetParam();
+    cfg.laneBytes = std::max(2 * GetParam(), 2048u);
+    auto s = Simulation::run(cfg, WorkloadCatalog::single(5));
+    EXPECT_GT(s.framesCompleted, 0u);
+    // Data conservation: the SA carried at least the decoded frames.
+    EXPECT_GT(s.totalEnergyMj, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubframeSweep,
+                         ::testing::Values(256u, 512u, 1024u, 2048u,
+                                           4096u));
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and empirical distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(3);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Random, UniformRange)
+{
+    Random r(4);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(5.0, 9.0);
+        ASSERT_GE(v, 5.0);
+        ASSERT_LT(v, 9.0);
+    }
+}
+
+TEST(Random, UniformIntInclusiveBounds)
+{
+    Random r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.uniformInt(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ExponentialHasRequestedMean)
+{
+    Random r(6);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Random, NormalMoments)
+{
+    Random r(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Random, ChanceProbability)
+{
+    Random r(8);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(EmpiricalDistribution, RequiresPoints)
+{
+    EmpiricalDistribution d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_THROW(d.setPoints({}), SimPanic);
+}
+
+TEST(EmpiricalDistribution, RejectsNegativeWeight)
+{
+    EmpiricalDistribution d;
+    EXPECT_THROW(d.setPoints({{1.0, -1.0}}), SimPanic);
+}
+
+TEST(EmpiricalDistribution, SamplesWithinSupport)
+{
+    EmpiricalDistribution d({{1.0, 1.0}, {2.0, 2.0}, {4.0, 1.0}});
+    Random r(9);
+    for (int i = 0; i < 2000; ++i) {
+        double v = d.sample(r);
+        ASSERT_GE(v, 0.9 * 1.0); // first bin interpolates from 0.9*v
+        ASSERT_LE(v, 4.0);
+    }
+}
+
+TEST(EmpiricalDistribution, WeightedMean)
+{
+    EmpiricalDistribution d({{2.0, 1.0}, {6.0, 3.0}});
+    EXPECT_DOUBLE_EQ(d.mean(), (2.0 + 18.0) / 4.0);
+}
+
+TEST(EmpiricalDistribution, HeavyBinDominatesSampling)
+{
+    EmpiricalDistribution d({{1.0, 99.0}, {100.0, 1.0}});
+    Random r(10);
+    int low = 0;
+    for (int i = 0; i < 2000; ++i)
+        low += d.sample(r) < 50.0 ? 1 : 0;
+    EXPECT_GT(low, 1900);
+}
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Randomized-workload stress: generate random (but valid) application
+ * flows — random chain shapes, edge sizes and frame rates — and check
+ * that every system configuration simulates them without violating
+ * the platform invariants.  This is the fuzz layer above the
+ * hand-written property sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hh"
+
+namespace vip
+{
+namespace
+{
+
+/** Build a random valid flow using @p rng. */
+FlowSpec
+randomFlow(Random &rng, int id)
+{
+    static const IpKind mids[] = {IpKind::VD, IpKind::VE, IpKind::GPU,
+                                  IpKind::AD, IpKind::AE, IpKind::IMG};
+    static const IpKind sinks[] = {IpKind::DC, IpKind::NW, IpKind::SND,
+                                   IpKind::MMC};
+    static const IpKind sources[] = {IpKind::CAM, IpKind::MIC};
+
+    FlowSpec f;
+    f.name = "fuzz.flow" + std::to_string(id);
+
+    bool fromSensor = rng.chance(0.3);
+    if (fromSensor)
+        f.stages.push_back(sources[rng.uniformInt(0, 1)]);
+    else if (rng.chance(0.5))
+        f.stages.push_back(IpKind::CPU);
+
+    std::uint32_t midCount =
+        static_cast<std::uint32_t>(rng.uniformInt(1, 3));
+    std::set<IpKind> used; // a chain may not visit an IP twice
+    for (std::uint32_t i = 0; i < midCount; ++i) {
+        IpKind k = mids[rng.uniformInt(0, std::size(mids) - 1)];
+        if (used.insert(k).second)
+            f.stages.push_back(k);
+    }
+    f.stages.push_back(sinks[rng.uniformInt(0, std::size(sinks) - 1)]);
+
+    f.fps = static_cast<double>(rng.uniformInt(5, 60));
+    std::size_t hw = f.hwStages().size();
+    for (std::size_t i = 0; i < hw; ++i) {
+        // 4 KiB .. ~4 MiB per edge.
+        f.edgeBytes.push_back(rng.uniformInt(4, 4096) * 1024);
+    }
+    f.appInstrPerFrame = rng.uniformInt(100'000, 3'000'000);
+    f.qosCritical = rng.chance(0.7);
+    f.validate();
+    return f;
+}
+
+Workload
+randomWorkload(std::uint64_t seed)
+{
+    Random rng(seed);
+    Workload w;
+    w.name = "fuzz" + std::to_string(seed);
+    std::uint32_t apps = static_cast<std::uint32_t>(
+        rng.uniformInt(1, 3));
+    for (std::uint32_t a = 0; a < apps; ++a) {
+        AppSpec app;
+        app.name = "fuzzApp" + std::to_string(a);
+        app.cls = static_cast<AppClass>(rng.uniformInt(0, 3));
+        std::uint32_t flows = static_cast<std::uint32_t>(
+            rng.uniformInt(1, 3));
+        for (std::uint32_t fl = 0; fl < flows; ++fl) {
+            app.flows.push_back(
+                randomFlow(rng, static_cast<int>(a * 10 + fl)));
+        }
+        w.apps.push_back(std::move(app));
+    }
+    return w;
+}
+
+using FuzzParam = std::tuple<SystemConfig, std::uint64_t>;
+
+class RandomWorkloadFuzz : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+TEST_P(RandomWorkloadFuzz, InvariantsHoldOnRandomChains)
+{
+    SystemConfig config = std::get<0>(GetParam());
+    std::uint64_t seed = std::get<1>(GetParam());
+
+    SocConfig cfg;
+    cfg.system = config;
+    cfg.simSeconds = 0.08;
+    cfg.seed = seed;
+    Simulation sim(cfg, randomWorkload(seed));
+    auto s = sim.run();
+
+    // Liveness + accounting invariants, regardless of chain shape.
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_LE(s.framesCompleted, s.framesGenerated);
+    EXPECT_LE(s.drops, s.violations);
+    EXPECT_GT(s.totalEnergyMj, 0.0);
+    double sum = s.cpuEnergyMj + s.dramEnergyMj + s.saEnergyMj +
+                 s.ipEnergyMj + s.bufferEnergyMj;
+    EXPECT_NEAR(sum, s.totalEnergyMj, 1e-6 * s.totalEnergyMj);
+    for (const auto &ip : s.ips) {
+        EXPECT_GE(ip.utilization, 0.0);
+        EXPECT_LE(ip.utilization, 1.0);
+    }
+}
+
+std::string
+fuzzName(const ::testing::TestParamInfo<FuzzParam> &info)
+{
+    std::string name = systemConfigName(std::get<0>(info.param));
+    for (auto &ch : name) {
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, RandomWorkloadFuzz,
+    ::testing::Combine(::testing::ValuesIn(kAllConfigs),
+                       ::testing::Values(11u, 23u, 37u, 58u, 71u)),
+    fuzzName);
+
+TEST(RandomWorkloadFuzz, GeneratorProducesValidVariety)
+{
+    // The generator itself must emit valid, varied flows.
+    std::set<std::size_t> chainLengths;
+    std::set<std::string> sinks;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        auto w = randomWorkload(seed);
+        for (const auto &app : w.apps) {
+            EXPECT_NO_THROW(app.validate());
+            for (const auto &f : app.flows) {
+                chainLengths.insert(f.hwStages().size());
+                sinks.insert(ipKindName(f.hwStages().back()));
+            }
+        }
+    }
+    EXPECT_GE(chainLengths.size(), 3u);
+    EXPECT_GE(sinks.size(), 3u);
+}
+
+} // namespace
+} // namespace vip

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for System / SimObject / ClockDomain / logging / types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/logging.hh"
+#include "sim/system.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(Types, UnitConversionsRoundTrip)
+{
+    EXPECT_EQ(oneSec, 1'000'000'000'000ull);
+    EXPECT_EQ(fromNs(12), 12'000ull);
+    EXPECT_EQ(fromUs(1.5), 1'500'000ull);
+    EXPECT_EQ(fromMs(16.66), Tick(16.66 * 1e9));
+    EXPECT_DOUBLE_EQ(toSec(oneSec), 1.0);
+    EXPECT_DOUBLE_EQ(toMs(fromMs(7.0)), 7.0);
+    EXPECT_DOUBLE_EQ(toNs(fromNs(3.0)), 3.0);
+}
+
+TEST(Types, ByteLiterals)
+{
+    EXPECT_EQ(2_KiB, 2048u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+TEST(Types, FrequencyToPeriod)
+{
+    EXPECT_EQ(periodFromFreq(1e9), 1000u);      // 1 GHz -> 1 ns
+    EXPECT_EQ(periodFromFreq(1.3e9), 769u);     // truncated ps
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("bug ", 42), SimPanic);
+    EXPECT_THROW(fatal("bad config ", "x"), SimFatal);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(vip_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(vip_assert(false, "nope"), SimPanic);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    logging::setVerbosity(0);
+    EXPECT_NO_THROW(warn("w"));
+    EXPECT_NO_THROW(inform("i"));
+    logging::setVerbosity(1);
+}
+
+class Probe : public SimObject
+{
+  public:
+    using SimObject::SimObject;
+    int startups = 0;
+    int finalizes = 0;
+    void startup() override { ++startups; }
+    void finalize() override { ++finalizes; }
+};
+
+TEST(System, RegistryFindsObjectsByName)
+{
+    System sys;
+    Probe a(sys, "soc.a");
+    Probe b(sys, "soc.b");
+    EXPECT_EQ(sys.find("soc.a"), &a);
+    EXPECT_EQ(sys.find("soc.b"), &b);
+    EXPECT_EQ(sys.find("soc.c"), nullptr);
+    EXPECT_EQ(sys.objects().size(), 2u);
+}
+
+TEST(System, DuplicateNameIsFatal)
+{
+    System sys;
+    Probe a(sys, "soc.dup");
+    EXPECT_THROW(Probe(sys, "soc.dup"), SimFatal);
+}
+
+TEST(System, UnregistersOnDestruction)
+{
+    System sys;
+    {
+        Probe a(sys, "soc.tmp");
+        EXPECT_NE(sys.find("soc.tmp"), nullptr);
+    }
+    EXPECT_EQ(sys.find("soc.tmp"), nullptr);
+}
+
+TEST(System, RunCallsStartupOnceAndFinalizeEachRun)
+{
+    System sys;
+    Probe a(sys, "soc.p");
+    sys.run(100);
+    sys.run(200);
+    EXPECT_EQ(a.startups, 1);
+    EXPECT_EQ(a.finalizes, 2);
+    EXPECT_EQ(sys.curTick(), 200u);
+}
+
+TEST(SimObject, SchedulesOnSystemQueue)
+{
+    System sys;
+    Probe a(sys, "soc.p");
+    Tick seen = 0;
+    a.scheduleIn(fromNs(5), [&] { seen = a.curTick(); });
+    sys.run(fromNs(10));
+    EXPECT_EQ(seen, fromNs(5));
+}
+
+TEST(ClockDomain, CycleTickConversions)
+{
+    ClockDomain clk(1e9); // 1 GHz
+    EXPECT_EQ(clk.period(), 1000u);
+    EXPECT_EQ(clk.cyclesToTicks(7), 7000u);
+    EXPECT_EQ(clk.ticksToCycles(7999), 7u);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency)
+{
+    EXPECT_THROW(ClockDomain(0.0), SimPanic);
+}
+
+class ClockedProbe : public ClockedObject
+{
+  public:
+    using ClockedObject::ClockedObject;
+};
+
+TEST(ClockedObject, StreamTimeRoundsUpToCycles)
+{
+    System sys;
+    ClockedProbe c(sys, "soc.c", ClockDomain(1e9));
+    // 10 bytes at 4 B/cycle -> ceil(2.5) = 3 cycles = 3000 ticks.
+    EXPECT_EQ(c.streamTime(10, 4.0), 3000u);
+    // Exact multiples don't round up.
+    EXPECT_EQ(c.streamTime(8, 4.0), 2000u);
+    // Zero bytes still take no time.
+    EXPECT_EQ(c.streamTime(0, 4.0), 0u);
+}
+
+} // namespace
+} // namespace vip

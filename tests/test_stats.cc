@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace vip
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Group g("t");
+    Scalar s(g, "s", "a scalar");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stat, NameIsPrefixedWithGroup)
+{
+    Group g("soc.mem");
+    Scalar s(g, "reads", "x");
+    EXPECT_EQ(s.name(), "soc.mem.reads");
+    EXPECT_EQ(g.all().size(), 1u);
+}
+
+TEST(TimeWeighted, ExactPiecewiseAverage)
+{
+    Group g("t");
+    TimeWeighted w(g, "u", "util");
+    w.set(1.0, 0);     // 1.0 from 0
+    w.set(0.0, 100);   // 0.0 from 100
+    w.close(400);      // -> avg = (1*100 + 0*300)/400
+    EXPECT_DOUBLE_EQ(w.average(), 0.25);
+    EXPECT_DOUBLE_EQ(w.timeAbove(), 100.0);
+}
+
+TEST(TimeWeighted, CurrentValueSurvivesReset)
+{
+    Group g("t");
+    TimeWeighted w(g, "u", "util");
+    w.set(2.0, 0);
+    w.close(10);
+    w.reset();
+    EXPECT_DOUBLE_EQ(w.current(), 2.0);
+}
+
+TEST(TimeWeighted, TimeBackwardsPanics)
+{
+    Group g("t");
+    TimeWeighted w(g, "u", "util");
+    w.set(1.0, 100);
+    EXPECT_THROW(w.set(2.0, 50), SimPanic);
+}
+
+TEST(Accumulator, MomentsAndExtremes)
+{
+    Group g("t");
+    Accumulator a(g, "lat", "latency");
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 20.0);
+    EXPECT_NEAR(a.stddev(), std::sqrt(5.0), 1e-9);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Group g("t");
+    Accumulator a(g, "lat", "latency");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Histogram, BinPlacementAndFractions)
+{
+    Group g("t");
+    Histogram h(g, "h", "hist", 0.0, 100.0, 10);
+    h.sample(5.0);    // bin 0
+    h.sample(15.0);   // bin 1
+    h.sample(15.0);   // bin 1
+    h.sample(99.0);   // bin 9
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHi(1), 20.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples)
+{
+    Group g("t");
+    Histogram h(g, "h", "hist", 0.0, 10.0, 5);
+    h.sample(-5.0);
+    h.sample(50.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Group g("t");
+    Histogram h(g, "h", "hist", 0.0, 10.0, 2);
+    h.sample(1.0, 7);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.binCount(0), 7u);
+}
+
+TEST(Histogram, BadShapePanics)
+{
+    Group g("t");
+    EXPECT_THROW(Histogram(g, "h", "x", 5.0, 5.0, 4), SimPanic);
+    EXPECT_THROW(Histogram(g, "h2", "x", 0.0, 1.0, 0), SimPanic);
+}
+
+TEST(Group, PrintsAndResetsAll)
+{
+    Group g("soc");
+    Scalar s(g, "a", "desc-a");
+    Accumulator acc(g, "b", "desc-b");
+    s += 3;
+    acc.sample(2.0);
+
+    std::ostringstream os;
+    g.print(os);
+    auto text = os.str();
+    EXPECT_NE(text.find("soc.a"), std::string::npos);
+    EXPECT_NE(text.find("desc-a"), std::string::npos);
+    EXPECT_NE(text.find("soc.b.mean"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace vip

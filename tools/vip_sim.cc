@@ -1,0 +1,248 @@
+/**
+ * @file
+ * vip_sim: the command-line front-end of the simulator.
+ *
+ * Runs one (workload, configuration) pair with every knob exposed as
+ * a flag and emits the results as a human-readable report, an
+ * optional full stats dump, and an optional per-frame CSV trace.
+ *
+ *   vip_sim --workload W4 --config vip --seconds 0.5
+ *   vip_sim --workload A5 --config baseline --ideal-memory
+ *   vip_sim --workload W7 --config iptoip-fb --trace out.csv
+ *   vip_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/simulation.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: vip_sim [options]\n"
+        "  --workload <A1..A7|W1..W8>   workload (default W4)\n"
+        "  --config <name>              baseline | frameburst |\n"
+        "                               iptoip | iptoip-fb | vip\n"
+        "  --seconds <s>                simulated time (default 0.4)\n"
+        "  --seed <n>                   RNG seed (default 1)\n"
+        "  --burst <frames>             default burst size\n"
+        "  --lanes <n>                  VIP buffer lanes per IP\n"
+        "  --sched <fifo|rr|edf>        VIP hardware scheduler\n"
+        "  --lane-bytes <n>             per-lane buffer bytes\n"
+        "  --deadline <periods>         QoS deadline in frame periods\n"
+        "  --ideal-memory               zero-latency DRAM (Fig 3)\n"
+        "  --no-lowpower                disable DRAM sleep states\n"
+        "  --dvfs                       ondemand CPU governor\n"
+        "  --vsync                      judge QoS at vsync boundaries\n"
+        "  --spill                      overflow full lanes to DRAM\n"
+        "  --stats                      dump component statistics\n"
+        "  --trace <file.csv>           write the per-frame trace\n"
+        "  --list                       list workloads and exit\n");
+}
+
+vip::SystemConfig
+parseConfig(const std::string &name)
+{
+    if (name == "baseline")
+        return vip::SystemConfig::Baseline;
+    if (name == "frameburst")
+        return vip::SystemConfig::FrameBurst;
+    if (name == "iptoip")
+        return vip::SystemConfig::IpToIp;
+    if (name == "iptoip-fb")
+        return vip::SystemConfig::IpToIpBurst;
+    if (name == "vip")
+        return vip::SystemConfig::VIP;
+    vip::fatal("unknown config '", name, "'");
+}
+
+vip::Workload
+parseWorkload(const std::string &name)
+{
+    if (name.size() >= 2 && (name[0] == 'A' || name[0] == 'a'))
+        return vip::WorkloadCatalog::single(std::atoi(&name[1]));
+    if (name.size() >= 2 && (name[0] == 'W' || name[0] == 'w'))
+        return vip::WorkloadCatalog::byIndex(std::atoi(&name[1]));
+    vip::fatal("unknown workload '", name, "' (use A1..A7 or W1..W8)");
+}
+
+void
+listWorkloads()
+{
+    std::printf("single applications (Table 1):\n");
+    for (int i = 1; i <= 7; ++i) {
+        auto a = vip::AppCatalog::byIndex(i);
+        std::printf("  A%d  %-14s (%s)\n", i, a.name.c_str(),
+                    vip::appClassName(a.cls));
+        for (const auto &f : a.flows) {
+            std::printf("      %-26s ", f.name.c_str());
+            for (auto s : f.stages)
+                std::printf("%s-", vip::ipKindName(s));
+            std::printf(" @%.0f FPS\n", f.fps);
+        }
+    }
+    std::printf("multi-app workloads (Table 2):\n");
+    for (const auto &w : vip::WorkloadCatalog::all()) {
+        std::printf("  %-3s %s\n", w.name.c_str(),
+                    w.useCase.c_str());
+    }
+}
+
+void
+report(const vip::RunStats &s)
+{
+    std::printf("==== %s / %s: %.2f simulated seconds ====\n",
+                s.workloadName.c_str(), s.configName.c_str(),
+                s.seconds);
+    std::printf("frames      : %llu completed / %llu generated "
+                "(%.1f FPS displayed)\n",
+                static_cast<unsigned long long>(s.framesCompleted),
+                static_cast<unsigned long long>(s.framesGenerated),
+                s.achievedFps);
+    std::printf("QoS         : %llu violations, %llu drops "
+                "(%.1f%% / %.1f%%)\n",
+                static_cast<unsigned long long>(s.violations),
+                static_cast<unsigned long long>(s.drops),
+                s.violationRate * 100.0, s.dropRate * 100.0);
+    std::printf("latency     : %.3f ms from generation, %.3f ms "
+                "pipeline transit\n",
+                s.meanFlowTimeMs, s.meanTransitMs);
+    std::printf("energy      : %.1f mJ total, %.3f mJ/frame "
+                "(cpu %.1f, dram %.1f, sa %.1f, ip %.1f, buf %.2f)\n",
+                s.totalEnergyMj, s.energyPerFrameMj, s.cpuEnergyMj,
+                s.dramEnergyMj, s.saEnergyMj, s.ipEnergyMj,
+                s.bufferEnergyMj);
+    std::printf("CPU         : %.1f ms active, %llu interrupts "
+                "(%.1f per 100 ms), %.0fM instructions, %.0f%% "
+                "asleep\n",
+                s.cpuActiveMs,
+                static_cast<unsigned long long>(s.interrupts),
+                s.interruptsPer100ms,
+                static_cast<double>(s.instructions) / 1e6,
+                s.cpuSleepFraction * 100.0);
+    std::printf("memory      : %.2f GB/s avg (%.3f GB moved), "
+                "row-hit %.0f%%, >80%% peak %.0f%% of time\n",
+                s.avgMemBandwidthGBps, s.memBytesGB,
+                s.memRowHitRate * 100.0,
+                s.fracTimeAbove80PctBw * 100.0);
+    std::printf("system agent: %.1f%% utilized\n",
+                s.saUtilization * 100.0);
+    std::printf("per-flow:\n");
+    for (const auto &f : s.flows) {
+        std::printf("  %-28s %4llu/%llu frames, %llu viol, "
+                    "%.2f ms, %.1f FPS%s\n",
+                    f.name.c_str(),
+                    static_cast<unsigned long long>(f.completed),
+                    static_cast<unsigned long long>(f.generated),
+                    static_cast<unsigned long long>(f.violations),
+                    f.meanFlowTimeMs, f.achievedFps,
+                    f.qosCritical ? "" : "  (non-critical)");
+    }
+    std::printf("per-IP:\n");
+    for (const auto &ip : s.ips) {
+        std::printf("  %-5s active %7.2f ms, stall %7.2f ms, "
+                    "util %.2f, %6.1f MB DRAM, %llu ctx switches\n",
+                    ip.name.c_str(), ip.activeMs, ip.stallMs,
+                    ip.utilization,
+                    static_cast<double>(ip.memBytes) / 1e6,
+                    static_cast<unsigned long long>(
+                        ip.contextSwitches));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "W4";
+    std::string config = "vip";
+    std::string traceFile;
+    bool wantStats = false;
+    vip::SocConfig cfg;
+    cfg.simSeconds = 0.4;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                vip::fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--config") {
+            config = next();
+        } else if (arg == "--seconds") {
+            cfg.simSeconds = std::atof(next().c_str());
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--burst") {
+            cfg.burstFrames = std::atoi(next().c_str());
+        } else if (arg == "--lanes") {
+            cfg.vipLanes = std::atoi(next().c_str());
+        } else if (arg == "--sched") {
+            auto v = next();
+            cfg.vipSched = v == "fifo" ? vip::SchedPolicy::FIFO
+                : v == "rr" ? vip::SchedPolicy::RoundRobin
+                : vip::SchedPolicy::EDF;
+        } else if (arg == "--lane-bytes") {
+            cfg.laneBytes = std::atoi(next().c_str());
+        } else if (arg == "--deadline") {
+            cfg.deadlineFrames = std::atof(next().c_str());
+        } else if (arg == "--ideal-memory") {
+            cfg.dram.ideal = true;
+        } else if (arg == "--no-lowpower") {
+            cfg.dram.enableLowPower = false;
+        } else if (arg == "--dvfs") {
+            cfg.cpu.governor = vip::CpuGovernor::OnDemand;
+        } else if (arg == "--vsync") {
+            cfg.vsyncAligned = true;
+        } else if (arg == "--spill") {
+            cfg.overflowToMemory = true;
+        } else if (arg == "--stats") {
+            wantStats = true;
+        } else if (arg == "--trace") {
+            traceFile = next();
+            cfg.recordTrace = true;
+        } else if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    try {
+        cfg.system = parseConfig(config);
+        vip::Simulation sim(cfg, parseWorkload(workload));
+        auto s = sim.run();
+        report(s);
+        if (wantStats)
+            sim.dumpStats(std::cout);
+        if (!traceFile.empty()) {
+            std::ofstream out(traceFile);
+            s.trace.dumpCsv(out);
+            std::printf("trace written to %s (%zu frames)\n",
+                        traceFile.c_str(), s.trace.size());
+        }
+    } catch (const vip::SimFatal &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
