@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_memory_bottleneck.
+# This may be replaced when dependencies are built.

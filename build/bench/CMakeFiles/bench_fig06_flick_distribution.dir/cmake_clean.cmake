@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_flick_distribution.dir/bench_fig06_flick_distribution.cc.o"
+  "CMakeFiles/bench_fig06_flick_distribution.dir/bench_fig06_flick_distribution.cc.o.d"
+  "bench_fig06_flick_distribution"
+  "bench_fig06_flick_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_flick_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

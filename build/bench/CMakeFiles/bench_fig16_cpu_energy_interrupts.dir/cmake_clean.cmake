@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cpu_energy_interrupts.dir/bench_fig16_cpu_energy_interrupts.cc.o"
+  "CMakeFiles/bench_fig16_cpu_energy_interrupts.dir/bench_fig16_cpu_energy_interrupts.cc.o.d"
+  "bench_fig16_cpu_energy_interrupts"
+  "bench_fig16_cpu_energy_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cpu_energy_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

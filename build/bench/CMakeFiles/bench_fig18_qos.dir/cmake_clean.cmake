@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_qos.dir/bench_fig18_qos.cc.o"
+  "CMakeFiles/bench_fig18_qos.dir/bench_fig18_qos.cc.o.d"
+  "bench_fig18_qos"
+  "bench_fig18_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

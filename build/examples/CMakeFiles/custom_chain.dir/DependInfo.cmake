@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_chain.cpp" "examples/CMakeFiles/custom_chain.dir/custom_chain.cpp.o" "gcc" "examples/CMakeFiles/custom_chain.dir/custom_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vip_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/vip_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vip_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/vip_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sa/CMakeFiles/vip_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vip_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

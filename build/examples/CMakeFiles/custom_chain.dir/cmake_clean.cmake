@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_chain.dir/custom_chain.cpp.o"
+  "CMakeFiles/custom_chain.dir/custom_chain.cpp.o.d"
+  "custom_chain"
+  "custom_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

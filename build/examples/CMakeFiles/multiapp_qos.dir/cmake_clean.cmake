@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiapp_qos.dir/multiapp_qos.cpp.o"
+  "CMakeFiles/multiapp_qos.dir/multiapp_qos.cpp.o.d"
+  "multiapp_qos"
+  "multiapp_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiapp_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_app.dir/application.cc.o"
+  "CMakeFiles/vip_app.dir/application.cc.o.d"
+  "CMakeFiles/vip_app.dir/flow.cc.o"
+  "CMakeFiles/vip_app.dir/flow.cc.o.d"
+  "CMakeFiles/vip_app.dir/trace.cc.o"
+  "CMakeFiles/vip_app.dir/trace.cc.o.d"
+  "CMakeFiles/vip_app.dir/trace_analysis.cc.o"
+  "CMakeFiles/vip_app.dir/trace_analysis.cc.o.d"
+  "CMakeFiles/vip_app.dir/user_input.cc.o"
+  "CMakeFiles/vip_app.dir/user_input.cc.o.d"
+  "CMakeFiles/vip_app.dir/workload.cc.o"
+  "CMakeFiles/vip_app.dir/workload.cc.o.d"
+  "libvip_app.a"
+  "libvip_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

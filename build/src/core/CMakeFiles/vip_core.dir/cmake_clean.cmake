@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_core.dir/burst_policy.cc.o"
+  "CMakeFiles/vip_core.dir/burst_policy.cc.o.d"
+  "CMakeFiles/vip_core.dir/chain_manager.cc.o"
+  "CMakeFiles/vip_core.dir/chain_manager.cc.o.d"
+  "CMakeFiles/vip_core.dir/flow_runtime.cc.o"
+  "CMakeFiles/vip_core.dir/flow_runtime.cc.o.d"
+  "CMakeFiles/vip_core.dir/header_packet.cc.o"
+  "CMakeFiles/vip_core.dir/header_packet.cc.o.d"
+  "CMakeFiles/vip_core.dir/run_stats.cc.o"
+  "CMakeFiles/vip_core.dir/run_stats.cc.o.d"
+  "CMakeFiles/vip_core.dir/simulation.cc.o"
+  "CMakeFiles/vip_core.dir/simulation.cc.o.d"
+  "libvip_core.a"
+  "libvip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

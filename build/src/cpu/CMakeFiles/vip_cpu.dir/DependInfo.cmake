@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_cluster.cc" "src/cpu/CMakeFiles/vip_cpu.dir/cpu_cluster.cc.o" "gcc" "src/cpu/CMakeFiles/vip_cpu.dir/cpu_cluster.cc.o.d"
+  "/root/repo/src/cpu/cpu_core.cc" "src/cpu/CMakeFiles/vip_cpu.dir/cpu_core.cc.o" "gcc" "src/cpu/CMakeFiles/vip_cpu.dir/cpu_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vip_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_cpu.dir/cpu_cluster.cc.o"
+  "CMakeFiles/vip_cpu.dir/cpu_cluster.cc.o.d"
+  "CMakeFiles/vip_cpu.dir/cpu_core.cc.o"
+  "CMakeFiles/vip_cpu.dir/cpu_core.cc.o.d"
+  "libvip_cpu.a"
+  "libvip_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_driver.dir/software_stack.cc.o"
+  "CMakeFiles/vip_driver.dir/software_stack.cc.o.d"
+  "libvip_driver.a"
+  "libvip_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/ip_core.cc" "src/ip/CMakeFiles/vip_ip.dir/ip_core.cc.o" "gcc" "src/ip/CMakeFiles/vip_ip.dir/ip_core.cc.o.d"
+  "/root/repo/src/ip/ip_types.cc" "src/ip/CMakeFiles/vip_ip.dir/ip_types.cc.o" "gcc" "src/ip/CMakeFiles/vip_ip.dir/ip_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sa/CMakeFiles/vip_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vip_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

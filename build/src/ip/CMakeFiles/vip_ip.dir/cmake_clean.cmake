@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_ip.dir/ip_core.cc.o"
+  "CMakeFiles/vip_ip.dir/ip_core.cc.o.d"
+  "CMakeFiles/vip_ip.dir/ip_types.cc.o"
+  "CMakeFiles/vip_ip.dir/ip_types.cc.o.d"
+  "libvip_ip.a"
+  "libvip_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

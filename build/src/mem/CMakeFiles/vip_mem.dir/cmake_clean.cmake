@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/vip_mem.dir/memory_controller.cc.o.d"
+  "libvip_mem.a"
+  "libvip_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_power.dir/sram_model.cc.o"
+  "CMakeFiles/vip_power.dir/sram_model.cc.o.d"
+  "libvip_power.a"
+  "libvip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

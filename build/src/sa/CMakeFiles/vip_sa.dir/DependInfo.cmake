@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sa/system_agent.cc" "src/sa/CMakeFiles/vip_sa.dir/system_agent.cc.o" "gcc" "src/sa/CMakeFiles/vip_sa.dir/system_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vip_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

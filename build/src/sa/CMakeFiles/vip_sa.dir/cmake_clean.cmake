@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_sa.dir/system_agent.cc.o"
+  "CMakeFiles/vip_sa.dir/system_agent.cc.o.d"
+  "libvip_sa.a"
+  "libvip_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vip_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vip_sim.dir/logging.cc.o"
+  "CMakeFiles/vip_sim.dir/logging.cc.o.d"
+  "CMakeFiles/vip_sim.dir/sim_object.cc.o"
+  "CMakeFiles/vip_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/vip_sim.dir/system.cc.o"
+  "CMakeFiles/vip_sim.dir/system.cc.o.d"
+  "libvip_sim.a"
+  "libvip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_stats.dir/stats.cc.o"
+  "CMakeFiles/vip_stats.dir/stats.cc.o.d"
+  "libvip_stats.a"
+  "libvip_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_catalog.cc" "tests/CMakeFiles/vip_tests.dir/test_app_catalog.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_app_catalog.cc.o.d"
+  "/root/repo/tests/test_burst_policy.cc" "tests/CMakeFiles/vip_tests.dir/test_burst_policy.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_burst_policy.cc.o.d"
+  "/root/repo/tests/test_chain_manager.cc" "tests/CMakeFiles/vip_tests.dir/test_chain_manager.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_chain_manager.cc.o.d"
+  "/root/repo/tests/test_coverage.cc" "tests/CMakeFiles/vip_tests.dir/test_coverage.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_coverage.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/vip_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/vip_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/vip_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_header_packet.cc" "tests/CMakeFiles/vip_tests.dir/test_header_packet.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_header_packet.cc.o.d"
+  "/root/repo/tests/test_ip_job.cc" "tests/CMakeFiles/vip_tests.dir/test_ip_job.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_ip_job.cc.o.d"
+  "/root/repo/tests/test_ip_stream.cc" "tests/CMakeFiles/vip_tests.dir/test_ip_stream.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_ip_stream.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/vip_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_misc_models.cc" "tests/CMakeFiles/vip_tests.dir/test_misc_models.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_misc_models.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/vip_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/vip_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_random_workloads.cc" "tests/CMakeFiles/vip_tests.dir/test_random_workloads.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_random_workloads.cc.o.d"
+  "/root/repo/tests/test_sim_core.cc" "tests/CMakeFiles/vip_tests.dir/test_sim_core.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_sim_core.cc.o.d"
+  "/root/repo/tests/test_simulation.cc" "tests/CMakeFiles/vip_tests.dir/test_simulation.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_simulation.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/vip_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system_agent.cc" "tests/CMakeFiles/vip_tests.dir/test_system_agent.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_system_agent.cc.o.d"
+  "/root/repo/tests/test_trace_analysis.cc" "tests/CMakeFiles/vip_tests.dir/test_trace_analysis.cc.o" "gcc" "tests/CMakeFiles/vip_tests.dir/test_trace_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vip_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/vip_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vip_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/vip_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sa/CMakeFiles/vip_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vip_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vip_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vip_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vip_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

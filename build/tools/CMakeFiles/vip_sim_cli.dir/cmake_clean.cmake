@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_sim_cli.dir/vip_sim.cc.o"
+  "CMakeFiles/vip_sim_cli.dir/vip_sim.cc.o.d"
+  "vip_sim"
+  "vip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
