@@ -99,6 +99,14 @@ FlowRuntime::makeCtx(std::uint64_t k)
 }
 
 void
+FlowRuntime::noteDegraded(std::uint64_t k)
+{
+    auto it = _frames.find(k);
+    if (it != _frames.end())
+        it->second.degraded = true;
+}
+
+void
 FlowRuntime::recordStart(std::uint64_t k)
 {
     auto it = _frames.find(k);
@@ -122,8 +130,9 @@ FlowRuntime::frameDone(std::uint64_t k)
         Tick vs = fromSec(1.0 / _p.cfg->vsyncHz);
         judged = (now + vs - 1) / vs * vs;
     }
-    bool violated = judged > ctx.deadline;
-    bool dropped = judged > ctx.deadline + _spec.period();
+    bool violated = ctx.degraded || judged > ctx.deadline;
+    bool dropped = ctx.degraded ||
+                   judged > ctx.deadline + _spec.period();
     ++_completed;
     if (violated)
         ++_violations;

@@ -82,6 +82,18 @@ class FlowRuntime
      *  transactional chain acquisition. */
     bool vipFallback() const { return _vipFallback; }
 
+    /**
+     * Fault recovery gave up on frame @p k somewhere in the chain:
+     * its payload is lost, so it is judged a deadline miss (and a
+     * drop) when it drains, however fast the passthrough is.
+     */
+    void noteDegraded(std::uint64_t k);
+
+    /** @{ progress snapshot for the no-progress guard */
+    std::uint64_t completedFrames() const { return _completed; }
+    std::size_t framesInFlight() const { return _frames.size(); }
+    /** @} */
+
   private:
     struct FrameCtx
     {
@@ -90,6 +102,7 @@ class FlowRuntime
         Tick gen = 0;       ///< nominal generation time
         Tick deadline = 0;
         Tick started = 0;   ///< first stage began processing
+        bool degraded = false; ///< payload lost to a fault
         std::shared_ptr<std::uint32_t> burstLeft;
     };
 

@@ -26,6 +26,11 @@ RunStats::summary() const
        << ", irq/100ms=" << interruptsPer100ms
        << ", memBW=" << avgMemBandwidthGBps << " GB/s"
        << ", cpuActive=" << cpuActiveMs << " ms";
+    if (faults.injected() > 0) {
+        os << ", faults=" << faults.injected()
+           << " (resets=" << faults.watchdogResets
+           << ", degraded=" << faults.framesDegraded << ")";
+    }
     return os.str();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "app/trace.hh"
+#include "fault/fault_plan.hh"
 
 namespace vip
 {
@@ -42,6 +43,11 @@ struct IpResult
     std::uint64_t contextSwitches = 0;
     /** DRAM bytes this IP moved (its DMA traffic attribution). */
     std::uint64_t memBytes = 0;
+    /** @{ Fault recovery (all zero without a fault plan). */
+    std::uint64_t watchdogResets = 0;
+    std::uint64_t unitRetries = 0;
+    std::uint64_t framesDegraded = 0;
+    /** @} */
 };
 
 /** Aggregate results of one run. */
@@ -91,6 +97,12 @@ struct RunStats
     /** @} */
 
     double saUtilization = 0.0;
+
+    /**
+     * Aggregate fault-injection and recovery counters for the run
+     * (all zero when no fault plan was configured).
+     */
+    FaultStats faults;
 
     std::vector<FlowResult> flows;
     std::vector<IpResult> ips;

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <ostream>
 #include <set>
+#include <sstream>
 
 namespace vip
 {
@@ -20,10 +21,15 @@ Simulation::~Simulation() = default;
 void
 Simulation::build()
 {
-    _mem = std::make_unique<MemoryController>(_sys, "soc.mem",
-                                              _cfg.dram, _ledger);
+    // One injector shared by every component keeps the fault
+    // sequence a single deterministic stream.
+    if (_cfg.fault.enabled())
+        _faults = std::make_unique<FaultInjector>(_cfg.fault);
+
+    _mem = std::make_unique<MemoryController>(
+        _sys, "soc.mem", _cfg.dram, _ledger, _faults.get());
     _sa = std::make_unique<SystemAgent>(_sys, "soc.sa", _cfg.sa, *_mem,
-                                        _ledger);
+                                        _ledger, _faults.get());
     _cpus = std::make_unique<CpuCluster>(_sys, "soc.cpu", _cfg.cpu,
                                          _cfg.cpuCores, _ledger);
     _stack = std::make_unique<SoftwareStack>(*_cpus, _cfg.drivers);
@@ -39,9 +45,16 @@ Simulation::build()
         }
     }
     for (auto k : kinds) {
-        _ips.emplace(k, std::make_unique<IpCore>(
+        auto [it, ok] = _ips.emplace(k, std::make_unique<IpCore>(
             _sys, std::string("soc.ip.") + ipKindName(k),
-            _cfg.ipParamsFor(k), *_sa, _ledger));
+            _cfg.ipParamsFor(k), *_sa, _ledger, _faults.get()));
+        // Flow ids are assigned densely below, so the id doubles as
+        // an index into _flows.
+        it->second->setDegradeNotifier(
+            [this](FlowId f, std::uint64_t frame) {
+                if (static_cast<std::size_t>(f) < _flows.size())
+                    _flows[f]->noteDegraded(frame);
+            });
     }
 
     PlatformRefs refs;
@@ -108,14 +121,80 @@ Simulation::stopAppAt(const std::string &app_name, Tick when)
         fatal("stopAppAt: no flows belong to app '", app_name, "'");
 }
 
+std::uint64_t
+Simulation::retiredWork() const
+{
+    // Any sign of forward progress counts: a frame leaving a flow, a
+    // sub-frame or job leaving an engine, a frame exiting a chain.
+    // A wedged platform freezes *all* of these at once.
+    std::uint64_t n = 0;
+    for (const auto &f : _flows)
+        n += f->completedFrames();
+    for (const auto &[kind, ip] : _ips) {
+        n += ip->subframesProcessed() + ip->jobsCompleted() +
+             ip->framesExited();
+    }
+    return n;
+}
+
+std::size_t
+Simulation::framesInFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &f : _flows)
+        n += f->framesInFlight();
+    return n;
+}
+
+std::string
+Simulation::progressDump() const
+{
+    std::ostringstream os;
+    os << "  eventq: " << _sys.eventq().pending() << " pending, tick "
+       << _sys.curTick() << "\n";
+    os << "  mem: " << _mem->inFlight() << " transactions in flight\n";
+    for (const auto &f : _flows) {
+        os << "  flow " << f->spec().name << ": "
+           << f->framesInFlight() << " frames in flight, "
+           << f->completedFrames() << " completed\n";
+    }
+    for (const auto &[kind, ip] : _ips)
+        os << "  " << ip->debugState() << "\n";
+    return os.str();
+}
+
+void
+Simulation::checkProgress()
+{
+    std::uint64_t now = retiredWork();
+    if (now == _lastRetired && framesInFlight() > 0) {
+        fatal("no progress for ", _cfg.noProgressSec,
+              " simulated seconds with frames in flight; the "
+              "platform is wedged.  Occupancy:\n", progressDump());
+    }
+    _lastRetired = now;
+    _sys.eventq().scheduleIn(
+        fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
+        EventPriority::Teardown);
+}
+
 RunStats
 Simulation::run()
 {
-    vip_assert(!_ran, "Simulation::run() may only be called once");
+    if (_ran) {
+        fatal("Simulation::run() may only be called once; construct "
+              "a fresh Simulation per run");
+    }
     _ran = true;
 
     for (auto &f : _flows)
         f->start();
+    if (_cfg.noProgressSec > 0.0) {
+        _lastRetired = 0;
+        _sys.eventq().scheduleIn(
+            fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
+            EventPriority::Teardown);
+    }
     _sys.run(fromSec(_cfg.simSeconds));
     _ledger.closeAll(_sys.curTick());
     return collect(_cfg.simSeconds);
@@ -223,8 +302,14 @@ Simulation::collect(double seconds)
         ir.contextSwitches = ip->contextSwitches();
         ir.memBytes = _mem->bytesForRequester(
             static_cast<std::uint32_t>(kind));
+        ir.watchdogResets = ip->watchdogResets();
+        ir.unitRetries = ip->unitRetries();
+        ir.framesDegraded = ip->framesDegraded();
         r.ips.push_back(std::move(ir));
     }
+
+    if (_faults)
+        r.faults = _faults->stats();
 
     if (_cfg.recordTrace)
         r.trace = _trace;

@@ -27,6 +27,7 @@
 #include "core/flow_runtime.hh"
 #include "core/run_stats.hh"
 #include "core/soc_config.hh"
+#include "fault/fault_injector.hh"
 
 namespace vip
 {
@@ -51,6 +52,8 @@ class Simulation
     CpuCluster &cpus() { return *_cpus; }
     ChainManager &chains() { return *_chains; }
     IpCore *ip(IpKind kind);
+    /** The run's fault injector; null when the plan is all-zeros. */
+    FaultInjector *faults() { return _faults.get(); }
     const SocConfig &config() const { return _cfg; }
     const Workload &workload() const { return _wl; }
     const std::vector<std::unique_ptr<FlowRuntime>> &flows() const
@@ -81,6 +84,15 @@ class Simulation
     void build();
     RunStats collect(double seconds);
 
+    /** @{ no-progress guard */
+    /** Total units of retired work (frames, sub-frames, jobs). */
+    std::uint64_t retiredWork() const;
+    std::size_t framesInFlight() const;
+    /** Multi-line occupancy dump for the abort diagnostic. */
+    std::string progressDump() const;
+    void checkProgress();
+    /** @} */
+
     SocConfig _cfg;
     Workload _wl;
     System _sys;
@@ -88,6 +100,7 @@ class Simulation
     FrameAllocator _alloc;
     FrameTrace _trace;
 
+    std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<MemoryController> _mem;
     std::unique_ptr<SystemAgent> _sa;
     std::unique_ptr<CpuCluster> _cpus;
@@ -95,6 +108,7 @@ class Simulation
     std::unique_ptr<ChainManager> _chains;
     std::map<IpKind, std::unique_ptr<IpCore>> _ips;
     std::vector<std::unique_ptr<FlowRuntime>> _flows;
+    std::uint64_t _lastRetired = 0;
     bool _ran = false;
 };
 

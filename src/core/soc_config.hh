@@ -12,6 +12,7 @@
 #include "core/system_config.hh"
 #include "cpu/cpu_core.hh"
 #include "driver/software_stack.hh"
+#include "fault/fault_plan.hh"
 #include "ip/ip_types.hh"
 #include "mem/dram_config.hh"
 #include "sa/system_agent.hh"
@@ -79,6 +80,24 @@ struct SocConfig
 
     /** Record the full per-frame trace into RunStats. */
     bool recordTrace = false;
+
+    /**
+     * Fault-injection plan.  All probabilities default to zero, so a
+     * plain config runs fault-free; a non-trivial plan instantiates a
+     * FaultInjector shared by the IPs, the SA and the memory
+     * controller.
+     */
+    FaultPlan fault{};
+
+    /**
+     * No-progress guard interval in simulated seconds (0 disables).
+     * If frames are in flight and no flow or IP retires any work for
+     * a whole interval, the run aborts with a diagnostic occupancy
+     * dump instead of spinning to the time limit.  The default is
+     * generous: healthy pipelines retire sub-frames every few
+     * milliseconds, so a quarter second of silence means a wedge.
+     */
+    double noProgressSec = 0.25;
 
     /** Per-kind IP parameter overrides (else defaultIpParams()). */
     std::map<IpKind, IpParams> ipOverrides;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * FaultInjector: the single source of fault decisions for a run.
+ *
+ * One injector is shared by every component of a Simulation.  Each
+ * inject*() call draws exactly one decision from the injector's own
+ * deterministic RNG at a well-defined point of the (already
+ * deterministic) event schedule, so a fixed (plan, workload, seed)
+ * triple reproduces the same fault sequence bit for bit.
+ *
+ * The injector also centralizes the recovery bookkeeping: components
+ * report watchdog resets, retries, retransmissions, degraded frames
+ * and recovery latencies here, and Simulation::collect() folds the
+ * totals into RunStats.
+ */
+
+#ifndef VIP_FAULT_FAULT_INJECTOR_HH
+#define VIP_FAULT_FAULT_INJECTOR_HH
+
+#include "fault/fault_plan.hh"
+#include "sim/random.hh"
+
+namespace vip
+{
+
+/** Draws fault decisions and accumulates fault/recovery counters. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan)
+        : _plan(plan), _rng(plan.seed)
+    {
+        _plan.validate();
+    }
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** Outcome of one DRAM burst's ECC check. */
+    enum class EccOutcome
+    {
+        None,
+        Corrected,    ///< single-bit flip, fixed for a latency penalty
+        Uncorrected,  ///< burst must be replayed
+    };
+
+    /** @{ Decision draws (each consumes one RNG sample). */
+
+    /** Engine wedges at the start of this compute unit. */
+    bool
+    injectEngineHang()
+    {
+        if (!_rng.chance(_plan.engineHangProb))
+            return false;
+        ++_stats.engineHangs;
+        return true;
+    }
+
+    /** This completed unit's output fails its CRC. */
+    bool
+    injectSubframeCorruption()
+    {
+        if (!_rng.chance(_plan.subframeCorruptProb))
+            return false;
+        ++_stats.corruptions;
+        return true;
+    }
+
+    /** This SA payload transfer is corrupted in flight. */
+    bool
+    injectTransferError()
+    {
+        if (!_rng.chance(_plan.transferErrorProb))
+            return false;
+        ++_stats.transferErrors;
+        return true;
+    }
+
+    /** ECC outcome of one DRAM burst. */
+    EccOutcome
+    injectEccEvent()
+    {
+        double u = _rng.uniform();
+        if (u < _plan.eccUncorrectableProb) {
+            ++_stats.eccUncorrectable;
+            return EccOutcome::Uncorrected;
+        }
+        if (u < _plan.eccUncorrectableProb + _plan.eccCorrectableProb) {
+            ++_stats.eccCorrectable;
+            return EccOutcome::Corrected;
+        }
+        return EccOutcome::None;
+    }
+
+    /** @} */
+
+    /** @{ Recovery bookkeeping (reported by the components). */
+    void noteWatchdogReset() { ++_stats.watchdogResets; }
+    void noteUnitRetry() { ++_stats.unitRetries; }
+    void noteTransferRetry() { ++_stats.transferRetries; }
+    void noteFrameDegraded() { ++_stats.framesDegraded; }
+
+    /** Extra time a recovered unit spent beyond its nominal compute. */
+    void
+    noteRecoveryLatency(Tick extra)
+    {
+        ++_stats.recoveries;
+        double ms = toMs(extra);
+        _stats.recoverySumMs += ms;
+        if (ms > _stats.recoveryMaxMs)
+            _stats.recoveryMaxMs = ms;
+    }
+    /** @} */
+
+    const FaultStats &stats() const { return _stats; }
+
+  private:
+    FaultPlan _plan;
+    Random _rng;
+    FaultStats _stats;
+};
+
+} // namespace vip
+
+#endif // VIP_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,139 @@
+#include "fault/fault_plan.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+namespace
+{
+
+void
+checkProb(double p, const char *what)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("fault plan: ", what, " probability ", p,
+              " outside [0, 1]");
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return engineHangProb > 0.0 || subframeCorruptProb > 0.0 ||
+           transferErrorProb > 0.0 || eccCorrectableProb > 0.0 ||
+           eccUncorrectableProb > 0.0;
+}
+
+void
+FaultPlan::validate() const
+{
+    checkProb(engineHangProb, "engine-hang");
+    checkProb(subframeCorruptProb, "sub-frame-corruption");
+    checkProb(transferErrorProb, "transfer-error");
+    checkProb(eccCorrectableProb, "ecc-correctable");
+    checkProb(eccUncorrectableProb, "ecc-uncorrectable");
+    if (eccCorrectableProb + eccUncorrectableProb > 1.0)
+        fatal("fault plan: ECC probabilities sum above 1");
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "hang=" << engineHangProb
+       << " corrupt=" << subframeCorruptProb
+       << " xfer=" << transferErrorProb
+       << " ecc=" << eccCorrectableProb
+       << " ecc-fatal=" << eccUncorrectableProb
+       << " watchdog=" << toUs(watchdogTimeout) << "us"
+       << " retries=" << maxRetries
+       << " seed=" << seed;
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::preset(const std::string &name)
+{
+    FaultPlan p;
+    if (name == "none")
+        return p;
+    if (name == "light") {
+        p.engineHangProb = 0.002;
+        p.subframeCorruptProb = 0.002;
+        p.transferErrorProb = 0.001;
+        p.eccCorrectableProb = 5e-4;
+        p.eccUncorrectableProb = 5e-5;
+        return p;
+    }
+    if (name == "moderate") {
+        p.engineHangProb = 0.01;
+        p.subframeCorruptProb = 0.01;
+        p.transferErrorProb = 0.005;
+        p.eccCorrectableProb = 2e-3;
+        p.eccUncorrectableProb = 2e-4;
+        return p;
+    }
+    if (name == "heavy") {
+        p.engineHangProb = 0.05;
+        p.subframeCorruptProb = 0.05;
+        p.transferErrorProb = 0.02;
+        p.eccCorrectableProb = 1e-2;
+        p.eccUncorrectableProb = 1e-3;
+        return p;
+    }
+    fatal("unknown fault preset '", name,
+          "' (use none | light | moderate | heavy)");
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    // A bare preset name is the common case.
+    if (spec.find('=') == std::string::npos)
+        return preset(spec);
+
+    FaultPlan p;
+    std::istringstream in(spec);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("fault plan: expected key=value, got '", item, "'");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        double num = std::atof(val.c_str());
+        if (key == "hang")
+            p.engineHangProb = num;
+        else if (key == "corrupt")
+            p.subframeCorruptProb = num;
+        else if (key == "xfer")
+            p.transferErrorProb = num;
+        else if (key == "ecc")
+            p.eccCorrectableProb = num;
+        else if (key == "ecc-fatal")
+            p.eccUncorrectableProb = num;
+        else if (key == "watchdog-us")
+            p.watchdogTimeout = fromUs(num);
+        else if (key == "retries")
+            p.maxRetries = static_cast<std::uint32_t>(num);
+        else if (key == "reset-us")
+            p.resetPenalty = fromUs(num);
+        else if (key == "xfer-retries")
+            p.maxTransferRetries = static_cast<std::uint32_t>(num);
+        else if (key == "seed")
+            p.seed = std::strtoull(val.c_str(), nullptr, 10);
+        else
+            fatal("fault plan: unknown key '", key, "'");
+    }
+    p.validate();
+    return p;
+}
+
+} // namespace vip

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fault model: what can go wrong, how often, and how the
+ * platform recovers.
+ *
+ * A FaultPlan describes the per-event fault probabilities and the
+ * recovery parameters (watchdog timeout, retry budget, reset/backoff
+ * penalty).  All probabilities are per *opportunity*: per compute unit
+ * for engine hangs and sub-frame corruption, per SA payload transfer
+ * for link errors, and per DRAM burst for ECC events.  Injection
+ * decisions are drawn from a dedicated deterministic RNG seeded by the
+ * plan, so two runs with the same plan, workload and seed experience
+ * bit-identical fault sequences.
+ *
+ * The aggregate outcome of a run is carried in FaultStats, which the
+ * FaultInjector accumulates and RunStats exposes.
+ */
+
+#ifndef VIP_FAULT_FAULT_PLAN_HH
+#define VIP_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** Probabilities and recovery knobs for one run's fault campaign. */
+struct FaultPlan
+{
+    /** Seed of the injector's own RNG (independent of the workload). */
+    std::uint64_t seed = 1;
+
+    /** @{ Injection probabilities (0 disables the mechanism). */
+    /** Engine wedges at the start of a compute unit (per unit). */
+    double engineHangProb = 0.0;
+    /** Output of a completed unit fails its CRC (per unit). */
+    double subframeCorruptProb = 0.0;
+    /** SA payload transfer is corrupted in flight (per transfer). */
+    double transferErrorProb = 0.0;
+    /** DRAM burst suffers a correctable ECC flip (per burst). */
+    double eccCorrectableProb = 0.0;
+    /** DRAM burst suffers an uncorrectable error (per burst). */
+    double eccUncorrectableProb = 0.0;
+    /** @} */
+
+    /** @{ Recovery parameters. */
+    /**
+     * Extra silence (beyond the unit's nominal compute time) before
+     * the per-IP watchdog declares the engine hung and resets it.
+     * 0 disables the watchdog entirely: a hung engine then stays
+     * wedged until the global no-progress guard aborts the run.
+     */
+    Tick watchdogTimeout = fromUs(100);
+    /** Retries per work unit before the frame is dropped. */
+    std::uint32_t maxRetries = 3;
+    /** Engine reset cost; doubles per consecutive retry (backoff). */
+    Tick resetPenalty = fromUs(10);
+    /** Extra latency of an ECC-corrected DRAM burst. */
+    Tick eccCorrectionLatency = fromNs(30);
+    /** Retransmissions per SA transfer before delivering anyway. */
+    std::uint32_t maxTransferRetries = 4;
+    /** @} */
+
+    /** True when any injection probability is non-zero. */
+    bool enabled() const;
+
+    /** fatal() on nonsense (probabilities outside [0,1], ...). */
+    void validate() const;
+
+    /** One-line human-readable description. */
+    std::string describe() const;
+
+    /**
+     * Parse a plan from a spec string: either a preset name
+     * ("none" | "light" | "moderate" | "heavy") or a comma-separated
+     * key=value list, e.g.
+     *   "hang=0.01,corrupt=0.005,xfer=0.002,ecc=1e-4,ecc-fatal=1e-6,
+     *    watchdog-us=100,retries=3,reset-us=10,xfer-retries=4,seed=7"
+     * Unknown keys are fatal().
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Named presets used by the CLI and the degradation bench. */
+    static FaultPlan preset(const std::string &name);
+};
+
+/** Aggregate fault/recovery counters of one run. */
+struct FaultStats
+{
+    /** @{ Injections. */
+    std::uint64_t engineHangs = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t transferErrors = 0;
+    std::uint64_t eccCorrectable = 0;
+    std::uint64_t eccUncorrectable = 0;
+    /** @} */
+
+    /** @{ Recovery actions. */
+    std::uint64_t watchdogResets = 0;
+    std::uint64_t unitRetries = 0;     ///< recomputes (reset or CRC)
+    std::uint64_t transferRetries = 0; ///< SA retransmissions
+    std::uint64_t framesDegraded = 0;  ///< retry budget exhausted
+    /** @} */
+
+    /** @{ Recovery latency (extra time beyond nominal compute). */
+    std::uint64_t recoveries = 0; ///< units that needed >= 1 retry
+    double recoverySumMs = 0.0;
+    double recoveryMaxMs = 0.0;
+    /** @} */
+
+    std::uint64_t injected() const
+    {
+        return engineHangs + corruptions + transferErrors +
+               eccCorrectable + eccUncorrectable;
+    }
+
+    double meanRecoveryMs() const
+    {
+        return recoveries
+            ? recoverySumMs / static_cast<double>(recoveries) : 0.0;
+    }
+
+    bool operator==(const FaultStats &) const = default;
+};
+
+} // namespace vip
+
+#endif // VIP_FAULT_FAULT_PLAN_HH

@@ -1,6 +1,7 @@
 #include "ip/ip_core.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 namespace vip
@@ -18,17 +19,23 @@ ceilDiv(std::uint64_t a, std::uint64_t b)
 } // namespace
 
 IpCore::IpCore(System &system, std::string name, const IpParams &params,
-               SystemAgent &sa, EnergyLedger &ledger)
+               SystemAgent &sa, EnergyLedger &ledger,
+               FaultInjector *faults)
     : ClockedObject(system, std::move(name), ClockDomain(params.clockHz)),
       _p(params),
       _sa(sa),
       _energy(ledger.account("ip", this->name())),
       _bufferEnergy(ledger.account("buffer", this->name())),
+      _faults(faults),
       _lanes(params.numLanes),
       _stats(this->name()),
       _statJobs(_stats, "jobs", "stage jobs completed"),
       _statSubframes(_stats, "subframes", "work units processed"),
       _statCtxSwitches(_stats, "ctxSwitches", "lane context switches"),
+      _statResets(_stats, "watchdogResets", "engine watchdog resets"),
+      _statRetries(_stats, "unitRetries", "work units recomputed"),
+      _statDegraded(_stats, "framesDegraded",
+                    "frames dropped after retry exhaustion"),
       _statJobLatencyMs(_stats, "jobLatencyMs", "job latency (ms)")
 {
     vip_assert(params.numLanes >= 1 && params.numLanes <= 8,
@@ -131,6 +138,191 @@ IpCore::finalize()
     _bufferEnergy.close(curTick());
 }
 
+std::string
+IpCore::debugState() const
+{
+    std::ostringstream os;
+    os << name() << ": "
+       << (_computing ? "computing"
+                      : (anyWorkPending() ? "stalled" : "idle"));
+    if (_computing && _unitAttempts > 0)
+        os << " (unit retried " << _unitAttempts << "x)";
+    if (_computing && _computeEvent == InvalidEventId &&
+        _watchdogEvent == InvalidEventId) {
+        os << " (engine wedged, no watchdog armed)";
+    }
+    if (_jobActive || !_jobs.empty()) {
+        os << " job=" << _unitsComputed << "/" << _unitsTotal
+           << " queued=" << _jobs.size();
+    }
+    os << " curLane=" << _currentLane << " sticky=" << _stickyLane;
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        const Lane &l = _lanes[i];
+        if (!l.bound)
+            continue;
+        os << " L" << i << "[flow=" << l.flow
+           << " frames=" << l.frames.size()
+           << " in=" << l.inAvail << "/" << l.occupancy
+           << " out=" << l.outQueueBytes
+           << " feeds=" << l.feeds.size()
+           << " dma=" << l.outstandingDma << "]";
+    }
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Fault injection + watchdog recovery
+//
+// Every compute unit of either mode funnels through startUnit(): the
+// injector may wedge the engine (completion never fires) or corrupt
+// the result (detected by CRC at completion); the watchdog detects
+// wedges and recovery retries the unit with exponential backoff until
+// the budget runs out, at which point the frame's payload is dropped
+// and the remainder drains as zero-cost passthrough.
+// --------------------------------------------------------------------
+
+void
+IpCore::startUnit(bool stream, int lane, Tick time, bool degraded)
+{
+    vip_assert(!_computing, "unit started while engine busy on ",
+               name());
+    _computing = true;
+    _unitStream = stream;
+    _unitLane = lane;
+    _unitDegraded = degraded;
+    _unitTime = degraded ? 0 : time;
+    _unitStart = curTick();
+    _unitAttempts = 0;
+    armComputeAttempt(0);
+}
+
+void
+IpCore::armComputeAttempt(Tick extra_delay)
+{
+    if (!_unitDegraded && _faults && _faults->injectEngineHang()) {
+        // The engine wedges: no completion is scheduled.  Only the
+        // watchdog (when configured) gets it moving again; without
+        // one the IP stays stuck until the global no-progress guard
+        // aborts the run.
+        armWatchdog(extra_delay);
+        return;
+    }
+    _computeEvent = scheduleIn(extra_delay + _unitTime,
+                               [this] { onComputeAttemptDone(); });
+    if (!_unitDegraded && _faults)
+        armWatchdog(extra_delay);
+}
+
+void
+IpCore::armWatchdog(Tick extra_delay)
+{
+    if (!_faults || _faults->plan().watchdogTimeout == 0)
+        return;
+    _watchdogEvent =
+        scheduleIn(extra_delay + _unitTime +
+                       _faults->plan().watchdogTimeout,
+                   [this] { onWatchdogTimeout(); });
+}
+
+void
+IpCore::cancelWatchdog()
+{
+    if (_watchdogEvent != InvalidEventId) {
+        deschedule(_watchdogEvent);
+        _watchdogEvent = InvalidEventId;
+    }
+}
+
+void
+IpCore::onComputeAttemptDone()
+{
+    vip_assert(_computing, "spurious unit completion on ", name());
+    _computeEvent = InvalidEventId;
+    cancelWatchdog();
+    // The CRC over the unit's output is checked at completion; a
+    // corrupted sub-frame is recomputed from the (still buffered)
+    // input.
+    if (!_unitDegraded && _faults &&
+        _faults->injectSubframeCorruption()) {
+        retryUnit(/*from_reset=*/false);
+        return;
+    }
+    finishUnit();
+}
+
+void
+IpCore::onWatchdogTimeout()
+{
+    vip_assert(_computing, "watchdog fired on idle engine of ", name());
+    _watchdogEvent = InvalidEventId;
+    if (_computeEvent != InvalidEventId) {
+        deschedule(_computeEvent);
+        _computeEvent = InvalidEventId;
+    }
+    ++_watchdogResets;
+    ++_statResets;
+    _faults->noteWatchdogReset();
+    retryUnit(/*from_reset=*/true);
+}
+
+void
+IpCore::retryUnit(bool from_reset)
+{
+    ++_unitAttempts;
+    ++_unitRetries;
+    ++_statRetries;
+    _faults->noteUnitRetry();
+    if (_unitAttempts > _faults->plan().maxRetries) {
+        giveUpUnit();
+        return;
+    }
+    // A reset pays the engine reset penalty, doubling per consecutive
+    // retry (backoff); a CRC retry recomputes immediately.
+    Tick backoff = from_reset
+        ? _faults->plan().resetPenalty << (_unitAttempts - 1)
+        : 0;
+    armComputeAttempt(backoff);
+}
+
+void
+IpCore::giveUpUnit()
+{
+    // Retry budget exhausted: the frame's payload is lost.  The unit
+    // (and the frame's remaining units) complete as zero-cost
+    // passthrough so byte accounting and downstream credits stay
+    // consistent and the chain resynchronizes at the next frame
+    // boundary; the display end sees a degraded frame.
+    ++_framesDegraded;
+    ++_statDegraded;
+    _faults->noteFrameDegraded();
+    if (_unitStream) {
+        Lane &l = _lanes[_unitLane];
+        vip_assert(!l.frames.empty(), "give-up on empty lane");
+        l.frames.front().faulted = true;
+        if (_onDegrade)
+            _onDegrade(l.flow, l.frames.front().frameId);
+    } else {
+        _jobFaulted = true;
+        if (_onDegrade)
+            _onDegrade(_job.flowId, _job.frameId);
+    }
+    finishUnit();
+}
+
+void
+IpCore::finishUnit()
+{
+    if (_unitAttempts > 0) {
+        Tick elapsed = curTick() - _unitStart;
+        Tick extra = elapsed > _unitTime ? elapsed - _unitTime : 0;
+        _faults->noteRecoveryLatency(extra);
+    }
+    if (_unitStream)
+        onUnitComputed(_unitLane);
+    else
+        onJobUnitComputed();
+}
+
 // --------------------------------------------------------------------
 // Job mode
 // --------------------------------------------------------------------
@@ -219,11 +411,10 @@ IpCore::tryComputeJobUnit()
         return;
     }
     --_unitsReady;
-    _computing = true;
     std::uint64_t in_unit = ceilDiv(_job.inputBytes, _unitsTotal);
     std::uint64_t out_unit = ceilDiv(_job.outputBytes, _unitsTotal);
-    scheduleIn(computeTime(in_unit, out_unit),
-               [this] { onJobUnitComputed(); });
+    startUnit(/*stream=*/false, /*lane=*/-1,
+              computeTime(in_unit, out_unit), _jobFaulted);
     updateEngineState();
 }
 
@@ -267,6 +458,7 @@ IpCore::checkJobDone()
         return;
     }
     _jobActive = false;
+    _jobFaulted = false;
     ++_jobsCompleted;
     ++_statJobs;
     _statJobLatencyMs.sample(toMs(curTick() - _jobStartTick));
@@ -672,10 +864,10 @@ IpCore::kickStream()
         releaseInputBytes(lane, uIn);
     }
 
-    _computing = true;
-    Tick t = computeTime(uIn, uOut) +
-             (cs ? _p.contextSwitchPenalty : 0);
-    scheduleIn(t, [this, lane] { onUnitComputed(lane); });
+    startUnit(/*stream=*/true, lane,
+              computeTime(uIn, uOut) +
+                  (cs ? _p.contextSwitchPenalty : 0),
+              f.faulted);
     updateEngineState();
 }
 

@@ -28,6 +28,16 @@
  * The same object integrates its three-state power model (active /
  * stalled / idle) and the lane-buffer access energy through the
  * CACTI-like SramModel.
+ *
+ * **Fault tolerance**: when a FaultInjector is attached, every compute
+ * unit (both modes) may hang the engine or produce a corrupted
+ * sub-frame.  A per-IP watchdog detects the silence, resets the
+ * engine and retries the unit with exponential backoff; corrupted
+ * units are recomputed.  When the retry budget is exhausted the
+ * current frame's payload is dropped: the rest of the frame drains as
+ * zero-cost passthrough so the chain resynchronizes at the next frame
+ * boundary, and the damage surfaces downstream as a late/degraded
+ * frame in the QoS stats.
  */
 
 #ifndef VIP_IP_IP_CORE_HH
@@ -36,8 +46,10 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "ip/ip_types.hh"
 #include "ip/work.hh"
 #include "power/energy_account.hh"
@@ -59,7 +71,8 @@ class IpCore : public ClockedObject
     using FrameStartFn = std::function<void(FlowId, std::uint64_t)>;
 
     IpCore(System &system, std::string name, const IpParams &params,
-           SystemAgent &sa, EnergyLedger &ledger);
+           SystemAgent &sa, EnergyLedger &ledger,
+           FaultInjector *faults = nullptr);
 
     const IpParams &params() const { return _p; }
     IpKind kind() const { return _p.kind; }
@@ -181,7 +194,30 @@ class IpCore : public ClockedObject
     /** Bytes detoured through DRAM by the overflow-to-memory path. */
     std::uint64_t bytesSpilled() const { return _bytesSpilled; }
 
+    /** @{ Fault recovery counters (0 without a FaultInjector). */
+    std::uint64_t watchdogResets() const { return _watchdogResets; }
+    std::uint64_t unitRetries() const { return _unitRetries; }
+    std::uint64_t framesDegraded() const { return _framesDegraded; }
+
+    /**
+     * Register a callback fired when a unit's retry budget runs out
+     * and the frame's payload is dropped; the platform routes it to
+     * the owning flow so the frame counts as a QoS miss.
+     */
+    using DegradeNotifier = std::function<void(FlowId, std::uint64_t)>;
+    void setDegradeNotifier(DegradeNotifier cb)
+    {
+        _onDegrade = std::move(cb);
+    }
+    /** @} */
+
     stats::Group &statsGroup() { return _stats; }
+
+    /**
+     * One-line occupancy snapshot (engine state, lane depths and
+     * buffer fill) for the no-progress guard's diagnostic dump.
+     */
+    std::string debugState() const;
 
     /** @} */
 
@@ -206,6 +242,11 @@ class IpCore : public ClockedObject
         bool txnEnd = true;
         std::uint64_t units = 1;
         std::uint64_t unitsDone = 0;
+        /**
+         * Retry budget exhausted on some unit: the payload is lost
+         * and the remaining units drain as zero-cost passthrough.
+         */
+        bool faulted = false;
 
         /** Input bytes unit @p u consumes (fractional distribution). */
         std::uint64_t
@@ -323,6 +364,24 @@ class IpCore : public ClockedObject
     void releaseInputBytes(int lane, std::uint64_t bytes);
     /** @} */
 
+    /** @{ fault injection + watchdog recovery (both modes) */
+    /**
+     * Begin the compute of one unit: the single place every work unit
+     * passes through, where hangs are injected and the watchdog is
+     * armed.  @p degraded units (frames past their retry budget)
+     * complete in zero time with no injection.
+     */
+    void startUnit(bool stream, int lane, Tick time, bool degraded);
+    void armComputeAttempt(Tick extra_delay);
+    void armWatchdog(Tick extra_delay);
+    void cancelWatchdog();
+    void onComputeAttemptDone();
+    void onWatchdogTimeout();
+    void retryUnit(bool from_reset);
+    void giveUpUnit();
+    void finishUnit();
+    /** @} */
+
     void updateEngineState();
     void accumulateState(Tick now);
     bool anyWorkPending() const;
@@ -334,6 +393,19 @@ class IpCore : public ClockedObject
     SystemAgent &_sa;
     EnergyAccount &_energy;
     EnergyAccount &_bufferEnergy;
+    FaultInjector *_faults;
+
+    // ---- unit-in-flight fault/watchdog state (either mode) ----
+    bool _unitStream = false;     ///< stream vs job mode unit
+    int _unitLane = -1;           ///< lane of a stream unit
+    Tick _unitTime = 0;           ///< nominal compute time
+    Tick _unitStart = 0;          ///< first attempt began
+    std::uint32_t _unitAttempts = 0; ///< retries so far
+    bool _unitDegraded = false;   ///< passthrough drain, no injection
+    EventId _computeEvent = InvalidEventId;
+    EventId _watchdogEvent = InvalidEventId;
+    bool _jobFaulted = false;     ///< current job past its budget
+    DegradeNotifier _onDegrade;
 
     // ---- job mode state ----
     std::deque<StageJob> _jobs;
@@ -370,12 +442,18 @@ class IpCore : public ClockedObject
     std::uint64_t _contextSwitches = 0;
     std::uint64_t _bytesProcessed = 0;
     std::uint64_t _bytesSpilled = 0;
+    std::uint64_t _watchdogResets = 0;
+    std::uint64_t _unitRetries = 0;
+    std::uint64_t _framesDegraded = 0;
     Addr _spillNext = 0; ///< bump pointer into the spill region
 
     stats::Group _stats;
     stats::Scalar _statJobs;
     stats::Scalar _statSubframes;
     stats::Scalar _statCtxSwitches;
+    stats::Scalar _statResets;
+    stats::Scalar _statRetries;
+    stats::Scalar _statDegraded;
     stats::Accumulator _statJobLatencyMs;
 };
 

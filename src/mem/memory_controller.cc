@@ -8,14 +8,20 @@ namespace vip
 
 MemoryController::MemoryController(System &system, std::string name,
                                    const DramConfig &cfg,
-                                   EnergyLedger &ledger)
+                                   EnergyLedger &ledger,
+                                   FaultInjector *faults)
     : SimObject(system, std::move(name)),
       _cfg(cfg),
       _channels(cfg.channels),
       _energy(ledger.account("dram", this->name())),
+      _faults(faults),
       _stats(this->name()),
       _statReads(_stats, "reads", "number of read transactions"),
       _statWrites(_stats, "writes", "number of write transactions"),
+      _statEccCorrected(_stats, "eccCorrected",
+                        "bursts with a corrected ECC error"),
+      _statEccUncorrected(_stats, "eccUncorrected",
+                          "bursts replayed for uncorrectable ECC"),
       _latency(_stats, "latencyNs", "service latency (ns)"),
       _bwHist(_stats, "bwPctPeak",
               "time-at-bandwidth histogram (% of peak)", 0.0, 100.0, 10),
@@ -291,6 +297,27 @@ MemoryController::trySchedule(std::uint32_t ch)
                         _cfg.channelBytesPerNs);
     Tick service = access + burst + _wakePenalty;
     _wakePenalty = 0; // exit latency charged once
+
+    if (_faults) {
+        switch (_faults->injectEccEvent()) {
+          case FaultInjector::EccOutcome::Corrected:
+            // Single-bit flip: the controller corrects in-line for a
+            // fixed latency adder.
+            ++_eccCorrected;
+            ++_statEccCorrected;
+            service += _faults->plan().eccCorrectionLatency;
+            break;
+          case FaultInjector::EccOutcome::Uncorrected:
+            // Detected-uncorrectable: scrub and replay the access
+            // (row state is unchanged, so the replay is a row hit).
+            ++_eccUncorrected;
+            ++_statEccUncorrected;
+            service += _cfg.tCL + burst;
+            break;
+          case FaultInjector::EccOutcome::None:
+            break;
+        }
+    }
 
     c.busy = true;
     double busyCount = 0;

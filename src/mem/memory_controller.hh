@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "mem/dram_config.hh"
 #include "mem/mem_types.hh"
 #include "power/energy_account.hh"
@@ -32,7 +33,8 @@ class MemoryController : public SimObject
 {
   public:
     MemoryController(System &system, std::string name,
-                     const DramConfig &cfg, EnergyLedger &ledger);
+                     const DramConfig &cfg, EnergyLedger &ledger,
+                     FaultInjector *faults = nullptr);
 
     /**
      * Issue a transaction.  Completion is signalled through
@@ -55,6 +57,9 @@ class MemoryController : public SimObject
     std::uint64_t bytesWritten() const { return _bytesWritten; }
     std::uint64_t rowHits() const { return _rowHits; }
     std::uint64_t rowMisses() const { return _rowMisses; }
+    /** ECC events observed on serviced bursts (0 without faults). */
+    std::uint64_t eccCorrected() const { return _eccCorrected; }
+    std::uint64_t eccUncorrected() const { return _eccUncorrected; }
     /** Bytes moved on behalf of @p requester (req.requesterId). */
     std::uint64_t bytesForRequester(std::uint32_t requester) const;
     /** @} */
@@ -135,6 +140,7 @@ class MemoryController : public SimObject
     DramConfig _cfg;
     std::vector<Channel> _channels;
     EnergyAccount &_energy;
+    FaultInjector *_faults;
 
     // Bandwidth monitor state
     std::uint64_t _windowBytes = 0;
@@ -145,6 +151,8 @@ class MemoryController : public SimObject
     std::uint64_t _bytesWritten = 0;
     std::uint64_t _rowHits = 0;
     std::uint64_t _rowMisses = 0;
+    std::uint64_t _eccCorrected = 0;
+    std::uint64_t _eccUncorrected = 0;
 
     /** Per-requester traffic attribution. */
     std::unordered_map<std::uint32_t, std::uint64_t> _byRequester;
@@ -162,6 +170,8 @@ class MemoryController : public SimObject
     stats::Group _stats;
     stats::Scalar _statReads;
     stats::Scalar _statWrites;
+    stats::Scalar _statEccCorrected;
+    stats::Scalar _statEccUncorrected;
     stats::Accumulator _latency;
     stats::Histogram _bwHist;
     stats::TimeWeighted _busyChannels;

@@ -1,21 +1,25 @@
 #include "sa/system_agent.hh"
 
 #include <algorithm>
+#include <memory>
 
 namespace vip
 {
 
 SystemAgent::SystemAgent(System &system, std::string name,
                          const SaConfig &cfg, MemoryController &mem,
-                         EnergyLedger &ledger)
+                         EnergyLedger &ledger, FaultInjector *faults)
     : SimObject(system, std::move(name)),
       _cfg(cfg),
       _mem(mem),
       _energy(ledger.account("sa", this->name())),
+      _faults(faults),
       _stats(this->name()),
       _statMemXfers(_stats, "memTransfers", "DMA transactions routed"),
       _statPeerXfers(_stats, "peerTransfers",
-                     "IP-to-IP sub-frames routed")
+                     "IP-to-IP sub-frames routed"),
+      _statXferRetries(_stats, "transferRetries",
+                       "CRC-failed transfers retransmitted")
 {
     vip_assert(cfg.bytesPerNs > 0.0, "SA bandwidth must be positive");
     _energy.setPower(cfg.power.staticWatts, 0);
@@ -36,13 +40,37 @@ SystemAgent::occupy(std::uint32_t bytes)
 }
 
 void
+SystemAgent::transferAttempt(std::uint32_t bytes, Callback done,
+                             std::uint32_t attempt)
+{
+    Tick delivered = occupy(bytes);
+    schedule(delivered,
+             [this, bytes, done = std::move(done), attempt]() mutable {
+        // CRC over the payload is checked at the receiving end; a bad
+        // transfer is retransmitted (serializing on the link again)
+        // until the retry budget runs out, after which the payload is
+        // passed along anyway -- the damage then surfaces as a
+        // sub-frame corruption at the consuming IP.
+        if (_faults &&
+            attempt < _faults->plan().maxTransferRetries &&
+            _faults->injectTransferError()) {
+            ++_xferRetries;
+            ++_statXferRetries;
+            _faults->noteTransferRetry();
+            transferAttempt(bytes, std::move(done), attempt + 1);
+            return;
+        }
+        done();
+    });
+}
+
+void
 SystemAgent::memoryAccess(MemRequest req)
 {
     ++_statMemXfers;
-    Tick delivered = occupy(req.bytes);
-    schedule(delivered, [this, req = std::move(req)]() mutable {
-        _mem.access(std::move(req));
-    });
+    auto r = std::make_shared<MemRequest>(std::move(req));
+    transferAttempt(r->bytes,
+                    [this, r] { _mem.access(std::move(*r)); }, 0);
 }
 
 void
@@ -50,8 +78,7 @@ SystemAgent::peerTransfer(std::uint32_t bytes, Callback on_delivered)
 {
     ++_statPeerXfers;
     _peerBytes += bytes;
-    Tick delivered = occupy(bytes);
-    schedule(delivered, std::move(on_delivered));
+    transferAttempt(bytes, std::move(on_delivered), 0);
 }
 
 void

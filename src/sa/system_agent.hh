@@ -15,6 +15,7 @@
 
 #include <functional>
 
+#include "fault/fault_injector.hh"
 #include "mem/memory_controller.hh"
 #include "power/energy_account.hh"
 #include "sim/sim_object.hh"
@@ -42,7 +43,8 @@ class SystemAgent : public SimObject
     using Callback = std::function<void()>;
 
     SystemAgent(System &system, std::string name, const SaConfig &cfg,
-                MemoryController &mem, EnergyLedger &ledger);
+                MemoryController &mem, EnergyLedger &ledger,
+                FaultInjector *faults = nullptr);
 
     /**
      * DMA a transaction to/from DRAM.  Charges SA occupancy for the
@@ -71,6 +73,9 @@ class SystemAgent : public SimObject
     std::uint64_t peerBytes() const { return _peerBytes; }
     std::uint64_t signalsSent() const { return _signals; }
 
+    /** CRC-failed payload crossings that were retransmitted. */
+    std::uint64_t transferRetries() const { return _xferRetries; }
+
     /** Fraction of elapsed time the link was busy. */
     double utilization() const;
 
@@ -82,9 +87,19 @@ class SystemAgent : public SimObject
     /** Charge occupancy for @p bytes; returns the delivery tick. */
     Tick occupy(std::uint32_t bytes);
 
+    /**
+     * Move @p bytes across the link, retransmitting (each attempt
+     * re-serializes on the link and re-charges energy) while the
+     * injector flags the payload's CRC bad, bounded by the plan's
+     * transfer retry budget; then invoke @p done.
+     */
+    void transferAttempt(std::uint32_t bytes, Callback done,
+                         std::uint32_t attempt);
+
     SaConfig _cfg;
     MemoryController &_mem;
     EnergyAccount &_energy;
+    FaultInjector *_faults;
 
     Tick _busyUntil = 0;
     Tick _busyTicks = 0;
@@ -92,10 +107,12 @@ class SystemAgent : public SimObject
     std::uint64_t _bytesMoved = 0;
     std::uint64_t _peerBytes = 0;
     std::uint64_t _signals = 0;
+    std::uint64_t _xferRetries = 0;
 
     stats::Group _stats;
     stats::Scalar _statMemXfers;
     stats::Scalar _statPeerXfers;
+    stats::Scalar _statXferRetries;
 };
 
 } // namespace vip

@@ -15,7 +15,16 @@ EventQueue::serviceOne()
             continue;
         }
         vip_assert(e.when >= _curTick, "time went backwards");
-        _curTick = e.when;
+        if (e.when != _curTick) {
+            _curTick = e.when;
+            _tickServiced = 0;
+        }
+        if (++_tickServiced > _maxPerTick) {
+            panic("event queue livelock: ", _tickServiced,
+                  " events serviced at tick ", _curTick,
+                  " without time advancing (", pending(),
+                  " still pending)");
+        }
         --_livePending;
         ++_serviced;
         e.cb();

@@ -116,6 +116,17 @@ class EventQueue
     /** Total number of events ever serviced (for kernel stats). */
     std::uint64_t servicedEvents() const { return _serviced; }
 
+    /**
+     * Same-tick livelock guard: cap on events serviced without
+     * simulated time advancing.  Zero-latency callback cycles
+     * (signal ping-pong, retry storms) never advance the clock, so
+     * the time-limit backstop cannot catch them; crossing this cap
+     * aborts with SimPanic instead of spinning forever.  The default
+     * is far above anything a legitimate burst produces.
+     */
+    void setMaxEventsPerTick(std::uint64_t cap) { _maxPerTick = cap; }
+    std::uint64_t maxEventsPerTick() const { return _maxPerTick; }
+
   private:
     struct Entry
     {
@@ -141,6 +152,8 @@ class EventQueue
     Tick _curTick = 0;
     EventId _nextId = 1;
     std::uint64_t _serviced = 0;
+    std::uint64_t _maxPerTick = 5'000'000;
+    std::uint64_t _tickServiced = 0;
     std::size_t _livePending = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     // Tombstones for cancelled ids that are still in the heap.

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: plan parsing/validation, injector
+ * determinism, watchdog recovery, degraded-frame accounting, and the
+ * no-progress guard that terminates a deliberately wedged platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hh"
+#include "fault/fault_injector.hh"
+
+namespace vip
+{
+namespace
+{
+
+SocConfig
+faultCfg(SystemConfig sc, const FaultPlan &plan, double seconds = 0.15)
+{
+    SocConfig cfg;
+    cfg.system = sc;
+    cfg.simSeconds = seconds;
+    cfg.fault = plan;
+    return cfg;
+}
+
+// ---------------------------------------------------------------
+// FaultPlan parsing and validation
+// ---------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsDisabled)
+{
+    FaultPlan p;
+    EXPECT_FALSE(p.enabled());
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(FaultPlan, ParsePresetNames)
+{
+    EXPECT_FALSE(FaultPlan::parse("none").enabled());
+    FaultPlan heavy = FaultPlan::parse("heavy");
+    EXPECT_TRUE(heavy.enabled());
+    EXPECT_GT(heavy.engineHangProb,
+              FaultPlan::parse("light").engineHangProb);
+}
+
+TEST(FaultPlan, ParseKeyValueList)
+{
+    FaultPlan p = FaultPlan::parse(
+        "hang=0.25,corrupt=0.5,xfer=0.125,ecc=1e-3,ecc-fatal=1e-4,"
+        "watchdog-us=50,retries=7,reset-us=5,xfer-retries=2,seed=99");
+    EXPECT_DOUBLE_EQ(p.engineHangProb, 0.25);
+    EXPECT_DOUBLE_EQ(p.subframeCorruptProb, 0.5);
+    EXPECT_DOUBLE_EQ(p.transferErrorProb, 0.125);
+    EXPECT_DOUBLE_EQ(p.eccCorrectableProb, 1e-3);
+    EXPECT_DOUBLE_EQ(p.eccUncorrectableProb, 1e-4);
+    EXPECT_EQ(p.watchdogTimeout, fromUs(50));
+    EXPECT_EQ(p.maxRetries, 7u);
+    EXPECT_EQ(p.resetPenalty, fromUs(5));
+    EXPECT_EQ(p.maxTransferRetries, 2u);
+    EXPECT_EQ(p.seed, 99u);
+}
+
+TEST(FaultPlan, RejectsBadInput)
+{
+    EXPECT_THROW(FaultPlan::parse("hang=1.5").validate(), SimFatal);
+    EXPECT_THROW(FaultPlan::parse("bogus-key=1"), SimFatal);
+    EXPECT_THROW(FaultPlan::preset("unknown"), SimFatal);
+    FaultPlan p;
+    p.eccCorrectableProb = 0.7;
+    p.eccUncorrectableProb = 0.7; // sum > 1: not a distribution
+    EXPECT_THROW(p.validate(), SimFatal);
+}
+
+// ---------------------------------------------------------------
+// Injector determinism
+// ---------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    FaultPlan p = FaultPlan::preset("heavy");
+    FaultInjector a(p), b(p);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_EQ(a.injectEngineHang(), b.injectEngineHang());
+        EXPECT_EQ(a.injectEccEvent(), b.injectEccEvent());
+    }
+    EXPECT_TRUE(a.stats() == b.stats());
+    EXPECT_GT(a.stats().engineHangs, 0u);
+}
+
+TEST(FaultInjector, SeedChangesSequence)
+{
+    FaultPlan p = FaultPlan::preset("moderate");
+    FaultInjector a(p);
+    p.seed = 2;
+    FaultInjector b(p);
+    int diff = 0;
+    for (int i = 0; i < 10000; ++i)
+        diff += a.injectSubframeCorruption() !=
+                b.injectSubframeCorruption();
+    EXPECT_GT(diff, 0);
+}
+
+// ---------------------------------------------------------------
+// End-to-end: recovery keeps every configuration running, and two
+// same-seed runs are bit-identical.
+// ---------------------------------------------------------------
+
+TEST(FaultRecovery, AllConfigsSurviveModerateFaults)
+{
+    FaultPlan plan = FaultPlan::preset("moderate");
+    plan.seed = 7;
+    for (auto c : kAllConfigs) {
+        auto s = Simulation::run(faultCfg(c, plan, 0.1),
+                                 WorkloadCatalog::byIndex(4));
+        EXPECT_GT(s.framesCompleted, 0u) << systemConfigName(c);
+        EXPECT_GT(s.faults.injected(), 0u) << systemConfigName(c);
+    }
+}
+
+TEST(FaultRecovery, SameSeedRunsAreBitIdentical)
+{
+    FaultPlan plan = FaultPlan::preset("moderate");
+    plan.seed = 42;
+    auto cfg = faultCfg(SystemConfig::VIP, plan);
+    auto a = Simulation::run(cfg, WorkloadCatalog::byIndex(4));
+    auto b = Simulation::run(cfg, WorkloadCatalog::byIndex(4));
+    EXPECT_TRUE(a.faults == b.faults);
+    EXPECT_EQ(a.framesCompleted, b.framesCompleted);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.totalEnergyMj, b.totalEnergyMj);
+    EXPECT_DOUBLE_EQ(a.meanFlowTimeMs, b.meanFlowTimeMs);
+    for (std::size_t i = 0; i < a.ips.size(); ++i) {
+        EXPECT_EQ(a.ips[i].watchdogResets, b.ips[i].watchdogResets);
+        EXPECT_EQ(a.ips[i].unitRetries, b.ips[i].unitRetries);
+        EXPECT_EQ(a.ips[i].framesDegraded, b.ips[i].framesDegraded);
+    }
+}
+
+TEST(FaultRecovery, WatchdogRecoversEveryHang)
+{
+    // Hangs only (no corruption): every injected hang must produce a
+    // watchdog reset, and with a generous retry budget no frame is
+    // lost outright unless hangs repeat past the budget.
+    FaultPlan plan;
+    plan.engineHangProb = 0.02;
+    plan.maxRetries = 10;
+    plan.seed = 3;
+    auto s = Simulation::run(faultCfg(SystemConfig::VIP, plan),
+                             WorkloadCatalog::byIndex(1));
+    EXPECT_GT(s.faults.engineHangs, 0u);
+    // One reset per hang, except hangs whose watchdog was still
+    // pending when simulated time ran out (at most one per engine).
+    EXPECT_LE(s.faults.watchdogResets, s.faults.engineHangs);
+    EXPECT_LE(s.faults.engineHangs - s.faults.watchdogResets,
+              s.ips.size());
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_GT(s.faults.recoveries, 0u);
+    EXPECT_GT(s.faults.recoverySumMs, 0.0);
+}
+
+TEST(FaultRecovery, ExhaustedRetriesDegradeAndMissDeadlines)
+{
+    // Corrupt every unit: the retry budget always runs out, so every
+    // completed frame is degraded and judged a deadline miss, but the
+    // pipeline keeps resynchronizing instead of wedging.
+    FaultPlan plan;
+    plan.subframeCorruptProb = 1.0;
+    plan.maxRetries = 1;
+    auto s = Simulation::run(
+        faultCfg(SystemConfig::VIP, plan, 0.1),
+        WorkloadCatalog::single(5));
+    EXPECT_GT(s.framesCompleted, 0u);
+    EXPECT_GT(s.faults.framesDegraded, 0u);
+    EXPECT_EQ(s.violations, s.framesCompleted);
+    EXPECT_EQ(s.drops, s.framesCompleted);
+}
+
+TEST(FaultRecovery, FaultFreePlanChangesNothing)
+{
+    // A Simulation carrying an all-zero plan must be bit-identical to
+    // one with no plan at all (no injector is even instantiated).
+    SocConfig cfg;
+    cfg.system = SystemConfig::IpToIpBurst;
+    cfg.simSeconds = 0.1;
+    auto a = Simulation::run(cfg, WorkloadCatalog::byIndex(2));
+    cfg.fault = FaultPlan::preset("none");
+    auto b = Simulation::run(cfg, WorkloadCatalog::byIndex(2));
+    EXPECT_EQ(a.framesCompleted, b.framesCompleted);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.totalEnergyMj, b.totalEnergyMj);
+    EXPECT_EQ(a.faults.injected(), 0u);
+}
+
+// ---------------------------------------------------------------
+// No-progress guard
+// ---------------------------------------------------------------
+
+TEST(NoProgressGuard, WedgedChainTerminates)
+{
+    // Certain hang with the watchdog disabled: the first compute unit
+    // wedges its engine forever.  The run must abort via the guard
+    // with a diagnostic, not spin to the time limit (and certainly
+    // not hang this test).
+    FaultPlan plan;
+    plan.engineHangProb = 1.0;
+    plan.watchdogTimeout = 0; // watchdog off: nothing recovers
+    SocConfig cfg = faultCfg(SystemConfig::VIP, plan, 0.5);
+    cfg.noProgressSec = 0.02;
+    Simulation sim(cfg, WorkloadCatalog::single(5));
+    try {
+        sim.run();
+        FAIL() << "wedged platform was not detected";
+    } catch (const SimFatal &e) {
+        EXPECT_NE(std::string(e.what()).find("no progress"),
+                  std::string::npos);
+        // The diagnostic names the wedged engine state.
+        EXPECT_NE(std::string(e.what()).find("wedged"),
+                  std::string::npos);
+    }
+}
+
+TEST(NoProgressGuard, HealthyRunNeverTrips)
+{
+    // An aggressive guard interval on a fault-free run: plenty of
+    // checks happen, none may fire.
+    SocConfig cfg;
+    cfg.system = SystemConfig::Baseline;
+    cfg.simSeconds = 0.2;
+    cfg.noProgressSec = 0.05;
+    EXPECT_NO_THROW(
+        Simulation::run(cfg, WorkloadCatalog::byIndex(1)));
+}
+
+TEST(NoProgressGuard, EventQueueLivelockPanics)
+{
+    // A zero-latency self-rescheduling event never advances time; the
+    // same-tick cap must catch it.
+    EventQueue eq;
+    eq.setMaxEventsPerTick(1000);
+    std::function<void()> spin = [&] { eq.scheduleIn(0, spin); };
+    eq.scheduleIn(0, spin);
+    EXPECT_THROW(eq.run(), SimPanic);
+}
+
+} // namespace
+} // namespace vip

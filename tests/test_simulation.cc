@@ -198,12 +198,14 @@ TEST(Simulation, PerFlowResultsAreConsistent)
     EXPECT_EQ(qos_completed, s.framesCompleted);
 }
 
-TEST(Simulation, RunTwicePanics)
+TEST(Simulation, RunTwiceIsFatal)
 {
+    // Calling run() twice is an API misuse a user can commit, not an
+    // internal invariant violation: it must surface as SimFatal.
     Simulation sim(quickCfg(SystemConfig::Baseline, 0.05),
                    WorkloadCatalog::single(3));
     sim.run();
-    EXPECT_THROW(sim.run(), SimPanic);
+    EXPECT_THROW(sim.run(), SimFatal);
 }
 
 TEST(Simulation, AudioOnlyAppIsCheap)

@@ -44,6 +44,20 @@ usage()
         "  --dvfs                       ondemand CPU governor\n"
         "  --vsync                      judge QoS at vsync boundaries\n"
         "  --spill                      overflow full lanes to DRAM\n"
+        "  --fault-plan <spec>          fault plan: a preset name\n"
+        "                               (none|light|moderate|heavy) or\n"
+        "                               key=value pairs, e.g.\n"
+        "                               hang=0.01,corrupt=0.01,seed=7\n"
+        "  --fault-hang <p>             engine hang probability/unit\n"
+        "  --fault-corrupt <p>          sub-frame corruption prob.\n"
+        "  --fault-xfer <p>             SA transfer error probability\n"
+        "  --fault-ecc <p>              correctable ECC prob./burst\n"
+        "  --fault-ecc-fatal <p>        uncorrectable ECC probability\n"
+        "  --fault-seed <n>             fault RNG seed (default 1)\n"
+        "  --fault-watchdog-us <us>     IP watchdog timeout (0 = off)\n"
+        "  --fault-retries <n>          per-unit retry budget\n"
+        "  --guard-ms <ms>              no-progress guard interval\n"
+        "                               (default 250, 0 disables)\n"
         "  --stats                      dump component statistics\n"
         "  --trace <file.csv>           write the per-frame trace\n"
         "  --list                       list workloads and exit\n");
@@ -136,6 +150,27 @@ report(const vip::RunStats &s)
                 s.fracTimeAbove80PctBw * 100.0);
     std::printf("system agent: %.1f%% utilized\n",
                 s.saUtilization * 100.0);
+    if (s.faults.injected() > 0) {
+        const auto &f = s.faults;
+        std::printf("faults      : %llu injected (hang %llu, "
+                    "corrupt %llu, xfer %llu, ecc %llu+%llu)\n",
+                    static_cast<unsigned long long>(f.injected()),
+                    static_cast<unsigned long long>(f.engineHangs),
+                    static_cast<unsigned long long>(f.corruptions),
+                    static_cast<unsigned long long>(f.transferErrors),
+                    static_cast<unsigned long long>(f.eccCorrectable),
+                    static_cast<unsigned long long>(
+                        f.eccUncorrectable));
+        std::printf("recovery    : %llu watchdog resets, %llu unit "
+                    "retries, %llu retransmits, %llu frames "
+                    "degraded, %.3f ms mean / %.3f ms max recovery\n",
+                    static_cast<unsigned long long>(f.watchdogResets),
+                    static_cast<unsigned long long>(f.unitRetries),
+                    static_cast<unsigned long long>(
+                        f.transferRetries),
+                    static_cast<unsigned long long>(f.framesDegraded),
+                    f.meanRecoveryMs(), f.recoveryMaxMs);
+    }
     std::printf("per-flow:\n");
     for (const auto &f : s.flows) {
         std::printf("  %-28s %4llu/%llu frames, %llu viol, "
@@ -171,6 +206,7 @@ main(int argc, char **argv)
     vip::SocConfig cfg;
     cfg.simSeconds = 0.4;
 
+    try {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -209,6 +245,29 @@ main(int argc, char **argv)
             cfg.vsyncAligned = true;
         } else if (arg == "--spill") {
             cfg.overflowToMemory = true;
+        } else if (arg == "--fault-plan") {
+            cfg.fault = vip::FaultPlan::parse(next());
+        } else if (arg == "--fault-hang") {
+            cfg.fault.engineHangProb = std::atof(next().c_str());
+        } else if (arg == "--fault-corrupt") {
+            cfg.fault.subframeCorruptProb = std::atof(next().c_str());
+        } else if (arg == "--fault-xfer") {
+            cfg.fault.transferErrorProb = std::atof(next().c_str());
+        } else if (arg == "--fault-ecc") {
+            cfg.fault.eccCorrectableProb = std::atof(next().c_str());
+        } else if (arg == "--fault-ecc-fatal") {
+            cfg.fault.eccUncorrectableProb =
+                std::atof(next().c_str());
+        } else if (arg == "--fault-seed") {
+            cfg.fault.seed =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--fault-watchdog-us") {
+            cfg.fault.watchdogTimeout =
+                vip::fromUs(std::atof(next().c_str()));
+        } else if (arg == "--fault-retries") {
+            cfg.fault.maxRetries = std::atoi(next().c_str());
+        } else if (arg == "--guard-ms") {
+            cfg.noProgressSec = std::atof(next().c_str()) / 1000.0;
         } else if (arg == "--stats") {
             wantStats = true;
         } else if (arg == "--trace") {
@@ -227,7 +286,6 @@ main(int argc, char **argv)
         }
     }
 
-    try {
         cfg.system = parseConfig(config);
         vip::Simulation sim(cfg, parseWorkload(workload));
         auto s = sim.run();
