@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Overload sweep: deadline-miss rate vs offered load under the
+ * Degrade overload policy.
+ *
+ * Scales every flow's frame rate by a load factor (0.5x .. 2.0x of
+ * nominal) and runs all five system configurations.  The bench is
+ * also the overload-protection acceptance gate: every cell must
+ * conserve frames per flow (generated == completed + shed + still in
+ * flight), honor lane credits (zero lane overflows), and terminate
+ * without tripping the no-progress guard.  For the VIP config the
+ * miss rate must grow monotonically (within noise) with offered load
+ * and stay bounded -- shedding converts unbounded queueing into a
+ * bounded, graceful QoS loss.
+ *
+ * When given a file path argument the bench additionally writes the
+ * full result table as fixed-precision JSON; CI runs it twice and
+ * byte-compares the two files as a same-seed determinism check.
+ */
+
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace
+{
+
+/** Scale every flow's target FPS by `factor`. */
+vip::Workload
+scaleLoad(vip::Workload wl, double factor)
+{
+    for (auto &app : wl.apps) {
+        for (auto &f : app.flows)
+            f.fps *= factor;
+    }
+    return wl;
+}
+
+struct Cell
+{
+    const char *config = "";
+    double load = 0.0;
+    double missRate = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t laneOverflows = 0;
+    std::uint32_t downRated = 0;
+    bool conserved = true;
+};
+
+/** Deadline misses: frames late at the display plus frames shed. */
+double
+missRate(const vip::RunStats &r)
+{
+    if (r.framesGenerated == 0)
+        return 0.0;
+    return static_cast<double>(r.violations + r.framesShed) /
+           static_cast<double>(r.framesGenerated);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vip;
+
+    const char *jsonPath = argc > 1 ? argv[1] : nullptr;
+    const double seconds = bench::simSeconds(0.25);
+    const Workload base = WorkloadCatalog::byIndex(4);
+    const double loads[] = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+
+    bench::banner("Overload sweep: miss rate vs offered load (Degrade)",
+                  "the overload-protection extension (no paper figure)");
+    std::printf("workload %s, %.2f s per cell, policy=degrade\n\n",
+                base.name.c_str(), seconds);
+    std::printf("%-14s %6s %9s %9s %9s %7s %7s %9s %6s\n", "config",
+                "load", "gen", "done", "shed", "viol", "ovfl",
+                "miss%", "dnrt");
+
+    std::vector<Cell> cells;
+    bool pass = true;
+
+    for (auto c : kAllConfigs) {
+        double prevMiss = -1.0;
+        for (double load : loads) {
+            SocConfig cfg;
+            cfg.system = c;
+            cfg.simSeconds = seconds;
+            cfg.seed = 1;
+            cfg.overloadPolicy = OverloadPolicy::Degrade;
+
+            RunStats r;
+            try {
+                r = Simulation::run(cfg, scaleLoad(base, load));
+            } catch (const SimFatal &e) {
+                std::printf("  !! %s @%.2fx: fatal: %s\n",
+                            systemConfigName(c), load, e.what());
+                pass = false;
+                continue;
+            }
+
+            Cell cell;
+            cell.config = systemConfigName(c);
+            cell.load = load;
+            cell.missRate = missRate(r);
+            cell.generated = r.framesGenerated;
+            cell.completed = r.framesCompleted;
+            cell.shed = r.framesShed;
+            cell.violations = r.violations;
+            cell.laneOverflows = r.laneOverflows;
+            cell.downRated = r.flowsDownRated;
+
+            // Frame conservation, per flow: every generated frame is
+            // accounted for as completed, shed, or still in flight.
+            for (const auto &f : r.flows) {
+                if (f.generated != f.completed + f.shed + f.inFlight) {
+                    std::printf("  !! %s @%.2fx: flow %s leaks frames "
+                                "(%llu != %llu + %llu + %llu)\n",
+                                cell.config, load, f.name.c_str(),
+                                (unsigned long long)f.generated,
+                                (unsigned long long)f.completed,
+                                (unsigned long long)f.shed,
+                                (unsigned long long)f.inFlight);
+                    cell.conserved = false;
+                    pass = false;
+                }
+            }
+
+            // Credit protocol: reservations never exceed lane space.
+            if (cell.laneOverflows != 0) {
+                std::printf("  !! %s @%.2fx: %llu lane overflows\n",
+                            cell.config, load,
+                            (unsigned long long)cell.laneOverflows);
+                pass = false;
+            }
+
+            // Degrade must never silently reject a flow outright.
+            if (r.flowsRejected != 0) {
+                std::printf("  !! %s @%.2fx: %u flows rejected under "
+                            "degrade\n",
+                            cell.config, load, r.flowsRejected);
+                pass = false;
+            }
+
+            // VIP + degrade: graceful degradation means the miss rate
+            // grows with load (within 5% measurement noise) and never
+            // saturates into total loss.
+            if (c == SystemConfig::VIP) {
+                if (cell.missRate < prevMiss - 0.05) {
+                    std::printf("  !! VIP miss rate not monotone: "
+                                "%.4f @%.2fx after %.4f\n",
+                                cell.missRate, load, prevMiss);
+                    pass = false;
+                }
+                if (cell.missRate > 0.95) {
+                    std::printf("  !! VIP miss rate unbounded: %.4f "
+                                "@%.2fx\n", cell.missRate, load);
+                    pass = false;
+                }
+                prevMiss = std::max(prevMiss, cell.missRate);
+            }
+
+            std::printf("%-14s %5.2fx %9llu %9llu %9llu %7llu %7llu "
+                        "%8.2f%% %6u\n",
+                        cell.config, load,
+                        (unsigned long long)cell.generated,
+                        (unsigned long long)cell.completed,
+                        (unsigned long long)cell.shed,
+                        (unsigned long long)cell.violations,
+                        (unsigned long long)cell.laneOverflows,
+                        cell.missRate * 100.0, cell.downRated);
+            cells.push_back(cell);
+        }
+        std::printf("\n");
+    }
+
+    if (jsonPath) {
+        std::ofstream os(jsonPath);
+        if (!os) {
+            std::printf("cannot write %s\n", jsonPath);
+            return 1;
+        }
+        char buf[256];
+        os << "{\n  \"workload\": \"" << base.name
+           << "\",\n  \"policy\": \"degrade\",\n  \"cells\": [\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Cell &c = cells[i];
+            std::snprintf(buf, sizeof(buf),
+                          "    {\"config\": \"%s\", \"load\": %.2f, "
+                          "\"generated\": %llu, \"completed\": %llu, "
+                          "\"shed\": %llu, \"violations\": %llu, "
+                          "\"laneOverflows\": %llu, \"downRated\": %u, "
+                          "\"missRate\": %.6f}%s\n",
+                          c.config, c.load,
+                          (unsigned long long)c.generated,
+                          (unsigned long long)c.completed,
+                          (unsigned long long)c.shed,
+                          (unsigned long long)c.violations,
+                          (unsigned long long)c.laneOverflows,
+                          c.downRated, c.missRate,
+                          i + 1 < cells.size() ? "," : "");
+            os << buf;
+        }
+        os << "  ]\n}\n";
+        std::printf("wrote %s\n", jsonPath);
+    }
+
+    std::printf("overload gate: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

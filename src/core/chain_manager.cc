@@ -1,5 +1,7 @@
 #include "core/chain_manager.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace vip
@@ -168,6 +170,85 @@ ChainManager::feed(ChainId id, std::uint64_t frame_id,
     }
     c.ips[0]->feedFrame(c.lanes[0], frame_id, edges[0], addr,
                         c.sourceGenerated, gen_span);
+}
+
+// --------------------------------------------------------------------
+// Admission control
+// --------------------------------------------------------------------
+
+double
+ChainManager::stageDemand(const IpCore &ip, std::uint64_t in_bytes,
+                          std::uint64_t out_bytes, double fps)
+{
+    const IpParams &p = ip.params();
+    double cap = p.clockHz * p.bytesPerCycle; // engine bytes/second
+    if (cap <= 0.0)
+        return 1.0;
+    double work = static_cast<double>(
+        std::max<std::uint64_t>({in_bytes, out_bytes, 1}));
+    return fps * work / cap;
+}
+
+AdmissionCheck
+ChainManager::checkAdmission(const std::vector<IpCore *> &ips,
+                             const std::vector<std::uint64_t> &edges,
+                             double fps, double headroom) const
+{
+    vip_assert(ips.size() == edges.size(),
+               "admission edge/stage mismatch");
+    AdmissionCheck r;
+    const double limit = 1.0 - headroom;
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+        std::uint64_t out = i + 1 < ips.size() ? edges[i + 1] : 0;
+        double load = ipLoad(ips[i]) +
+                      stageDemand(*ips[i], edges[i], out, fps);
+        if (load > r.worstLoad) {
+            r.worstLoad = load;
+            r.bottleneck = ips[i];
+        }
+        // Tolerate fp rounding right at the boundary.
+        if (load > limit * (1.0 + 1e-12))
+            r.feasible = false;
+    }
+    return r;
+}
+
+void
+ChainManager::recordAdmission(const std::vector<IpCore *> &ips,
+                              const std::vector<std::uint64_t> &edges,
+                              double fps)
+{
+    vip_assert(ips.size() == edges.size(),
+               "admission edge/stage mismatch");
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+        std::uint64_t out = i + 1 < ips.size() ? edges[i + 1] : 0;
+        _ipLoad[ips[i]] += stageDemand(*ips[i], edges[i], out, fps);
+    }
+}
+
+void
+ChainManager::releaseAdmission(const std::vector<IpCore *> &ips,
+                               const std::vector<std::uint64_t> &edges,
+                               double fps)
+{
+    vip_assert(ips.size() == edges.size(),
+               "admission edge/stage mismatch");
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+        std::uint64_t out = i + 1 < ips.size() ? edges[i + 1] : 0;
+        auto it = _ipLoad.find(ips[i]);
+        vip_assert(it != _ipLoad.end(),
+                   "admission refund for unknown IP");
+        it->second -= stageDemand(*ips[i], edges[i], out, fps);
+        if (it->second < 1e-12)
+            it->second = 0.0;
+    }
+}
+
+double
+ChainManager::ipLoad(const IpCore *ip) const
+{
+    auto it = _ipLoad.find(ip);
+    return it == _ipLoad.end() ? 0.0 : it->second;
 }
 
 bool

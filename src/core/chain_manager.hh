@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "ip/ip_core.hh"
@@ -30,6 +31,17 @@ namespace vip
 
 /** Handle to an instantiated chain. */
 using ChainId = std::uint32_t;
+
+/** Outcome of an admission-control feasibility check. */
+struct AdmissionCheck
+{
+    /** Every stage fits under (1 - headroom) of its IP's capacity. */
+    bool feasible = true;
+    /** Highest per-IP load (existing + new demand) over the stages. */
+    double worstLoad = 0.0;
+    /** The stage IP that sets worstLoad. */
+    const IpCore *bottleneck = nullptr;
+};
 
 /** Builds, binds and feeds virtual IP chains. */
 class ChainManager
@@ -89,6 +101,42 @@ class ChainManager
     /** Requesters queued behind busy chains right now. */
     std::size_t waiters() const { return _waiters.size(); }
 
+    /** @{ -------------- Admission control ----------------
+     * The driver's open()-time feasibility math: a flow at F frames/s
+     * whose stage moves max(in, out) bytes per frame demands
+     * F * max(in, out) / (clockHz * bytesPerCycle) of that IP.  The
+     * manager keeps a per-IP load ledger; a flow is admitted while
+     * every stage stays at or below (1 - headroom).
+     */
+
+    /** Capacity fraction of @p ip one flow's stage demands. */
+    static double stageDemand(const IpCore &ip, std::uint64_t in_bytes,
+                              std::uint64_t out_bytes, double fps);
+
+    /**
+     * Check whether a flow through @p ips (per-stage input bytes
+     * @p edges, stage i's output = edges[i+1]) fits at @p fps on top
+     * of the recorded load, keeping @p headroom of each IP free.
+     */
+    AdmissionCheck checkAdmission(const std::vector<IpCore *> &ips,
+                                  const std::vector<std::uint64_t> &edges,
+                                  double fps, double headroom) const;
+
+    /** Charge an admitted flow's demand to the ledger. */
+    void recordAdmission(const std::vector<IpCore *> &ips,
+                         const std::vector<std::uint64_t> &edges,
+                         double fps);
+
+    /** Refund a closed flow's demand. */
+    void releaseAdmission(const std::vector<IpCore *> &ips,
+                          const std::vector<std::uint64_t> &edges,
+                          double fps);
+
+    /** Recorded utilization demand on @p ip (0 when unknown). */
+    double ipLoad(const IpCore *ip) const;
+
+    /** @} */
+
   private:
     struct Chain
     {
@@ -110,6 +158,8 @@ class ChainManager
 
     std::vector<Chain> _chains;
     std::deque<std::pair<ChainId, Granted>> _waiters;
+    /** Admission ledger: accumulated demand fraction per IP. */
+    std::map<const IpCore *, double> _ipLoad;
 };
 
 } // namespace vip

@@ -33,6 +33,7 @@ FlowRuntime::FlowRuntime(PlatformRefs refs, FlowSpec spec, AppClass cls,
     vip_assert(_p.sys && _p.cfg && _p.stack && _p.chains && _p.sa &&
                _p.alloc && _p.ipFor, "incomplete platform refs");
     _spec.validate();
+    _nominalFps = _spec.fps;
     _traits = traitsOf(_p.cfg->system);
 
     for (IpKind k : _spec.hwStages()) {
@@ -42,19 +43,27 @@ FlowRuntime::FlowRuntime(PlatformRefs refs, FlowSpec spec, AppClass cls,
     }
     _numStages = _ips.size();
 
-    if (_traits.frameBurst) {
-        // Section 4.3's class-specific policy, applied per flow: only
-        // the interactive render flow of a game is input-limited.
-        AppClass effective = _cls;
-        if (!(_cls == AppClass::Game && isInteractive()))
-            effective = _spec.hasGop ? AppClass::VideoPlayback
-                                     : AppClass::AudioOnly;
-        _burst = makeBurstPolicy(effective, _spec,
-                                 _p.cfg->burstFrames,
-                                 _p.cfg->gameBurstCap);
-    }
+    buildBurstPolicy();
     if (_cls == AppClass::Game && isInteractive())
         _touch = makeTouchModel(_spec.name);
+}
+
+void
+FlowRuntime::buildBurstPolicy()
+{
+    if (!_traits.frameBurst)
+        return;
+    // Section 4.3's class-specific policy, applied per flow: only
+    // the interactive render flow of a game is input-limited.
+    // Rebuilt after admission down-rates the FPS, since the policies
+    // size bursts from the flow spec.
+    AppClass effective = _cls;
+    if (!(_cls == AppClass::Game && isInteractive()))
+        effective = _spec.hasGop ? AppClass::VideoPlayback
+                                 : AppClass::AudioOnly;
+    _burst = makeBurstPolicy(effective, _spec,
+                             _p.cfg->burstFrames,
+                             _p.cfg->gameBurstCap);
 }
 
 bool
@@ -98,6 +107,33 @@ FlowRuntime::makeCtx(std::uint64_t k)
     return it->second;
 }
 
+bool
+FlowRuntime::shouldShed() const
+{
+    if (_p.cfg->overloadPolicy != OverloadPolicy::Degrade)
+        return false;
+    // The pipeline is hopelessly behind: new frames could only queue.
+    if (_frames.size() >=
+        static_cast<std::size_t>(_p.cfg->overloadMaxInFlight)) {
+        return true;
+    }
+    // EDF slack has been negative for K consecutive frames.
+    return _consecLate >= _p.cfg->shedAfterLateFrames;
+}
+
+void
+FlowRuntime::shedFrame(std::uint64_t k)
+{
+    // Drop the whole frame at the chain head -- the cheapest point:
+    // no buffers, no app work, no driver call, no chain traffic.
+    // Resetting the late counter sheds proportionally (every K-th
+    // frame) instead of starving the flow outright.
+    (void)k;
+    ++_generated;
+    ++_shed;
+    _consecLate = 0;
+}
+
 void
 FlowRuntime::noteDegraded(std::uint64_t k)
 {
@@ -133,6 +169,10 @@ FlowRuntime::frameDone(std::uint64_t k)
     bool violated = ctx.degraded || judged > ctx.deadline;
     bool dropped = ctx.degraded ||
                    judged > ctx.deadline + _spec.period();
+    if (violated)
+        ++_consecLate;
+    else
+        _consecLate = 0;
     ++_completed;
     if (violated)
         ++_violations;
@@ -185,9 +225,60 @@ FlowRuntime::inputHint() const
 // --------------------------------------------------------------------
 
 void
+FlowRuntime::applyAdmission()
+{
+    _nominalFps = _spec.fps;
+    if (_ips.empty())
+        return;
+
+    const double headroom = _p.cfg->admissionHeadroom;
+    AdmissionCheck chk = _p.chains->checkAdmission(
+        _ips, _spec.edgeBytes, _spec.fps, headroom);
+    if (!chk.feasible) {
+        switch (_p.cfg->overloadPolicy) {
+          case OverloadPolicy::Reject:
+            _rejected = true;
+            warn("flow ", _spec.name, ": admission rejected (",
+                 chk.bottleneck ? chk.bottleneck->name() : "?",
+                 " would reach ", chk.worstLoad, " utilization)");
+            break;
+          case OverloadPolicy::Degrade:
+            // Halve the target rate until the flow fits (bounded:
+            // below 1/8 of nominal the flow is useless anyway and is
+            // admitted as-is, shedding the rest at run time).
+            for (int halvings = 0; halvings < 3 && !chk.feasible;
+                 ++halvings) {
+                _spec.fps /= 2.0;
+                chk = _p.chains->checkAdmission(
+                    _ips, _spec.edgeBytes, _spec.fps, headroom);
+            }
+            buildBurstPolicy();
+            warn("flow ", _spec.name, ": admission down-rated ",
+                 _nominalFps, " -> ", _spec.fps, " FPS");
+            break;
+          case OverloadPolicy::BestEffort:
+            break;
+        }
+    }
+    if (!_rejected) {
+        _p.chains->recordAdmission(_ips, _spec.edgeBytes, _spec.fps);
+        _admitted = true;
+    }
+    // The feasibility math is driver work at open() time.  Under the
+    // legacy BestEffort default open() has no admission stage, so no
+    // CPU time is charged (keeps the seed CPU profile bit-exact).
+    if (_p.cfg->overloadPolicy != OverloadPolicy::BestEffort)
+        _p.stack->runAdmissionCheck([] {});
+}
+
+void
 FlowRuntime::start()
 {
     auto &eq = _p.sys->eventq();
+
+    applyAdmission();
+    if (_rejected)
+        return;
 
     if (_traits.ipToIp) {
         _chain = _p.chains->create(
@@ -253,6 +344,10 @@ FlowRuntime::maybeTeardown()
     if (!_stopping || _tornDown || !_frames.empty())
         return;
     _tornDown = true;
+    if (_admitted) {
+        _p.chains->releaseAdmission(_ips, _spec.edgeBytes, _spec.fps);
+        _admitted = false;
+    }
     if (_chainCreated && !_vipFallback && _p.chains->bound(_chain))
         _p.chains->close(_chain);
 }
@@ -306,10 +401,14 @@ FlowRuntime::genFrameBaseline(std::uint64_t k)
 {
     if (_stopping)
         return;
-    makeCtx(k);
-    _p.stack->runTask(
-        appWork() + _p.stack->costs().driverSetupInstr,
-        [this, k] { submitStage(k, 0, /*burst_mode=*/false); });
+    if (shouldShed()) {
+        shedFrame(k);
+    } else {
+        makeCtx(k);
+        _p.stack->runTask(
+            appWork() + _p.stack->costs().driverSetupInstr,
+            [this, k] { submitStage(k, 0, /*burst_mode=*/false); });
+    }
 
     _p.sys->eventq().schedule(frameTick(k + 1), [this, k] {
         genFrameBaseline(k + 1);
@@ -425,6 +524,14 @@ FlowRuntime::genBurstJobs(std::uint64_t k0)
         return;
     Tick now = _p.sys->curTick();
     std::uint32_t n = _burst->nextBurst(k0, now, inputHint());
+    if (shouldShed()) {
+        for (std::uint64_t k = k0; k < k0 + n; ++k)
+            shedFrame(k);
+        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
+            genBurstJobs(k0 + n);
+        });
+        return;
+    }
     auto left = std::make_shared<std::uint32_t>(n);
     _activeBurstLeft = left;
     _activeBurstSize = n;
@@ -461,6 +568,13 @@ FlowRuntime::genFrameChained(std::uint64_t k)
 {
     if (_stopping)
         return;
+    if (shouldShed()) {
+        shedFrame(k);
+        _p.sys->eventq().schedule(frameTick(k + 1), [this, k] {
+            genFrameChained(k + 1);
+        });
+        return;
+    }
     makeCtx(k);
     _p.stack->runTask(
         appWork() + _p.stack->costs().chainSetupInstr,
@@ -485,6 +599,14 @@ FlowRuntime::genBurstChained(std::uint64_t k0)
         return;
     Tick now = _p.sys->curTick();
     std::uint32_t n = _burst->nextBurst(k0, now, inputHint());
+    if (shouldShed()) {
+        for (std::uint64_t k = k0; k < k0 + n; ++k)
+            shedFrame(k);
+        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
+            genBurstChained(k0 + n);
+        });
+        return;
+    }
     auto left = std::make_shared<std::uint32_t>(n);
     _activeBurstLeft = left;
     _activeBurstSize = n;
@@ -519,6 +641,14 @@ FlowRuntime::genBurstVip(std::uint64_t k0)
         return;
     Tick now = _p.sys->curTick();
     std::uint32_t n = _burst->nextBurst(k0, now, inputHint());
+    if (shouldShed()) {
+        for (std::uint64_t k = k0; k < k0 + n; ++k)
+            shedFrame(k);
+        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
+            genBurstVip(k0 + n);
+        });
+        return;
+    }
     auto left = std::make_shared<std::uint32_t>(n);
     _activeBurstLeft = left;
     _activeBurstSize = n;
@@ -590,10 +720,14 @@ FlowRuntime::result(double seconds) const
     r.name = _spec.name;
     r.qosCritical = _spec.qosCritical;
     r.fps = _spec.fps;
+    r.nominalFps = _nominalFps;
+    r.admitted = !_rejected;
     r.generated = _generated;
     r.completed = _completed;
     r.violations = _violations;
     r.drops = _drops;
+    r.shed = _shed;
+    r.inFlight = _frames.size();
     r.meanFlowTimeMs =
         _completed ? _flowTimeSumMs / static_cast<double>(_completed)
                    : 0.0;

@@ -82,6 +82,15 @@ class FlowRuntime
      *  transactional chain acquisition. */
     bool vipFallback() const { return _vipFallback; }
 
+    /** @{ overload-protection outcome */
+    /** False when admission control refused the flow (Reject). */
+    bool admitted() const { return !_rejected; }
+    /** True when admission halved the target FPS (Degrade). */
+    bool downRated() const { return _spec.fps != _nominalFps; }
+    /** Whole frames dropped unstarted at the chain head. */
+    std::uint64_t shedFrames() const { return _shed; }
+    /** @} */
+
     /**
      * Fault recovery gave up on frame @p k somewhere in the chain:
      * its payload is lost, so it is judged a deadline miss (and a
@@ -109,11 +118,15 @@ class FlowRuntime
     /** @{ shared helpers */
     Tick frameTick(std::uint64_t k) const;
     FrameCtx &makeCtx(std::uint64_t k);
+    void applyAdmission();
+    bool shouldShed() const;
+    void shedFrame(std::uint64_t k);
     void frameDone(std::uint64_t k);
     void recordStart(std::uint64_t k);
     void maybeTeardown();
     Tick genSpan() const;
     Tick inputHint() const;
+    void buildBurstPolicy();
     bool isInteractive() const;
     std::uint64_t appWork();
     /** @} */
@@ -164,6 +177,13 @@ class FlowRuntime
     bool _stopping = false;
     bool _tornDown = false;
 
+    /** @{ overload protection */
+    double _nominalFps = 0.0;  ///< requested rate before down-rating
+    bool _rejected = false;    ///< admission refused the flow
+    bool _admitted = false;    ///< demand recorded in the ledger
+    std::uint32_t _consecLate = 0; ///< frames late in a row
+    /** @} */
+
     std::unique_ptr<BurstPolicy> _burst;
     std::unique_ptr<TouchModel> _touch;
     Tick _nextInput = MaxTick;
@@ -179,6 +199,7 @@ class FlowRuntime
     std::uint64_t _completed = 0;
     std::uint64_t _violations = 0;
     std::uint64_t _drops = 0;
+    std::uint64_t _shed = 0;      ///< dropped whole at the chain head
     double _flowTimeSumMs = 0.0;
     double _transitSumMs = 0.0;
     /** @} */

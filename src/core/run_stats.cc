@@ -26,6 +26,11 @@ RunStats::summary() const
        << ", irq/100ms=" << interruptsPer100ms
        << ", memBW=" << avgMemBandwidthGBps << " GB/s"
        << ", cpuActive=" << cpuActiveMs << " ms";
+    if (framesShed > 0 || flowsRejected > 0 || flowsDownRated > 0) {
+        os << ", overload(shed=" << framesShed
+           << ", rejected=" << flowsRejected
+           << ", downrated=" << flowsDownRated << ")";
+    }
     if (faults.injected() > 0) {
         os << ", faults=" << faults.injected()
            << " (resets=" << faults.watchdogResets

@@ -27,6 +27,12 @@ struct FlowResult
     std::uint64_t completed = 0;
     std::uint64_t violations = 0; ///< completed after deadline
     std::uint64_t drops = 0;      ///< missed by > one period
+    /** @{ Overload protection. */
+    std::uint64_t shed = 0;       ///< dropped whole at the chain head
+    std::uint64_t inFlight = 0;   ///< still in the pipeline at run end
+    bool admitted = true;         ///< false: rejected by admission
+    double nominalFps = 0.0;      ///< requested rate before down-rating
+    /** @} */
     double meanFlowTimeMs = 0.0;  ///< latency from nominal generation
     double meanTransitMs = 0.0;   ///< pipeline transit (start->done)
     double achievedFps = 0.0;     ///< displayed (non-dropped) rate
@@ -38,8 +44,14 @@ struct IpResult
     std::string name;
     double activeMs = 0.0;
     double stallMs = 0.0;
+    /** Backpressured (input ready, no downstream credit): idle power. */
+    double bpStallMs = 0.0;
     double utilization = 0.0;     ///< active / (active + stall)
     double dutyCycle = 0.0;
+    /** Input reservations past lane capacity (0 = credits honored). */
+    std::uint64_t laneOverflows = 0;
+    /** Producer pushes deferred waiting on a downstream credit. */
+    std::uint64_t creditStalls = 0;
     std::uint64_t contextSwitches = 0;
     /** DRAM bytes this IP moved (its DMA traffic attribution). */
     std::uint64_t memBytes = 0;
@@ -75,6 +87,13 @@ struct RunStats
     std::uint64_t drops = 0;
     double dropRate = 0.0;       ///< drops / completed
     double violationRate = 0.0;
+    /** @{ Overload protection (all zero under BestEffort and no load). */
+    std::uint64_t framesShed = 0;    ///< dropped at the chain head
+    double shedRate = 0.0;           ///< shed / generated
+    std::uint32_t flowsRejected = 0; ///< refused by admission
+    std::uint32_t flowsDownRated = 0;///< FPS halved by admission
+    std::uint64_t laneOverflows = 0; ///< summed over IPs (must be 0)
+    /** @} */
     double meanFlowTimeMs = 0.0; ///< across QoS-critical frames
     double meanTransitMs = 0.0;  ///< pipeline transit view
     double achievedFps = 0.0;    ///< mean per-flow displayed FPS

@@ -234,6 +234,7 @@ Simulation::collect(double seconds)
             r.framesCompleted += fr.completed;
             r.violations += fr.violations;
             r.drops += fr.drops;
+            r.framesShed += fr.shed;
             flowTimeWeighted +=
                 fr.meanFlowTimeMs * static_cast<double>(fr.completed);
             transitWeighted +=
@@ -241,7 +242,15 @@ Simulation::collect(double seconds)
             fpsSum += fr.achievedFps;
             ++qosFlows;
         }
+        if (!fr.admitted)
+            ++r.flowsRejected;
+        else if (fr.fps != fr.nominalFps)
+            ++r.flowsDownRated;
         r.flows.push_back(std::move(fr));
+    }
+    if (r.framesGenerated > 0) {
+        r.shedRate = static_cast<double>(r.framesShed) /
+                     static_cast<double>(r.framesGenerated);
     }
     if (r.framesCompleted > 0) {
         r.dropRate = static_cast<double>(r.drops) /
@@ -297,8 +306,12 @@ Simulation::collect(double seconds)
         ir.name = ipKindName(kind);
         ir.activeMs = toMs(ip->activeTicks());
         ir.stallMs = toMs(ip->stallTicks());
+        ir.bpStallMs = toMs(ip->bpStallTicks());
         ir.utilization = ip->utilization();
         ir.dutyCycle = ip->dutyCycle();
+        ir.laneOverflows = ip->laneOverflows();
+        ir.creditStalls = ip->creditStalls();
+        r.laneOverflows += ip->laneOverflows();
         ir.contextSwitches = ip->contextSwitches();
         ir.memBytes = _mem->bytesForRequester(
             static_cast<std::uint32_t>(kind));

@@ -20,6 +20,35 @@
 namespace vip
 {
 
+/**
+ * What the driver does with a flow whose utilization demand does not
+ * fit the remaining per-IP capacity (admission control at open()).
+ */
+enum class OverloadPolicy
+{
+    /** Refuse the open(): the flow never starts. */
+    Reject,
+    /**
+     * Admit at a reduced rate: halve the target FPS until the flow
+     * fits (bounded), and shed whole frames at the chain head when
+     * the EDF slack stays negative at run time.
+     */
+    Degrade,
+    /** Admit everything at full rate (the paper's open-loop mode). */
+    BestEffort,
+};
+
+inline const char *
+overloadPolicyName(OverloadPolicy p)
+{
+    switch (p) {
+      case OverloadPolicy::Reject: return "reject";
+      case OverloadPolicy::Degrade: return "degrade";
+      case OverloadPolicy::BestEffort: return "besteffort";
+    }
+    return "?";
+}
+
 /** Everything needed to instantiate and run one platform. */
 struct SocConfig
 {
@@ -88,6 +117,26 @@ struct SocConfig
      * controller.
      */
     FaultPlan fault{};
+
+    /** @{ Overload protection (admission + run-time shedding). */
+    OverloadPolicy overloadPolicy = OverloadPolicy::BestEffort;
+    /**
+     * Capacity fraction admission keeps free on every IP: a flow is
+     * admitted only while the accumulated demand stays below
+     * (1 - headroom) of the engine's byte throughput.
+     */
+    double admissionHeadroom = 0.05;
+    /**
+     * Under Degrade, shed the next frame at the chain head once this
+     * many consecutive frames completed past their deadline.
+     */
+    std::uint32_t shedAfterLateFrames = 3;
+    /**
+     * Under Degrade, also shed when this many frames of the flow are
+     * already in flight (the pipeline is hopelessly behind).
+     */
+    std::uint32_t overloadMaxInFlight = 32;
+    /** @} */
 
     /**
      * No-progress guard interval in simulated seconds (0 disables).

@@ -43,6 +43,8 @@ struct DriverCosts
     std::uint64_t burstSetupBaseInstr = 1'000'000;
     /** Schedule_FrameBurst() per-frame part (chunk/time arrays). */
     std::uint64_t burstSetupPerFrameInstr = 150'000;
+    /** Admission control at open(): per-IP capacity bookkeeping. */
+    std::uint64_t admissionInstr = 200'000;
 };
 
 /** The host software stack. */
@@ -66,6 +68,17 @@ class SoftwareStack
         t.instructions = instructions;
         t.onComplete = std::move(done);
         _cpus.dispatch(std::move(t));
+    }
+
+    /**
+     * Charge the admission-control bookkeeping the driver runs at
+     * open() before any chain is instantiated (the feasibility math
+     * itself lives in ChainManager::checkAdmission).
+     */
+    void
+    runAdmissionCheck(Callback done)
+    {
+        runTask(_costs.admissionInstr, std::move(done));
     }
 
     /** Deliver an IP completion interrupt; ISR runs, then @p done. */

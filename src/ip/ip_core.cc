@@ -81,15 +81,57 @@ IpCore::accumulateState(Tick now)
         _activeTicks += dt;
     else if (_engineState == EngineState::Stalled)
         _stallTicks += dt;
+    else if (_engineState == EngineState::Backpressured)
+        _bpStallTicks += dt;
     _stateSince = now;
+}
+
+bool
+IpCore::outputBlocked(const Lane &l) const
+{
+    if (!l.bound || l.frames.empty())
+        return false;
+    const StreamFrame &f = l.frames.front();
+    if (f.unitsDone >= f.units)
+        return false;
+    if (l.inAvail < f.unitIn(f.unitsDone))
+        return false;
+    if (l.sink || !l.next || _p.overflowToMemory)
+        return false;
+    return l.outAccum + l.outQueueBytes + f.unitOut(f.unitsDone) >
+           _p.laneBytes;
+}
+
+bool
+IpCore::backpressured() const
+{
+    // Stream engine with a unit ready on the input side but no room
+    // on the output side: the only missing resource is a downstream
+    // credit.  A single-context IP committed to a transaction is
+    // judged on its sticky lane alone.
+    if (_jobActive || !_jobs.empty())
+        return false;
+    if (_stickyLane >= 0)
+        return outputBlocked(_lanes[_stickyLane]);
+    for (const auto &l : _lanes) {
+        if (outputBlocked(l))
+            return true;
+    }
+    return false;
 }
 
 void
 IpCore::updateEngineState()
 {
-    EngineState next = _computing
-        ? EngineState::Active
-        : (anyWorkPending() ? EngineState::Stalled : EngineState::Idle);
+    EngineState next;
+    if (_computing)
+        next = EngineState::Active;
+    else if (!anyWorkPending())
+        next = EngineState::Idle;
+    else if (backpressured())
+        next = EngineState::Backpressured;
+    else
+        next = EngineState::Stalled;
     if (next == _engineState)
         return;
     Tick now = curTick();
@@ -104,6 +146,10 @@ IpCore::updateEngineState()
         watts = _p.power.stallWatts;
         break;
       case EngineState::Idle:
+      case EngineState::Backpressured:
+        // A backpressured engine has nothing to execute: it
+        // clock-gates exactly like an idle one, so overload does not
+        // inflate the energy numbers (Fig 15 stays honest).
         watts = _p.power.idleWatts;
         break;
     }
@@ -143,8 +189,14 @@ IpCore::debugState() const
 {
     std::ostringstream os;
     os << name() << ": "
-       << (_computing ? "computing"
-                      : (anyWorkPending() ? "stalled" : "idle"));
+       << (_computing
+               ? "computing"
+               : (!anyWorkPending()
+                      ? "idle"
+                      : (backpressured() ? "backpressured"
+                                         : "stalled")));
+    if (_laneOverflows > 0)
+        os << " (!" << _laneOverflows << " lane overflows)";
     if (_computing && _unitAttempts > 0)
         os << " (unit retried " << _unitAttempts << "x)";
     if (_computing && _computeEvent == InvalidEventId &&
@@ -317,10 +369,19 @@ IpCore::finishUnit()
         Tick extra = elapsed > _unitTime ? elapsed - _unitTime : 0;
         _faults->noteRecoveryLatency(extra);
     }
-    if (_unitStream)
+    if (_unitStream) {
+        // The unit held its input-buffer reservation across every
+        // retry/reset; the credits go back upstream exactly once,
+        // now that the input can no longer be needed.  Before the
+        // completion handler: it may retire the frame and tear the
+        // lane down.
+        std::uint64_t held = std::exchange(_unitInBytes, 0);
+        if (held > 0)
+            returnLaneCredits(_unitLane, held);
         onUnitComputed(_unitLane);
-    else
+    } else {
         onJobUnitComputed();
+    }
 }
 
 // --------------------------------------------------------------------
@@ -567,6 +628,18 @@ IpCore::laneDepth(int lane) const
     return _lanes.at(lane).frames.size();
 }
 
+std::uint64_t
+IpCore::laneOccupancy(int lane) const
+{
+    return _lanes.at(lane).occupancy;
+}
+
+std::uint64_t
+IpCore::laneInAvail(int lane) const
+{
+    return _lanes.at(lane).inAvail;
+}
+
 bool
 IpCore::laneHasSpace(int lane, std::uint32_t bytes) const
 {
@@ -577,7 +650,13 @@ IpCore::laneHasSpace(int lane, std::uint32_t bytes) const
 void
 IpCore::reserveLaneSpace(int lane, std::uint32_t bytes)
 {
-    _lanes.at(lane).occupancy += bytes;
+    Lane &l = _lanes.at(lane);
+    l.occupancy += bytes;
+    // Producers must check laneHasSpace() first; a reservation past
+    // capacity means the credit protocol was violated.  Counted (not
+    // asserted) so sweeps can prove "zero overflows at any load".
+    if (l.occupancy > _p.laneBytes)
+        ++_laneOverflows;
 }
 
 void
@@ -601,13 +680,21 @@ IpCore::deliverBytes(int lane, std::uint32_t bytes)
 }
 
 void
-IpCore::releaseInputBytes(int lane, std::uint64_t bytes)
+IpCore::consumeInput(int lane, std::uint64_t bytes)
 {
     Lane &l = _lanes[lane];
-    vip_assert(l.occupancy >= bytes && l.inAvail >= bytes,
+    vip_assert(l.inAvail >= bytes,
                "input buffer underflow on ", name());
-    l.occupancy -= bytes;
     l.inAvail -= bytes;
+}
+
+void
+IpCore::returnLaneCredits(int lane, std::uint64_t bytes)
+{
+    Lane &l = _lanes[lane];
+    vip_assert(l.occupancy >= bytes,
+               "credit double-release on ", name());
+    l.occupancy -= bytes;
     if (l.creditWaiter) {
         auto cb = std::exchange(l.creditWaiter, nullptr);
         _sa.signal(std::move(cb));
@@ -861,8 +948,9 @@ IpCore::kickStream()
     if (uIn > 0) {
         _bufferEnergy.addDynamicNj(
             SramModel::readEnergyNj(_p.laneBytes, uIn));
-        releaseInputBytes(lane, uIn);
+        consumeInput(lane, uIn);
     }
+    _unitInBytes = uIn;
 
     startUnit(/*stream=*/true, lane,
               computeTime(uIn, uOut) +
@@ -956,6 +1044,7 @@ IpCore::pushOutput(int lane)
             continue;
         }
         if (blocked) {
+            ++_creditStalls;
             IpCore *next = l.next;
             int nl = l.nextLane;
             next->setCreditWaiter(nl, [this, lane] {
@@ -1028,6 +1117,7 @@ IpCore::pumpSpills(int lane)
     if (!sp.writeDone)
         return; // read-after-write hazard: wait for the store
     if (!l.next->laneHasSpace(l.nextLane, sp.bytes)) {
+        ++_creditStalls;
         l.next->setCreditWaiter(l.nextLane,
                                 [this, lane] { pumpSpills(lane); });
         return;

@@ -170,12 +170,25 @@ class IpCore : public ClockedObject
     /** Frames announced but not yet fully processed on @p lane. */
     std::size_t laneDepth(int lane) const;
 
+    /** @{ lane-credit introspection (tests, diagnostics) */
+    /** Total reserved input bytes (buffered + in-flight + in-use). */
+    std::uint64_t laneOccupancy(int lane) const;
+    /** Input bytes buffered and ready to consume. */
+    std::uint64_t laneInAvail(int lane) const;
+    /** @} */
+
     /** @} */
 
     /** @{ ------------------- Accounting ------------------- */
 
     Tick activeTicks() const { return _activeTicks; }
     Tick stallTicks() const { return _stallTicks; }
+    /**
+     * Time spent backpressured: input ready but no downstream credit.
+     * The engine clock-gates (idle power); excluded from both terms
+     * of utilization() so memory stalls stay distinguishable.
+     */
+    Tick bpStallTicks() const { return _bpStallTicks; }
 
     /**
      * Utilization while busy: active / (active + stalled), the Fig 3b
@@ -193,6 +206,10 @@ class IpCore : public ClockedObject
     std::uint64_t bytesProcessed() const { return _bytesProcessed; }
     /** Bytes detoured through DRAM by the overflow-to-memory path. */
     std::uint64_t bytesSpilled() const { return _bytesSpilled; }
+    /** Reservations that overran a lane's capacity (must stay 0). */
+    std::uint64_t laneOverflows() const { return _laneOverflows; }
+    /** Producer pushes deferred for a downstream credit. */
+    std::uint64_t creditStalls() const { return _creditStalls; }
 
     /** @{ Fault recovery counters (0 without a FaultInjector). */
     std::uint64_t watchdogResets() const { return _watchdogResets; }
@@ -230,6 +247,8 @@ class IpCore : public ClockedObject
         Idle,
         Active,
         Stalled,
+        /** Work is input-ready but waits on downstream lane credits. */
+        Backpressured,
     };
 
     /** Announced per-stage frame context (header-packet contents). */
@@ -320,12 +339,15 @@ class IpCore : public ClockedObject
         FrameExitFn onExit;
         FrameStartFn onFrameStart;
 
-        /** Work exists somewhere (for teardown checks). */
+        /** Work exists somewhere (for teardown checks).  Occupancy
+         *  covers reserved in-flight deliveries and input held by the
+         *  unit in compute, so an unbind cannot race either. */
         bool
         active() const
         {
             return !frames.empty() || !feeds.empty() || inAvail > 0 ||
-                   outQueueBytes > 0 || outAccum > 0 || spillBytes > 0;
+                   occupancy > 0 || outQueueBytes > 0 || outAccum > 0 ||
+                   spillBytes > 0;
         }
 
         /**
@@ -361,7 +383,19 @@ class IpCore : public ClockedObject
     void pushOutput(int lane);
     void spillChunk(int lane, std::uint32_t bytes);
     void pumpSpills(int lane);
-    void releaseInputBytes(int lane, std::uint64_t bytes);
+    /**
+     * Consume buffered input for the unit entering compute.  The
+     * bytes stay *reserved* (occupancy) until the unit completes or
+     * gives up, so a watchdog retry recomputes from input whose
+     * buffer space upstream cannot have overwritten.
+     */
+    void consumeInput(int lane, std::uint64_t bytes);
+    /**
+     * Return a finished unit's input-buffer credits: drop the
+     * reservation, wake the upstream credit waiter (via the SA's
+     * latency-modeled signal path) and re-pump head-of-chain feeds.
+     */
+    void returnLaneCredits(int lane, std::uint64_t bytes);
     /** @} */
 
     /** @{ fault injection + watchdog recovery (both modes) */
@@ -385,6 +419,8 @@ class IpCore : public ClockedObject
     void updateEngineState();
     void accumulateState(Tick now);
     bool anyWorkPending() const;
+    bool outputBlocked(const Lane &l) const;
+    bool backpressured() const;
 
     Tick computeTime(std::uint64_t in_bytes,
                      std::uint64_t out_bytes) const;
@@ -402,6 +438,7 @@ class IpCore : public ClockedObject
     Tick _unitStart = 0;          ///< first attempt began
     std::uint32_t _unitAttempts = 0; ///< retries so far
     bool _unitDegraded = false;   ///< passthrough drain, no injection
+    std::uint64_t _unitInBytes = 0; ///< input credits held by the unit
     EventId _computeEvent = InvalidEventId;
     EventId _watchdogEvent = InvalidEventId;
     bool _jobFaulted = false;     ///< current job past its budget
@@ -436,12 +473,15 @@ class IpCore : public ClockedObject
     Tick _stateSince = 0;
     Tick _activeTicks = 0;
     Tick _stallTicks = 0;
+    Tick _bpStallTicks = 0;
     std::uint64_t _jobsCompleted = 0;
     std::uint64_t _subframes = 0;
     std::uint64_t _framesExited = 0;
     std::uint64_t _contextSwitches = 0;
     std::uint64_t _bytesProcessed = 0;
     std::uint64_t _bytesSpilled = 0;
+    std::uint64_t _laneOverflows = 0;
+    std::uint64_t _creditStalls = 0;
     std::uint64_t _watchdogResets = 0;
     std::uint64_t _unitRetries = 0;
     std::uint64_t _framesDegraded = 0;

@@ -217,5 +217,86 @@ TEST_F(ChainTest, StagesAccessor)
     EXPECT_EQ(mgr.stages(c)[1], &dc);
 }
 
+// --------------------------------------------------------------------
+// Admission control (overload protection)
+// --------------------------------------------------------------------
+// Fixture IPs run at 1 GHz x 4 B/cycle = 4e9 engine bytes/second.
+
+TEST_F(ChainTest, StageDemandIsWorkOverCapacity)
+{
+    auto &vd = makeIp("t.vd", IpKind::VD);
+    // Demand is driven by the wider of input and output.
+    EXPECT_DOUBLE_EQ(
+        ChainManager::stageDemand(vd, 4'000'000, 8'000'000, 100.0),
+        100.0 * 8e6 / 4e9);
+    EXPECT_DOUBLE_EQ(
+        ChainManager::stageDemand(vd, 8'000'000, 2'000'000, 100.0),
+        100.0 * 8e6 / 4e9);
+    // Degenerate zero-byte stage still costs at least one byte/frame.
+    EXPECT_GT(ChainManager::stageDemand(vd, 0, 0, 100.0), 0.0);
+}
+
+TEST_F(ChainTest, AdmissionBoundaryIsExact)
+{
+    auto &vd = makeIp("t.vd", IpKind::VD);
+    std::vector<IpCore *> chain{&vd};
+    std::vector<std::uint64_t> edges{4'000'000};
+    // 950 FPS x 4 MB / 4e9 B/s = 0.95 = exactly the 5%-headroom
+    // limit: admitted.  One frame more tips it over.
+    auto at = mgr.checkAdmission(chain, edges, 950.0, 0.05);
+    EXPECT_TRUE(at.feasible);
+    EXPECT_DOUBLE_EQ(at.worstLoad, 0.95);
+    EXPECT_EQ(at.bottleneck, &vd);
+    auto over = mgr.checkAdmission(chain, edges, 951.0, 0.05);
+    EXPECT_FALSE(over.feasible);
+}
+
+TEST_F(ChainTest, AdmissionBottleneckIsWidestStage)
+{
+    auto &vd = makeIp("t.vd", IpKind::VD);
+    auto &dc = makeIp("t.dc", IpKind::DC);
+    std::vector<IpCore *> chain{&vd, &dc};
+    // VD: max(1 MB in, 8 MB out); DC: 8 MB in -> DC and VD tie on
+    // bytes, but VD sees the 8 MB as output too, so both carry
+    // 8 MB/frame; worstLoad reports the first-seen maximum (VD).
+    auto r = mgr.checkAdmission(chain, {1'000'000, 8'000'000}, 60.0,
+                                0.05);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.worstLoad, 60.0 * 8e6 / 4e9);
+    EXPECT_EQ(r.bottleneck, &vd);
+}
+
+TEST_F(ChainTest, FeasibleAloneButInfeasibleCombined)
+{
+    auto &vd = makeIp("t.vd", IpKind::VD);
+    std::vector<IpCore *> chain{&vd};
+    std::vector<std::uint64_t> edges{4'000'000};
+    // Each flow alone loads VD to 0.6; together they'd need 1.2.
+    EXPECT_TRUE(mgr.checkAdmission(chain, edges, 600.0, 0.05).feasible);
+    mgr.recordAdmission(chain, edges, 600.0);
+    EXPECT_DOUBLE_EQ(mgr.ipLoad(&vd), 0.6);
+    auto second = mgr.checkAdmission(chain, edges, 600.0, 0.05);
+    EXPECT_FALSE(second.feasible);
+    EXPECT_DOUBLE_EQ(second.worstLoad, 1.2);
+    // A half-rate second flow fits in the remaining headroom.
+    EXPECT_TRUE(mgr.checkAdmission(chain, edges, 300.0, 0.05).feasible);
+}
+
+TEST_F(ChainTest, ReleaseRefundsTheLedger)
+{
+    auto &vd = makeIp("t.vd", IpKind::VD);
+    auto &dc = makeIp("t.dc", IpKind::DC);
+    std::vector<IpCore *> chain{&vd, &dc};
+    std::vector<std::uint64_t> edges{4'000'000, 4'000'000};
+    mgr.recordAdmission(chain, edges, 300.0);
+    EXPECT_GT(mgr.ipLoad(&vd), 0.0);
+    EXPECT_GT(mgr.ipLoad(&dc), 0.0);
+    mgr.releaseAdmission(chain, edges, 300.0);
+    EXPECT_DOUBLE_EQ(mgr.ipLoad(&vd), 0.0);
+    EXPECT_DOUBLE_EQ(mgr.ipLoad(&dc), 0.0);
+    // After the refund the full budget is available again.
+    EXPECT_TRUE(mgr.checkAdmission(chain, edges, 900.0, 0.05).feasible);
+}
+
 } // namespace
 } // namespace vip

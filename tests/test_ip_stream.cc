@@ -468,5 +468,57 @@ TEST_F(IpStreamTest, OverflowPreservesByteCount)
     EXPECT_EQ(exits, (std::vector<std::uint64_t>{0, 1, 2}));
 }
 
+TEST_F(IpStreamTest, WatchdogResetReturnsLaneCreditsOnce)
+{
+    // Regression: a watchdog reset mid-unit must NOT return the
+    // unit's input reservation early (the retry recomputes from that
+    // same input), and the eventual unit completion must return it
+    // exactly once.  A double release would let a later frame reserve
+    // past lane capacity; a leak would wedge the lane full.
+    FaultPlan plan;
+    plan.engineHangProb = 0.5; // every other unit hangs once
+    plan.watchdogTimeout = fromUs(5);
+    plan.resetPenalty = fromUs(1);
+    plan.maxRetries = 10; // generous: no frame is ever given up
+    plan.seed = 7;
+    FaultInjector faults(plan);
+
+    ips.push_back(std::make_unique<IpCore>(
+        *sys, "t.prod", fastParams(), *sa, *ledger, &faults));
+    IpCore &prod = *ips.back();
+    ips.push_back(std::make_unique<IpCore>(
+        *sys, "t.sink", fastParams(IpKind::DC), *sa, *ledger, &faults));
+    IpCore &sink = *ips.back();
+    int pl = prod.bindLane(1);
+    int sl = sink.bindLane(1);
+    prod.connectLane(pl, &sink, sl);
+    sink.makeLaneSink(sl, nullptr);
+
+    for (std::uint64_t k = 0; k < 6; ++k) {
+        prod.announceFrame(pl, k, 32_KiB, 32_KiB, MaxTick, true);
+        sink.announceFrame(sl, k, 32_KiB, 0, MaxTick, true);
+        prod.feedFrame(pl, k, 32_KiB, 0, false);
+    }
+    run(fromSec(2));
+
+    // Recovery actually happened (the plan is aggressive enough)...
+    EXPECT_GT(prod.watchdogResets() + sink.watchdogResets(), 0u);
+    EXPECT_EQ(sink.framesExited(), 6u);
+    // ...and the drained lanes hold no stuck reservations: every
+    // credit consumed at unit start came back at unit finish, once.
+    for (const IpCore *ip : {&prod, &sink}) {
+        for (int l : {pl, sl}) {
+            if (l >= static_cast<int>(ip->params().numLanes))
+                continue;
+            EXPECT_EQ(ip->laneOccupancy(l), 0u)
+                << ip->name() << " lane " << l << " leaked occupancy";
+            EXPECT_EQ(ip->laneInAvail(l), 0u)
+                << ip->name() << " lane " << l << " leaked input";
+        }
+    }
+    EXPECT_EQ(prod.laneOverflows(), 0u);
+    EXPECT_EQ(sink.laneOverflows(), 0u);
+}
+
 } // namespace
 } // namespace vip

@@ -129,6 +129,66 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(11u, 23u, 37u, 58u, 71u)),
     fuzzName);
 
+/**
+ * Oversubscription soak: random workloads cranked well past platform
+ * capacity must still terminate (no no-progress trip, no deadlock),
+ * and under the Degrade policy every flow must conserve frames:
+ * generated == completed + shed + still-in-flight at run end.
+ */
+class OverloadSoak : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+TEST_P(OverloadSoak, OversubscribedDegradeTerminatesAndConserves)
+{
+    SystemConfig config = std::get<0>(GetParam());
+    std::uint64_t seed = std::get<1>(GetParam());
+
+    Random rng(seed * 977 + 13);
+    Workload w;
+    w.name = "soak" + std::to_string(seed);
+    AppSpec app;
+    app.name = "soakApp";
+    std::uint32_t flows =
+        static_cast<std::uint32_t>(rng.uniformInt(2, 6));
+    for (std::uint32_t fl = 0; fl < flows; ++fl) {
+        FlowSpec f = randomFlow(rng, static_cast<int>(fl));
+        // Push the mix well past capacity: high rates, big frames.
+        f.fps = static_cast<double>(rng.uniformInt(60, 240));
+        for (auto &e : f.edgeBytes)
+            e = std::max<std::uint64_t>(e, 2048 * 1024);
+        app.flows.push_back(std::move(f));
+    }
+    w.apps.push_back(std::move(app));
+
+    SocConfig cfg;
+    cfg.system = config;
+    cfg.simSeconds = 0.08;
+    cfg.seed = seed;
+    cfg.overloadPolicy = OverloadPolicy::Degrade;
+    Simulation sim(cfg, w);
+
+    // Terminates without tripping the no-progress guard (a trip is a
+    // SimFatal) even though the offered load exceeds capacity.
+    RunStats s;
+    ASSERT_NO_THROW(s = sim.run());
+
+    EXPECT_GT(s.framesGenerated, 0u);
+    EXPECT_EQ(s.flowsRejected, 0u); // degrade never rejects outright
+    EXPECT_EQ(s.laneOverflows, 0u); // credits always honored
+    for (const auto &f : s.flows) {
+        EXPECT_EQ(f.generated, f.completed + f.shed + f.inFlight)
+            << "flow " << f.name << " leaks frames";
+        EXPECT_LE(f.fps, f.nominalFps); // only ever down-rated
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soak, OverloadSoak,
+    ::testing::Combine(::testing::ValuesIn(kAllConfigs),
+                       ::testing::Values(3u, 19u, 42u)),
+    fuzzName);
+
 TEST(RandomWorkloadFuzz, GeneratorProducesValidVariety)
 {
     // The generator itself must emit valid, varied flows.

@@ -44,6 +44,12 @@ usage()
         "  --dvfs                       ondemand CPU governor\n"
         "  --vsync                      judge QoS at vsync boundaries\n"
         "  --spill                      overflow full lanes to DRAM\n"
+        "  --overload-policy <p>        reject | degrade | besteffort\n"
+        "                               (admission control at open())\n"
+        "  --admission-headroom <f>     IP capacity fraction admission\n"
+        "                               keeps free (default 0.05)\n"
+        "  --shed-after <frames>        degrade: shed a frame after N\n"
+        "                               consecutive late frames\n"
         "  --fault-plan <spec>          fault plan: a preset name\n"
         "                               (none|light|moderate|heavy) or\n"
         "                               key=value pairs, e.g.\n"
@@ -171,16 +177,35 @@ report(const vip::RunStats &s)
                     static_cast<unsigned long long>(f.framesDegraded),
                     f.meanRecoveryMs(), f.recoveryMaxMs);
     }
+    if (s.framesShed > 0 || s.flowsRejected > 0 ||
+        s.flowsDownRated > 0 || s.laneOverflows > 0) {
+        std::printf("overload    : %llu frames shed (%.1f%%), %u "
+                    "flows rejected, %u down-rated, %llu lane "
+                    "overflows\n",
+                    static_cast<unsigned long long>(s.framesShed),
+                    s.shedRate * 100.0, s.flowsRejected,
+                    s.flowsDownRated,
+                    static_cast<unsigned long long>(s.laneOverflows));
+    }
     std::printf("per-flow:\n");
     for (const auto &f : s.flows) {
         std::printf("  %-28s %4llu/%llu frames, %llu viol, "
-                    "%.2f ms, %.1f FPS%s\n",
+                    "%.2f ms, %.1f FPS%s%s\n",
                     f.name.c_str(),
                     static_cast<unsigned long long>(f.completed),
                     static_cast<unsigned long long>(f.generated),
                     static_cast<unsigned long long>(f.violations),
                     f.meanFlowTimeMs, f.achievedFps,
-                    f.qosCritical ? "" : "  (non-critical)");
+                    f.qosCritical ? "" : "  (non-critical)",
+                    !f.admitted ? "  [rejected]"
+                                : (f.fps != f.nominalFps
+                                       ? "  [down-rated]"
+                                       : ""));
+        if (f.shed > 0) {
+            std::printf("  %-28s %4llu frames shed at the chain "
+                        "head\n", "",
+                        static_cast<unsigned long long>(f.shed));
+        }
     }
     std::printf("per-IP:\n");
     for (const auto &ip : s.ips) {
@@ -245,6 +270,20 @@ main(int argc, char **argv)
             cfg.vsyncAligned = true;
         } else if (arg == "--spill") {
             cfg.overflowToMemory = true;
+        } else if (arg == "--overload-policy") {
+            auto v = next();
+            if (v == "reject")
+                cfg.overloadPolicy = vip::OverloadPolicy::Reject;
+            else if (v == "degrade")
+                cfg.overloadPolicy = vip::OverloadPolicy::Degrade;
+            else if (v == "besteffort")
+                cfg.overloadPolicy = vip::OverloadPolicy::BestEffort;
+            else
+                vip::fatal("unknown overload policy '", v, "'");
+        } else if (arg == "--admission-headroom") {
+            cfg.admissionHeadroom = std::atof(next().c_str());
+        } else if (arg == "--shed-after") {
+            cfg.shedAfterLateFrames = std::atoi(next().c_str());
         } else if (arg == "--fault-plan") {
             cfg.fault = vip::FaultPlan::parse(next());
         } else if (arg == "--fault-hang") {
