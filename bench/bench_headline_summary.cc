@@ -13,11 +13,12 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vip;
     using namespace vip::bench;
 
+    parseBenchArgs(argc, argv); // honors --audit=strict (CI gate)
     double seconds = simSeconds(0.4);
     banner("Headline summary: paper claims vs this reproduction",
            "abstract + Section 6.2 + conclusion");

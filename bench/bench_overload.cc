@@ -69,7 +69,7 @@ main(int argc, char **argv)
 {
     using namespace vip;
 
-    const char *jsonPath = argc > 1 ? argv[1] : nullptr;
+    const char *jsonPath = bench::parseBenchArgs(argc, argv);
     const double seconds = bench::simSeconds(0.25);
     const Workload base = WorkloadCatalog::byIndex(4);
     const double loads[] = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
@@ -93,6 +93,7 @@ main(int argc, char **argv)
             cfg.simSeconds = seconds;
             cfg.seed = 1;
             cfg.overloadPolicy = OverloadPolicy::Degrade;
+            cfg.audit = bench::auditConfig();
 
             RunStats r;
             try {
@@ -186,7 +187,8 @@ main(int argc, char **argv)
             return 1;
         }
         char buf[256];
-        os << "{\n  \"workload\": \"" << base.name
+        os << "{\n  \"schemaVersion\": " << bench::kBenchSchemaVersion
+           << ",\n  \"workload\": \"" << base.name
            << "\",\n  \"policy\": \"degrade\",\n  \"cells\": [\n";
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const Cell &c = cells[i];

@@ -21,6 +21,14 @@ namespace vip
 namespace bench
 {
 
+/**
+ * Version stamped as "schemaVersion" into every bench JSON output.
+ * Bump on any change to the JSON shape so downstream consumers
+ * (CI comparisons, plotting scripts) can reject files they do not
+ * understand.
+ */
+constexpr int kBenchSchemaVersion = 1;
+
 /** Simulated seconds per run (env VIP_BENCH_SECONDS overrides). */
 inline double
 simSeconds(double fallback = 0.25)
@@ -28,6 +36,37 @@ simSeconds(double fallback = 0.25)
     if (const char *env = std::getenv("VIP_BENCH_SECONDS"))
         return std::atof(env);
     return fallback;
+}
+
+/** Audit mode applied to every runCell() (default off). */
+inline AuditConfig &
+auditConfig()
+{
+    static AuditConfig cfg;
+    return cfg;
+}
+
+/**
+ * Consume --audit flags ("--audit strict" or "--audit=strict") into
+ * auditConfig() and return the first other argument (the benches'
+ * positional output path), or nullptr.  CI uses this to rerun the
+ * figure benches with strict invariant audits enabled.
+ */
+inline const char *
+parseBenchArgs(int argc, char **argv)
+{
+    const char *positional = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--audit" && i + 1 < argc) {
+            auditConfig() = AuditConfig::parse(argv[++i]);
+        } else if (arg.rfind("--audit=", 0) == 0) {
+            auditConfig() = AuditConfig::parse(arg.substr(8));
+        } else if (!positional) {
+            positional = argv[i];
+        }
+    }
+    return positional;
 }
 
 /** The paper's evaluation columns: A1..A7 then W1..W8. */
@@ -51,6 +90,7 @@ runCell(SystemConfig config, const Workload &wl, double seconds,
     cfg.system = config;
     cfg.simSeconds = seconds;
     cfg.seed = seed;
+    cfg.audit = auditConfig();
     return Simulation::run(cfg, wl);
 }
 

@@ -263,4 +263,64 @@ ChainManager::stages(ChainId id) const
     return _chains.at(id).ips;
 }
 
+void
+ChainManager::auditInvariants(AuditContext &ctx) const
+{
+    for (std::size_t i = 0; i < _chains.size(); ++i) {
+        const Chain &c = _chains[i];
+        std::string which = "chain " + std::to_string(i);
+        if (c.isBound) {
+            ctx.checkEq("chain.bound_lanes", c.lanes.size(),
+                        c.ips.size(), which);
+            for (int lane : c.lanes) {
+                ctx.checkTrue("chain.lane_valid", lane >= 0,
+                              which + " bound with an invalid lane");
+            }
+        } else {
+            // unbind() resets every slot to -1 but keeps the vector
+            // sized to the stage count.
+            for (int lane : c.lanes) {
+                ctx.checkTrue("chain.unbound_lanes", lane == -1,
+                              which + " holds a lane while unbound");
+            }
+        }
+    }
+    for (const auto &[id, granted] : _waiters) {
+        ctx.checkTrue("chain.waiter_valid", id < _chains.size(),
+                      "waiter references unknown chain");
+    }
+    // The admission ledger never goes negative (releases are clamped
+    // at zero only against rounding noise).
+    for (const auto &[ip, load] : _ipLoad) {
+        ctx.checkTrue("chain.load_nonnegative", load >= 0.0,
+                      "negative admission demand on " + ip->name());
+    }
+}
+
+void
+ChainManager::stateDigest(StateDigest &d) const
+{
+    d.add(static_cast<std::uint64_t>(_chains.size()));
+    for (const Chain &c : _chains) {
+        d.add(static_cast<std::uint64_t>(c.flow));
+        d.add(c.isBound);
+        d.add(c.persistent);
+        d.add(static_cast<std::uint64_t>(c.lanes.size()));
+        for (int lane : c.lanes)
+            d.add(static_cast<std::int64_t>(lane));
+    }
+    d.add(static_cast<std::uint64_t>(_waiters.size()));
+    // The ledger is keyed by IpCore pointer; digest by component name
+    // in sorted order so the value is stable across runs.
+    std::vector<std::pair<std::string, double>> loads;
+    loads.reserve(_ipLoad.size());
+    for (const auto &[ip, load] : _ipLoad)
+        loads.emplace_back(ip->name(), load);
+    std::sort(loads.begin(), loads.end());
+    for (const auto &[name, load] : loads) {
+        d.add(name);
+        d.add(load);
+    }
+}
+
 } // namespace vip

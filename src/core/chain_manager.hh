@@ -44,7 +44,7 @@ struct AdmissionCheck
 };
 
 /** Builds, binds and feeds virtual IP chains. */
-class ChainManager
+class ChainManager : public Auditable
 {
   public:
     using Granted = std::function<void()>;
@@ -135,6 +135,11 @@ class ChainManager
     /** Recorded utilization demand on @p ip (0 when unknown). */
     double ipLoad(const IpCore *ip) const;
 
+    /** @} */
+
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
     /** @} */
 
   private:

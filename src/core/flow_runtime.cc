@@ -740,4 +740,54 @@ FlowRuntime::result(double seconds) const
     return r;
 }
 
+void
+FlowRuntime::auditInvariants(AuditContext &ctx) const
+{
+    // Frame conservation: every generated frame is completed, shed at
+    // the chain head, or still in flight -- continuously, not just at
+    // teardown.
+    ctx.checkEq("flow.conservation", _generated,
+                _completed + _shed + _frames.size(),
+                _spec.name + " leaks frames");
+    ctx.checkLe("flow.violations_le_completed", _violations, _completed,
+                _spec.name);
+    ctx.checkLe("flow.drops_le_completed", _drops, _completed,
+                _spec.name);
+    ctx.checkTrue("flow.rejected_idle",
+                  !_rejected || (_generated == 0 && _frames.empty()),
+                  _spec.name + " generated frames while rejected");
+}
+
+void
+FlowRuntime::stateDigest(StateDigest &d) const
+{
+    d.add(_spec.name);
+    d.add(_generated);
+    d.add(_completed);
+    d.add(_violations);
+    d.add(_drops);
+    d.add(_shed);
+    d.add(_flowTimeSumMs);
+    d.add(_transitSumMs);
+    d.add(_stopping);
+    d.add(_tornDown);
+    d.add(_rejected);
+    d.add(_spec.fps);
+    // In-flight frame contexts live in an unordered_map: walk the
+    // keys sorted so the digest is independent of hash order.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(_frames.size());
+    for (const auto &[k, ctx] : _frames)
+        keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t k : keys) {
+        const FrameCtx &f = _frames.at(k);
+        d.add(k);
+        d.add(static_cast<std::uint64_t>(f.gen));
+        d.add(static_cast<std::uint64_t>(f.deadline));
+        d.add(static_cast<std::uint64_t>(f.started));
+        d.add(f.degraded);
+    }
+}
+
 } // namespace vip

@@ -53,7 +53,7 @@ struct PlatformRefs
 };
 
 /** Runs one flow instance for the whole simulation. */
-class FlowRuntime
+class FlowRuntime : public Auditable
 {
   public:
     FlowRuntime(PlatformRefs refs, FlowSpec spec, AppClass cls,
@@ -102,6 +102,18 @@ class FlowRuntime
     std::uint64_t completedFrames() const { return _completed; }
     std::size_t framesInFlight() const { return _frames.size(); }
     /** @} */
+
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
+
+    /**
+     * TEST ONLY: skew the generated-frame counter without generating
+     * a frame, deliberately breaking flow.conservation so tests can
+     * prove a strict audit catches and localizes an accounting bug.
+     */
+    void corruptAccountingForTest() { ++_generated; }
 
   private:
     struct FrameCtx

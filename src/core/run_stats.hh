@@ -123,6 +123,14 @@ struct RunStats
      */
     FaultStats faults;
 
+    /** @{ Invariant audit (all zero under --audit=off). */
+    std::uint64_t auditPasses = 0;
+    std::uint64_t auditRecords = 0;
+    std::uint64_t auditViolations = 0;
+    /** FNV-1a over the whole digest stream (run fingerprint). */
+    std::uint64_t digestStreamHash = 0;
+    /** @} */
+
     std::vector<FlowResult> flows;
     std::vector<IpResult> ips;
 

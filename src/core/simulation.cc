@@ -1,6 +1,8 @@
 #include "core/simulation.hh"
 
+#include <cmath>
 #include <iomanip>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -9,11 +11,13 @@ namespace vip
 {
 
 Simulation::Simulation(SocConfig cfg, Workload workload)
-    : _cfg(std::move(cfg)), _wl(std::move(workload)), _sys(_cfg.seed)
+    : _cfg(std::move(cfg)), _wl(std::move(workload)), _sys(_cfg.seed),
+      _auditor(_cfg.audit)
 {
     for (const auto &app : _wl.apps)
         app.validate();
     build();
+    attachAuditors();
 }
 
 Simulation::~Simulation() = default;
@@ -79,6 +83,57 @@ Simulation::build()
             ++next;
         }
     }
+}
+
+void
+Simulation::attachAuditors()
+{
+    // Attach order fixes the digest-stream component indices, so keep
+    // it deterministic and stable: kernel, platform, flows.
+    _auditor.attach("eventq", &_sys.eventq());
+    _auditor.attach(_mem->name(), _mem.get());
+    _auditor.attach(_sa->name(), _sa.get());
+    _auditor.attach("soc.cpu", _cpus.get());
+    _auditor.attach("soc.chains", _chains.get());
+    for (auto &[kind, ip] : _ips)
+        _auditor.attach(ip->name(), ip.get());
+    if (_faults)
+        _auditor.attach("fault", _faults.get());
+    for (auto &f : _flows)
+        _auditor.attach("flow." + f->spec().name, f.get());
+
+    // Cross-component checks that no single Auditable owns.
+    auto lastEnergy = std::make_shared<double>(0.0);
+    _auditor.addCheck("energy", [this, lastEnergy](AuditContext &ctx) {
+        double total = _ledger.totalNj();
+        ctx.checkTrue("energy.monotone", total >= *lastEnergy,
+                      "ledger total decreased between audits");
+        ctx.checkTrue("energy.finite", std::isfinite(total),
+                      "ledger total is not finite");
+        *lastEnergy = total;
+    });
+    _auditor.addCheck("platform", [this](AuditContext &ctx) {
+        // SA DMA traffic lands in DRAM accounting: the memory
+        // controller can never have seen more transaction bytes than
+        // crossed the SA plus CPU-free DMA (all traffic crosses the
+        // SA in this platform, minus in-flight link payloads).
+        std::uint64_t dram = _mem->bytesRead() + _mem->bytesWritten();
+        ctx.checkLe("platform.dram_via_sa", dram,
+                    _sa->bytesAccepted(),
+                    "DRAM saw bytes that never crossed the SA");
+    });
+}
+
+void
+Simulation::scheduleAudit()
+{
+    _sys.eventq().scheduleIn(
+        fromMs(_cfg.audit.periodMs),
+        [this] {
+            _auditor.runAudit(_sys.curTick());
+            scheduleAudit();
+        },
+        EventPriority::Audit);
 }
 
 IpCore *
@@ -195,8 +250,14 @@ Simulation::run()
             fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
             EventPriority::Teardown);
     }
+    if (_cfg.audit.periodic())
+        scheduleAudit();
     _sys.run(fromSec(_cfg.simSeconds));
     _ledger.closeAll(_sys.curTick());
+    // Final audit pass under every enabled mode: catches teardown-time
+    // leaks that a periodic pass between frames cannot see.
+    if (_cfg.audit.enabled())
+        _auditor.runAudit(_sys.curTick());
     return collect(_cfg.simSeconds);
 }
 
@@ -323,6 +384,12 @@ Simulation::collect(double seconds)
 
     if (_faults)
         r.faults = _faults->stats();
+
+    r.auditPasses = _auditor.auditPasses();
+    r.auditRecords = _auditor.stream().records.size();
+    r.auditViolations = _auditor.violations().size();
+    r.digestStreamHash =
+        r.auditRecords > 0 ? _auditor.streamDigest() : 0;
 
     if (_cfg.recordTrace)
         r.trace = _trace;

@@ -54,6 +54,8 @@ class Simulation
     IpCore *ip(IpKind kind);
     /** The run's fault injector; null when the plan is all-zeros. */
     FaultInjector *faults() { return _faults.get(); }
+    /** The run's invariant auditor (inactive under --audit=off). */
+    Auditor &auditor() { return _auditor; }
     const SocConfig &config() const { return _cfg; }
     const Workload &workload() const { return _wl; }
     const std::vector<std::unique_ptr<FlowRuntime>> &flows() const
@@ -82,6 +84,8 @@ class Simulation
 
   private:
     void build();
+    void attachAuditors();
+    void scheduleAudit();
     RunStats collect(double seconds);
 
     /** @{ no-progress guard */
@@ -96,6 +100,7 @@ class Simulation
     SocConfig _cfg;
     Workload _wl;
     System _sys;
+    Auditor _auditor;
     EnergyLedger _ledger;
     FrameAllocator _alloc;
     FrameTrace _trace;

@@ -16,6 +16,7 @@
 #include "ip/ip_types.hh"
 #include "mem/dram_config.hh"
 #include "sa/system_agent.hh"
+#include "sim/audit.hh"
 
 namespace vip
 {
@@ -137,6 +138,12 @@ struct SocConfig
      */
     std::uint32_t overloadMaxInFlight = 32;
     /** @} */
+
+    /**
+     * Invariant-audit configuration (--audit).  Off by default: no
+     * audit events are scheduled and no digest stream is recorded.
+     */
+    AuditConfig audit{};
 
     /**
      * No-progress guard interval in simulated seconds (0 disables).

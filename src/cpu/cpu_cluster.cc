@@ -102,4 +102,19 @@ CpuCluster::totalInterrupts() const
     return n;
 }
 
+void
+CpuCluster::auditInvariants(AuditContext &ctx) const
+{
+    for (const auto &c : _cores)
+        c->auditInvariants(ctx);
+}
+
+void
+CpuCluster::stateDigest(StateDigest &d) const
+{
+    d.add(static_cast<std::uint64_t>(_cores.size()));
+    for (const auto &c : _cores)
+        c->stateDigest(d);
+}
+
 } // namespace vip

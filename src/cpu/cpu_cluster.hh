@@ -20,7 +20,7 @@ namespace vip
 {
 
 /** The host CPU complex. */
-class CpuCluster
+class CpuCluster : public Auditable
 {
   public:
     CpuCluster(System &system, const std::string &name,
@@ -45,6 +45,11 @@ class CpuCluster
     Tick totalSleepTicks() const;
     std::uint64_t totalInstructions() const;
     std::uint64_t totalInterrupts() const;
+    /** @} */
+
+    /** @{ Auditable (delegates to every core) */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
     /** @} */
 
   private:

@@ -230,4 +230,35 @@ CpuCore::finalize()
     _statUtil.close(now);
 }
 
+void
+CpuCore::auditInvariants(AuditContext &ctx) const
+{
+    // Accumulated state time plus the open interval never exceeds
+    // elapsed simulated time.
+    Tick open = curTick() - _stateSince;
+    ctx.checkLe("cpu.time_accounting",
+                static_cast<std::uint64_t>(_activeTicks + _sleepTicks +
+                                           open),
+                static_cast<std::uint64_t>(curTick()),
+                "state buckets exceed elapsed time");
+    ctx.checkTrue("cpu.run_queue", !_running || _state == State::Active,
+                  "task running on a non-active core");
+}
+
+void
+CpuCore::stateDigest(StateDigest &d) const
+{
+    d.add(name());
+    d.add(static_cast<std::uint64_t>(_state));
+    d.add(static_cast<std::uint64_t>(_stateSince));
+    d.add(static_cast<std::uint64_t>(_activeTicks));
+    d.add(static_cast<std::uint64_t>(_sleepTicks));
+    d.add(_instructions);
+    d.add(_interrupts);
+    d.add(static_cast<std::uint64_t>(_queue.size()));
+    d.add(_running);
+    d.add(_curFreqHz);
+    d.add(_dvfsTransitions);
+}
+
 } // namespace vip

@@ -116,6 +116,11 @@ class CpuCore : public ClockedObject
     void startup() override;
     void finalize() override;
 
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
+
   private:
     void enterState(State s);
     void tryStart();

@@ -18,13 +18,14 @@
 #define VIP_FAULT_FAULT_INJECTOR_HH
 
 #include "fault/fault_plan.hh"
+#include "sim/audit.hh"
 #include "sim/random.hh"
 
 namespace vip
 {
 
 /** Draws fault decisions and accumulates fault/recovery counters. */
-class FaultInjector
+class FaultInjector : public Auditable
 {
   public:
     explicit FaultInjector(const FaultPlan &plan)
@@ -115,6 +116,39 @@ class FaultInjector
     /** @} */
 
     const FaultStats &stats() const { return _stats; }
+
+    /** @{ Auditable */
+    void
+    auditInvariants(AuditContext &ctx) const override
+    {
+        // A watchdog only fires on an injected hang, and every
+        // injected CRC error is retransmitted in the same decision.
+        ctx.checkLe("fault.resets_le_hangs", _stats.watchdogResets,
+                    _stats.engineHangs,
+                    "watchdog reset without an injected hang");
+        ctx.checkEq("fault.transfer_retry_pairing",
+                    _stats.transferErrors, _stats.transferRetries,
+                    "injected CRC errors != retransmissions");
+    }
+
+    void
+    stateDigest(StateDigest &d) const override
+    {
+        d.add(_rng.state());
+        d.add(_stats.engineHangs);
+        d.add(_stats.corruptions);
+        d.add(_stats.transferErrors);
+        d.add(_stats.eccCorrectable);
+        d.add(_stats.eccUncorrectable);
+        d.add(_stats.watchdogResets);
+        d.add(_stats.unitRetries);
+        d.add(_stats.transferRetries);
+        d.add(_stats.framesDegraded);
+        d.add(_stats.recoveries);
+        d.add(_stats.recoverySumMs);
+        d.add(_stats.recoveryMaxMs);
+    }
+    /** @} */
 
   private:
     FaultPlan _plan;

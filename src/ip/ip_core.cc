@@ -652,6 +652,7 @@ IpCore::reserveLaneSpace(int lane, std::uint32_t bytes)
 {
     Lane &l = _lanes.at(lane);
     l.occupancy += bytes;
+    _creditsReserved += bytes;
     // Producers must check laneHasSpace() first; a reservation past
     // capacity means the credit protocol was violated.  Counted (not
     // asserted) so sweeps can prove "zero overflows at any load".
@@ -695,6 +696,7 @@ IpCore::returnLaneCredits(int lane, std::uint64_t bytes)
     vip_assert(l.occupancy >= bytes,
                "credit double-release on ", name());
     l.occupancy -= bytes;
+    _creditsReturned += bytes;
     if (l.creditWaiter) {
         auto cb = std::exchange(l.creditWaiter, nullptr);
         _sa.signal(std::move(cb));
@@ -1144,6 +1146,100 @@ IpCore::pumpSpills(int lane)
         pushOutput(lane);
     };
     _sa.memoryAccess(std::move(req));
+}
+
+void
+IpCore::auditInvariants(AuditContext &ctx) const
+{
+    // Credit conservation: every reserved input byte is either still
+    // occupying a lane or was returned upstream, exactly once.
+    std::uint64_t occupied = 0;
+    for (const Lane &l : _lanes)
+        occupied += l.occupancy;
+    ctx.checkEq("ip.credit_ledger", _creditsReserved,
+                _creditsReturned + occupied,
+                "reserved != returned + occupied");
+    ctx.checkEq("ip.lane_overflows", _laneOverflows, 0,
+                "reservation overran lane capacity");
+
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        const Lane &l = _lanes[i];
+        std::string lane = "lane " + std::to_string(i);
+        // Buffered input is covered by the lane's reservation.
+        ctx.checkLe("ip.inavail_le_occupancy", l.inAvail, l.occupancy,
+                    lane);
+        std::uint64_t outq = 0;
+        for (std::uint32_t c : l.outQueue)
+            outq += c;
+        ctx.checkEq("ip.outqueue_bytes", outq, l.outQueueBytes, lane);
+        std::uint64_t spillq = 0;
+        for (const Lane::Spill &sp : l.spillQueue)
+            spillq += sp.bytes;
+        ctx.checkLe("ip.spill_bytes", spillq, l.spillBytes, lane);
+        for (const StreamFrame &f : l.frames) {
+            ctx.checkLe("ip.units_done", f.unitsDone, f.units,
+                        lane + " frame " + std::to_string(f.frameId));
+        }
+        if (!l.bound) {
+            ctx.checkTrue("ip.unbound_lane_empty", !l.active(),
+                          lane + " holds work while unbound");
+        }
+    }
+
+    // Time accounting never exceeds elapsed simulated time.
+    ctx.checkLe("ip.time_accounting",
+                static_cast<std::uint64_t>(_activeTicks + _stallTicks +
+                                           _bpStallTicks),
+                static_cast<std::uint64_t>(curTick()),
+                "state buckets exceed elapsed time");
+}
+
+void
+IpCore::stateDigest(StateDigest &d) const
+{
+    d.add(name());
+    d.add(static_cast<std::uint64_t>(_engineState));
+    d.add(static_cast<std::uint64_t>(_activeTicks));
+    d.add(static_cast<std::uint64_t>(_stallTicks));
+    d.add(static_cast<std::uint64_t>(_bpStallTicks));
+    d.add(_jobsCompleted);
+    d.add(_subframes);
+    d.add(_framesExited);
+    d.add(_contextSwitches);
+    d.add(_bytesProcessed);
+    d.add(_bytesSpilled);
+    d.add(_laneOverflows);
+    d.add(_creditStalls);
+    d.add(_creditsReserved);
+    d.add(_creditsReturned);
+    d.add(_watchdogResets);
+    d.add(_unitRetries);
+    d.add(_framesDegraded);
+    d.add(static_cast<std::uint64_t>(_jobs.size()));
+    d.add(_jobActive);
+    d.add(_computing);
+    d.add(_unitInBytes);
+    d.add(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(_currentLane)));
+    d.add(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(_stickyLane)));
+    for (const Lane &l : _lanes) {
+        d.add(l.bound);
+        d.add(static_cast<std::uint64_t>(l.flow));
+        d.add(l.occupancy);
+        d.add(l.inAvail);
+        d.add(static_cast<std::uint64_t>(l.frames.size()));
+        d.add(static_cast<std::uint64_t>(l.feeds.size()));
+        d.add(static_cast<std::uint64_t>(l.outstandingDma));
+        d.add(l.outAccum);
+        d.add(l.outQueueBytes);
+        d.add(l.spillBytes);
+        for (const StreamFrame &f : l.frames) {
+            d.add(f.frameId);
+            d.add(f.unitsDone);
+            d.add(f.faulted);
+        }
+    }
 }
 
 } // namespace vip

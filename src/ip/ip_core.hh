@@ -210,6 +210,10 @@ class IpCore : public ClockedObject
     std::uint64_t laneOverflows() const { return _laneOverflows; }
     /** Producer pushes deferred for a downstream credit. */
     std::uint64_t creditStalls() const { return _creditStalls; }
+    /** @{ Credit ledger: reserved == returned + Σ lane occupancy. */
+    std::uint64_t creditsReserved() const { return _creditsReserved; }
+    std::uint64_t creditsReturned() const { return _creditsReturned; }
+    /** @} */
 
     /** @{ Fault recovery counters (0 without a FaultInjector). */
     std::uint64_t watchdogResets() const { return _watchdogResets; }
@@ -239,6 +243,11 @@ class IpCore : public ClockedObject
     /** @} */
 
     void finalize() override;
+
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
 
   private:
     /** Occupancy/power accounting state. */
@@ -482,6 +491,8 @@ class IpCore : public ClockedObject
     std::uint64_t _bytesSpilled = 0;
     std::uint64_t _laneOverflows = 0;
     std::uint64_t _creditStalls = 0;
+    std::uint64_t _creditsReserved = 0;
+    std::uint64_t _creditsReturned = 0;
     std::uint64_t _watchdogResets = 0;
     std::uint64_t _unitRetries = 0;
     std::uint64_t _framesDegraded = 0;

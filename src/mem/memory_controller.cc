@@ -221,6 +221,7 @@ MemoryController::access(MemRequest req)
             };
             p.enqueued = curTick();
             std::uint32_t ch = channelOf(p.req.addr);
+            ++_burstsAccepted;
             _channels[ch].queue.push_back(std::move(p));
             trySchedule(ch);
         }
@@ -228,6 +229,7 @@ MemoryController::access(MemRequest req)
     }
 
     std::uint32_t ch = channelOf(req.addr);
+    ++_burstsAccepted;
     _channels[ch].queue.push_back(Pending{std::move(req), curTick()});
     trySchedule(ch);
 }
@@ -330,6 +332,7 @@ MemoryController::trySchedule(std::uint32_t ch)
     scheduleIn(service, [this, ch, enqueue, cb = std::move(cb)] {
         Channel &cc = _channels[ch];
         cc.busy = false;
+        ++_burstsCompleted;
         double busy = 0;
         for (const auto &c2 : _channels)
             busy += c2.busy ? 1.0 : 0.0;
@@ -386,6 +389,68 @@ MemoryController::finalize()
     _lpSince = now;
     _busyChannels.close(now);
     _energy.close(now);
+}
+
+void
+MemoryController::auditInvariants(AuditContext &ctx) const
+{
+    // Burst conservation through the channel queues (the ideal-memory
+    // path bypasses the channels and both counters).
+    ctx.checkEq("mem.burst_conservation", _burstsAccepted,
+                _burstsCompleted + inFlight(),
+                "accepted != completed + queued/busy");
+    // Every byte counted at the front door is attributed to exactly
+    // one requester.
+    std::uint64_t attributed = 0;
+    for (const auto &[id, bytes] : _byRequester)
+        attributed += bytes;
+    ctx.checkEq("mem.byte_attribution", _bytesRead + _bytesWritten,
+                attributed, "requester attribution leaks bytes");
+    ctx.checkEq("mem.row_accounting", _rowHits + _rowMisses,
+                _burstsCompleted + (busyChannelCount()),
+                "row decisions != bursts issued");
+}
+
+std::size_t
+MemoryController::busyChannelCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : _channels)
+        n += c.busy ? 1 : 0;
+    return n;
+}
+
+void
+MemoryController::stateDigest(StateDigest &d) const
+{
+    d.add(name());
+    d.add(_bytesRead);
+    d.add(_bytesWritten);
+    d.add(_rowHits);
+    d.add(_rowMisses);
+    d.add(_eccCorrected);
+    d.add(_eccUncorrected);
+    d.add(_burstsAccepted);
+    d.add(_burstsCompleted);
+    d.add(static_cast<std::uint64_t>(_lpState));
+    d.add(_lpEntries);
+    d.add(static_cast<std::uint64_t>(_powerDownTicks));
+    d.add(static_cast<std::uint64_t>(_selfRefreshTicks));
+    for (const auto &c : _channels) {
+        d.add(c.busy);
+        d.add(static_cast<std::uint64_t>(c.queue.size()));
+    }
+    // Unordered per-requester map: digest in sorted-key order so the
+    // result is independent of hash iteration order.
+    std::vector<std::uint32_t> ids;
+    ids.reserve(_byRequester.size());
+    for (const auto &[id, bytes] : _byRequester)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint32_t id : ids) {
+        d.add(id);
+        d.add(_byRequester.at(id));
+    }
 }
 
 } // namespace vip

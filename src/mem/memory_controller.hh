@@ -62,6 +62,10 @@ class MemoryController : public SimObject
     std::uint64_t eccUncorrected() const { return _eccUncorrected; }
     /** Bytes moved on behalf of @p requester (req.requesterId). */
     std::uint64_t bytesForRequester(std::uint32_t requester) const;
+    /** @{ Burst ledger: accepted == completed + inFlight(). */
+    std::uint64_t burstsAccepted() const { return _burstsAccepted; }
+    std::uint64_t burstsCompleted() const { return _burstsCompleted; }
+    /** @} */
     /** @} */
 
     /** Average observed bandwidth over the whole run, GB/s. */
@@ -97,6 +101,11 @@ class MemoryController : public SimObject
     void startup() override;
     void finalize() override;
 
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
+
   private:
     struct Pending
     {
@@ -123,6 +132,9 @@ class MemoryController : public SimObject
 
     /** Start servicing the next request on @p ch if idle. */
     void trySchedule(std::uint32_t ch);
+
+    /** Channels with a burst in service right now. */
+    std::size_t busyChannelCount() const;
 
     /** FR-FCFS: index of the first row-hit request, else 0. */
     std::size_t pickNext(const Channel &c, std::uint32_t ch) const;
@@ -153,6 +165,9 @@ class MemoryController : public SimObject
     std::uint64_t _rowMisses = 0;
     std::uint64_t _eccCorrected = 0;
     std::uint64_t _eccUncorrected = 0;
+    /** Channel-queue bursts (non-ideal mode only). */
+    std::uint64_t _burstsAccepted = 0;
+    std::uint64_t _burstsCompleted = 0;
 
     /** Per-requester traffic attribution. */
     std::unordered_map<std::uint32_t, std::uint64_t> _byRequester;

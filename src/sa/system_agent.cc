@@ -43,6 +43,12 @@ void
 SystemAgent::transferAttempt(std::uint32_t bytes, Callback done,
                              std::uint32_t attempt)
 {
+    if (attempt == 0) {
+        _bytesAccepted += bytes;
+        _bytesInFlight += bytes;
+    } else {
+        _bytesRetransmitted += bytes;
+    }
     Tick delivered = occupy(bytes);
     schedule(delivered,
              [this, bytes, done = std::move(done), attempt]() mutable {
@@ -60,6 +66,10 @@ SystemAgent::transferAttempt(std::uint32_t bytes, Callback done,
             transferAttempt(bytes, std::move(done), attempt + 1);
             return;
         }
+        _bytesDelivered += bytes;
+        vip_assert(_bytesInFlight >= bytes,
+                   "SA byte ledger underflow on ", name());
+        _bytesInFlight -= bytes;
         done();
     });
 }
@@ -102,6 +112,38 @@ void
 SystemAgent::finalize()
 {
     _energy.close(curTick());
+}
+
+void
+SystemAgent::auditInvariants(AuditContext &ctx) const
+{
+    // Payload conservation across the link.
+    ctx.checkEq("sa.byte_conservation", _bytesAccepted,
+                _bytesDelivered + _bytesInFlight,
+                "accepted != delivered + in flight");
+    // Every byte charged to the link is a first attempt or a
+    // retransmission -- nothing moves uncounted.
+    ctx.checkEq("sa.link_accounting", _bytesMoved,
+                _bytesAccepted + _bytesRetransmitted,
+                "link bytes != accepted + retransmitted");
+    ctx.checkLe("sa.peer_subset", _peerBytes, _bytesAccepted,
+                "peer bytes exceed total accepted");
+}
+
+void
+SystemAgent::stateDigest(StateDigest &d) const
+{
+    d.add(name());
+    d.add(static_cast<std::uint64_t>(_busyUntil));
+    d.add(static_cast<std::uint64_t>(_busyTicks));
+    d.add(_bytesMoved);
+    d.add(_peerBytes);
+    d.add(_signals);
+    d.add(_xferRetries);
+    d.add(_bytesAccepted);
+    d.add(_bytesDelivered);
+    d.add(_bytesInFlight);
+    d.add(_bytesRetransmitted);
 }
 
 } // namespace vip

@@ -76,12 +76,31 @@ class SystemAgent : public SimObject
     /** CRC-failed payload crossings that were retransmitted. */
     std::uint64_t transferRetries() const { return _xferRetries; }
 
+    /** @{ Byte ledger: accepted == delivered + in flight. */
+    /** Payload bytes handed to the SA for transfer. */
+    std::uint64_t bytesAccepted() const { return _bytesAccepted; }
+    /** Payload bytes whose delivery callback has fired. */
+    std::uint64_t bytesDelivered() const { return _bytesDelivered; }
+    /** Payload bytes currently crossing the link. */
+    std::uint64_t bytesInFlight() const { return _bytesInFlight; }
+    /** Bytes re-serialized on the link by CRC retransmissions. */
+    std::uint64_t bytesRetransmitted() const
+    {
+        return _bytesRetransmitted;
+    }
+    /** @} */
+
     /** Fraction of elapsed time the link was busy. */
     double utilization() const;
 
     stats::Group &statsGroup() { return _stats; }
 
     void finalize() override;
+
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
 
   private:
     /** Charge occupancy for @p bytes; returns the delivery tick. */
@@ -108,6 +127,10 @@ class SystemAgent : public SimObject
     std::uint64_t _peerBytes = 0;
     std::uint64_t _signals = 0;
     std::uint64_t _xferRetries = 0;
+    std::uint64_t _bytesAccepted = 0;
+    std::uint64_t _bytesDelivered = 0;
+    std::uint64_t _bytesInFlight = 0;
+    std::uint64_t _bytesRetransmitted = 0;
 
     stats::Group _stats;
     stats::Scalar _statMemXfers;

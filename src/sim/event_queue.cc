@@ -7,13 +7,11 @@ bool
 EventQueue::serviceOne()
 {
     while (!_heap.empty()) {
-        Entry e = std::move(const_cast<Entry &>(_heap.top()));
-        _heap.pop();
-        auto it = _cancelled.find(e.id);
-        if (it != _cancelled.end()) {
-            _cancelled.erase(it);
-            continue;
-        }
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        Entry e = std::move(_heap.back());
+        _heap.pop_back();
+        if (!_live.erase(e.id))
+            continue; // cancelled
         vip_assert(e.when >= _curTick, "time went backwards");
         if (e.when != _curTick) {
             _curTick = e.when;
@@ -25,8 +23,8 @@ EventQueue::serviceOne()
                   " without time advancing (", pending(),
                   " still pending)");
         }
-        --_livePending;
         ++_serviced;
+        maybeCompact();
         e.cb();
         return true;
     }
@@ -37,12 +35,11 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     while (!_heap.empty()) {
-        // Skip tombstoned entries without advancing time.
-        const Entry &top = _heap.top();
-        auto it = _cancelled.find(top.id);
-        if (it != _cancelled.end()) {
-            _cancelled.erase(it);
-            _heap.pop();
+        // Purge dead entries at the top without advancing time.
+        const Entry &top = _heap.front();
+        if (!_live.contains(top.id)) {
+            std::pop_heap(_heap.begin(), _heap.end(), Later{});
+            _heap.pop_back();
             continue;
         }
         if (top.when > limit)
@@ -52,6 +49,56 @@ EventQueue::runUntil(Tick limit)
     if (_curTick < limit && limit != MaxTick)
         _curTick = limit;
     return _curTick;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Compact once dead entries dominate the heap; the slack term
+    // keeps small queues from compacting on every cancel.
+    if (_heap.size() < 64 || _heap.size() < 2 * _live.size())
+        return;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < _heap.size(); ++i) {
+        if (_live.contains(_heap[i].id))
+            _heap[kept++] = std::move(_heap[i]);
+    }
+    _heap.resize(kept);
+    _heap.shrink_to_fit();
+    std::make_heap(_heap.begin(), _heap.end(), Later{});
+    ++_compactions;
+}
+
+void
+EventQueue::auditInvariants(AuditContext &ctx) const
+{
+    // Every live id must have exactly one heap entry; the heap may
+    // additionally hold dead (cancelled) entries, bounded by the
+    // compaction policy.
+    std::size_t liveInHeap = 0;
+    for (const Entry &e : _heap) {
+        if (_live.contains(e.id))
+            ++liveInHeap;
+    }
+    ctx.checkEq("eventq.live_in_heap", liveInHeap, _live.size(),
+                "live ids without a heap entry");
+    ctx.checkLe("eventq.heap_bounded", _heap.size(),
+                std::max<std::size_t>(2 * _live.size(), 64),
+                "dead heap entries escaped compaction");
+    _live.forEach([&](EventId id) {
+        ctx.checkTrue("eventq.id_valid",
+                      id != InvalidEventId && id < _nextId,
+                      "live id outside issued range");
+    });
+}
+
+void
+EventQueue::stateDigest(StateDigest &d) const
+{
+    d.add(static_cast<std::uint64_t>(_curTick));
+    d.add(_nextId);
+    d.add(_serviced);
+    d.add(static_cast<std::uint64_t>(_live.size()));
 }
 
 } // namespace vip

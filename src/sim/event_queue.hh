@@ -10,12 +10,13 @@
 #ifndef VIP_SIM_EVENT_QUEUE_HH
 #define VIP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/audit.hh"
+#include "sim/flat_id_set.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -28,6 +29,7 @@ enum class EventPriority : int
     ClockTick = -10,   ///< clock/vsync edges fire before normal work
     Default = 0,
     Stats = 10,        ///< sampling events observe post-update state
+    Audit = 20,        ///< invariant audits see fully settled state
     Teardown = 100,
 };
 
@@ -38,10 +40,15 @@ constexpr EventId InvalidEventId = 0;
 /**
  * A deterministic discrete-event queue.
  *
- * Callbacks are plain std::function objects.  Cancellation is handled
- * by id-tombstoning so cancel is O(1) and service skips dead entries.
+ * Cancellation is tracked with a *live-id set*: schedule() inserts the
+ * id, deschedule() erases it, and service skips heap entries whose id
+ * is no longer live.  Unlike tombstoning cancelled ids (which
+ * accumulate until their tick is serviced — unbounded when a sim stops
+ * at a time limit or reschedules ahead of itself forever), the live
+ * set is exactly the pending events, and the heap is compacted
+ * whenever dead entries outnumber live ones, so memory stays O(live).
  */
-class EventQueue
+class EventQueue : public Auditable
 {
   public:
     using Callback = std::function<void()>;
@@ -65,8 +72,10 @@ class EventQueue
                    "scheduling in the past: when=", when,
                    " cur=", _curTick);
         EventId id = _nextId++;
-        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
-        ++_livePending;
+        _heap.push_back(Entry{when, static_cast<int>(prio), id,
+                              std::move(cb)});
+        std::push_heap(_heap.begin(), _heap.end(), Later{});
+        _live.insert(id);
         return id;
     }
 
@@ -85,17 +94,15 @@ class EventQueue
     void
     deschedule(EventId id)
     {
-        if (id != InvalidEventId && _cancelled.insert(id).second &&
-            _livePending > 0) {
-            --_livePending;
-        }
+        if (id != InvalidEventId && _live.erase(id))
+            maybeCompact();
     }
 
     /** Number of scheduled, not-yet-run, not-cancelled events. */
-    std::size_t pending() const { return _livePending; }
+    std::size_t pending() const { return _live.size(); }
 
     /** True when no live events remain. */
-    bool empty() const { return _livePending == 0; }
+    bool empty() const { return _live.empty(); }
 
     /**
      * Service the single next live event.
@@ -127,6 +134,18 @@ class EventQueue
     void setMaxEventsPerTick(std::uint64_t cap) { _maxPerTick = cap; }
     std::uint64_t maxEventsPerTick() const { return _maxPerTick; }
 
+    /** @{ memory introspection (tombstone-growth regression test) */
+    /** Heap entries including cancelled-but-not-yet-purged ones. */
+    std::size_t heapSize() const { return _heap.size(); }
+    /** Cancelled entries still occupying heap slots. */
+    std::size_t deadEntries() const { return _heap.size() - _live.size(); }
+    /** @} */
+
+    /** @{ Auditable */
+    void auditInvariants(AuditContext &ctx) const override;
+    void stateDigest(StateDigest &d) const override;
+    /** @} */
+
   private:
     struct Entry
     {
@@ -149,27 +168,19 @@ class EventQueue
         }
     };
 
+    /** Rebuild the heap without dead entries once they dominate. */
+    void maybeCompact();
+
     Tick _curTick = 0;
     EventId _nextId = 1;
     std::uint64_t _serviced = 0;
     std::uint64_t _maxPerTick = 5'000'000;
     std::uint64_t _tickServiced = 0;
-    std::size_t _livePending = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    // Tombstones for cancelled ids that are still in the heap.
-    struct IdHash
-    {
-        std::size_t
-        operator()(EventId v) const
-        {
-            // splitmix64 finalizer
-            v += 0x9e3779b97f4a7c15ull;
-            v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
-            v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
-            return static_cast<std::size_t>(v ^ (v >> 31));
-        }
-    };
-    std::unordered_set<EventId, IdHash> _cancelled;
+    std::uint64_t _compactions = 0;
+    /** Binary heap ordered by Later (std::push_heap/pop_heap). */
+    std::vector<Entry> _heap;
+    /** Ids scheduled and neither serviced nor cancelled. */
+    FlatIdSet _live;
 };
 
 } // namespace vip

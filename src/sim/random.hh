@@ -92,6 +92,11 @@ class Random
     /** Bernoulli trial. */
     bool chance(double p) { return uniform() < p; }
 
+    /** @{ Raw generator state (state digests, save/restore). */
+    std::uint64_t state() const { return _state; }
+    void setState(std::uint64_t s) { _state = s; }
+    /** @} */
+
   private:
     std::uint64_t _state = 0;
 };

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "sim/audit.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -21,7 +22,7 @@ namespace vip
 class System;
 
 /** Base class for all named simulation components. */
-class SimObject
+class SimObject : public Auditable
 {
   public:
     /**

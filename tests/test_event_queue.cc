@@ -162,6 +162,83 @@ TEST(EventQueue, PendingTracksLiveEvents)
     EXPECT_EQ(eq.pending(), 0u);
 }
 
+TEST(EventQueue, CancelledEntriesDoNotAccumulate)
+{
+    // Regression: descheduling used to leave a tombstone per
+    // cancelled id forever.  Schedule/deschedule 100k events and
+    // check the heap stays bounded by the live population (the
+    // compactor's 2x slack plus its minimum working size).
+    EventQueue eq;
+    std::vector<EventId> live;
+    for (int i = 0; i < 100'000; ++i) {
+        EventId id = eq.schedule(1'000'000 + i, [] {});
+        if (i % 10 == 9) {
+            live.push_back(id); // keep 10% alive
+        } else {
+            eq.deschedule(id);
+        }
+        ASSERT_LE(eq.heapSize(),
+                  std::max<std::size_t>(2 * eq.pending(), 64))
+            << "after " << i << " schedules";
+    }
+    EXPECT_EQ(eq.pending(), live.size());
+    EXPECT_LE(eq.deadEntries(), eq.pending() + 64);
+
+    // Draining by cancellation alone must also shrink the heap.
+    for (EventId id : live)
+        eq.deschedule(id);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_LE(eq.heapSize(), 64u);
+}
+
+TEST(EventQueue, ServicingAlsoCompactsDeadEntries)
+{
+    // Dead entries can come to dominate without any further
+    // deschedule() call when serviceOne() shrinks the live set.
+    EventQueue eq;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 500; ++i)
+        eq.schedule(10'000 + i, [] {});
+    for (int i = 0; i < 400; ++i)
+        doomed.push_back(eq.schedule(20'000 + i, [] {}));
+    for (EventId id : doomed)
+        eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_LE(eq.heapSize(), 64u);
+}
+
+TEST(EventQueue, AuditInvariantsHoldUnderChurn)
+{
+    EventQueue eq;
+    std::vector<AuditViolation> sink;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10'000; ++i)
+        ids.push_back(eq.schedule(100 + i, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 3)
+        eq.deschedule(ids[i]);
+    AuditContext ctx("eventq", eq.curTick(), /*strict=*/true, sink);
+    eq.auditInvariants(ctx); // strict: throws on violation
+    EXPECT_TRUE(sink.empty());
+
+    StateDigest a, b;
+    eq.stateDigest(a);
+    eq.stateDigest(b);
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(EventQueue, DigestReflectsProgress)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    StateDigest before;
+    eq.stateDigest(before);
+    eq.run();
+    StateDigest after;
+    eq.stateDigest(after);
+    EXPECT_NE(before.value(), after.value());
+}
+
 TEST(EventQueue, ManyEventsStressDeterminism)
 {
     // Two identical queues fed the same schedule must service events

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for FlatIdSet, the event queue's live-id tracker.
+ * Backward-shift deletion is the subtle part, so the suite leans on
+ * a randomized differential check against std::unordered_set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/flat_id_set.hh"
+#include "sim/random.hh"
+
+namespace vip
+{
+namespace
+{
+
+TEST(FlatIdSet, StartsEmpty)
+{
+    FlatIdSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_FALSE(s.erase(1));
+}
+
+TEST(FlatIdSet, InsertEraseContains)
+{
+    FlatIdSet s;
+    EXPECT_TRUE(s.insert(7));
+    EXPECT_FALSE(s.insert(7)); // duplicate
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.erase(7));
+    EXPECT_FALSE(s.erase(7));
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatIdSet, RejectsZero)
+{
+    FlatIdSet s;
+    EXPECT_THROW(s.insert(0), SimPanic);
+}
+
+TEST(FlatIdSet, SequentialIdsSurviveGrowth)
+{
+    // Event ids are sequential; push enough to force several rehashes.
+    FlatIdSet s;
+    for (std::uint64_t i = 1; i <= 10'000; ++i)
+        ASSERT_TRUE(s.insert(i));
+    EXPECT_EQ(s.size(), 10'000u);
+    for (std::uint64_t i = 1; i <= 10'000; ++i)
+        ASSERT_TRUE(s.contains(i)) << i;
+    // Erase the odd half; the even half must stay reachable through
+    // any shifted probe chains.
+    for (std::uint64_t i = 1; i <= 10'000; i += 2)
+        ASSERT_TRUE(s.erase(i));
+    EXPECT_EQ(s.size(), 5'000u);
+    for (std::uint64_t i = 1; i <= 10'000; ++i)
+        ASSERT_EQ(s.contains(i), i % 2 == 0) << i;
+}
+
+TEST(FlatIdSet, ForEachVisitsExactlyMembers)
+{
+    FlatIdSet s;
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        s.insert(i * 3);
+    std::unordered_set<std::uint64_t> seen;
+    s.forEach([&](std::uint64_t v) {
+        EXPECT_TRUE(seen.insert(v).second) << "visited twice: " << v;
+    });
+    EXPECT_EQ(seen.size(), 100u);
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        EXPECT_TRUE(seen.count(i * 3));
+}
+
+TEST(FlatIdSet, DifferentialFuzzAgainstUnorderedSet)
+{
+    FlatIdSet s;
+    std::unordered_set<std::uint64_t> ref;
+    Random rng(123);
+    for (int step = 0; step < 200'000; ++step) {
+        std::uint64_t id = rng.uniformInt(1, 2'000);
+        switch (rng.uniformInt(0, 2)) {
+          case 0:
+            ASSERT_EQ(s.insert(id), ref.insert(id).second);
+            break;
+          case 1:
+            ASSERT_EQ(s.erase(id), ref.erase(id) > 0);
+            break;
+          default:
+            ASSERT_EQ(s.contains(id), ref.count(id) > 0);
+            break;
+        }
+        ASSERT_EQ(s.size(), ref.size());
+    }
+    // Full-membership sweep at the end.
+    for (std::uint64_t id = 1; id <= 2'000; ++id)
+        ASSERT_EQ(s.contains(id), ref.count(id) > 0) << id;
+}
+
+} // namespace
+} // namespace vip

@@ -64,6 +64,12 @@ usage()
         "  --fault-retries <n>          per-unit retry budget\n"
         "  --guard-ms <ms>              no-progress guard interval\n"
         "                               (default 250, 0 disables)\n"
+        "  --audit <mode>               invariant audits: off | final |\n"
+        "                               periodic[:<ms>] | strict\n"
+        "                               (default off)\n"
+        "  --digest-out <file>          write the audit digest stream\n"
+        "                               (for vip_diverge; implies\n"
+        "                               --audit periodic:1 if off)\n"
         "  --stats                      dump component statistics\n"
         "  --trace <file.csv>           write the per-frame trace\n"
         "  --list                       list workloads and exit\n");
@@ -227,6 +233,7 @@ main(int argc, char **argv)
     std::string workload = "W4";
     std::string config = "vip";
     std::string traceFile;
+    std::string digestFile;
     bool wantStats = false;
     vip::SocConfig cfg;
     cfg.simSeconds = 0.4;
@@ -307,6 +314,14 @@ main(int argc, char **argv)
             cfg.fault.maxRetries = std::atoi(next().c_str());
         } else if (arg == "--guard-ms") {
             cfg.noProgressSec = std::atof(next().c_str()) / 1000.0;
+        } else if (arg == "--audit") {
+            cfg.audit = vip::AuditConfig::parse(next());
+        } else if (arg.rfind("--audit=", 0) == 0) {
+            cfg.audit = vip::AuditConfig::parse(arg.substr(8));
+        } else if (arg == "--digest-out") {
+            digestFile = next();
+        } else if (arg.rfind("--digest-out=", 0) == 0) {
+            digestFile = arg.substr(13);
         } else if (arg == "--stats") {
             wantStats = true;
         } else if (arg == "--trace") {
@@ -326,9 +341,26 @@ main(int argc, char **argv)
     }
 
         cfg.system = parseConfig(config);
+        if (!digestFile.empty() && !cfg.audit.enabled())
+            cfg.audit = vip::AuditConfig::parse("periodic:1");
         vip::Simulation sim(cfg, parseWorkload(workload));
         auto s = sim.run();
         report(s);
+        if (cfg.audit.enabled()) {
+            std::printf("audit       : %llu passes, %llu digest "
+                        "records, %llu violations (%s), stream "
+                        "%016llx\n",
+                        static_cast<unsigned long long>(s.auditPasses),
+                        static_cast<unsigned long long>(
+                            s.auditRecords),
+                        static_cast<unsigned long long>(
+                            s.auditViolations),
+                        vip::auditModeName(cfg.audit.mode),
+                        static_cast<unsigned long long>(
+                            s.digestStreamHash));
+            for (const auto &v : sim.auditor().violations())
+                std::printf("  %s\n", v.format().c_str());
+        }
         if (wantStats)
             sim.dumpStats(std::cout);
         if (!traceFile.empty()) {
@@ -337,6 +369,19 @@ main(int argc, char **argv)
             std::printf("trace written to %s (%zu frames)\n",
                         traceFile.c_str(), s.trace.size());
         }
+        if (!digestFile.empty()) {
+            std::ofstream out(digestFile);
+            if (!out)
+                vip::fatal("cannot write ", digestFile);
+            sim.auditor().writeDigestStream(
+                out, {"workload=" + workload, "config=" + config,
+                      "seed=" + std::to_string(cfg.seed)});
+            std::printf("digest stream written to %s (%zu records)\n",
+                        digestFile.c_str(),
+                        sim.auditor().stream().records.size());
+        }
+        if (s.auditViolations > 0)
+            return 1;
     } catch (const vip::SimFatal &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;
