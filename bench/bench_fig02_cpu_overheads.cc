@@ -26,7 +26,7 @@ nPlayers(int n, double fps)
             vip::resolutions::r4k, fps,
             "Grafika" + std::to_string(i));
         for (auto &f : app.flows)
-            f.name += "#" + std::to_string(i);
+            f.name.append("#").append(std::to_string(i));
         w.apps.push_back(std::move(app));
     }
     return w;

@@ -25,7 +25,7 @@ nPlayers(int n)
             vip::resolutions::r4k, 60.0,
             "Grafika" + std::to_string(i));
         for (auto &f : app.flows)
-            f.name += "#" + std::to_string(i);
+            f.name.append("#").append(std::to_string(i));
         w.apps.push_back(std::move(app));
     }
     return w;

@@ -50,6 +50,7 @@ struct Cell
     std::uint64_t laneOverflows = 0;
     std::uint32_t downRated = 0;
     bool conserved = true;
+    vip::LatencySummary latency;
 };
 
 /** Deadline misses: frames late at the display plus frames shed. */
@@ -115,6 +116,7 @@ main(int argc, char **argv)
             cell.violations = r.violations;
             cell.laneOverflows = r.laneOverflows;
             cell.downRated = r.flowsDownRated;
+            cell.latency = r.latency;
 
             // Frame conservation, per flow: every generated frame is
             // accounted for as completed, shed, or still in flight.
@@ -188,7 +190,9 @@ main(int argc, char **argv)
         }
         char buf[256];
         os << "{\n  \"schemaVersion\": " << bench::kBenchSchemaVersion
-           << ",\n  \"workload\": \"" << base.name
+           << ",\n";
+        bench::writeProvenanceJson(os);
+        os << ",\n  \"seed\": 1,\n  \"workload\": \"" << base.name
            << "\",\n  \"policy\": \"degrade\",\n  \"cells\": [\n";
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const Cell &c = cells[i];
@@ -197,16 +201,34 @@ main(int argc, char **argv)
                           "\"generated\": %llu, \"completed\": %llu, "
                           "\"shed\": %llu, \"violations\": %llu, "
                           "\"laneOverflows\": %llu, \"downRated\": %u, "
-                          "\"missRate\": %.6f}%s\n",
+                          "\"missRate\": %.6f,\n",
                           c.config, c.load,
                           (unsigned long long)c.generated,
                           (unsigned long long)c.completed,
                           (unsigned long long)c.shed,
                           (unsigned long long)c.violations,
                           (unsigned long long)c.laneOverflows,
-                          c.downRated, c.missRate,
-                          i + 1 < cells.size() ? "," : "");
+                          c.downRated, c.missRate);
             os << buf;
+            os << "     \"latency\": {\"endToEnd\": ";
+            bench::writeBreakdownJson(os, c.latency.endToEnd);
+            os << ", \"transit\": ";
+            bench::writeBreakdownJson(os, c.latency.transit);
+            os << ",\n                 \"stages\": {";
+            for (std::size_t s = 0; s < c.latency.stages.size(); ++s) {
+                const auto &st = c.latency.stages[s];
+                os << (s ? ", " : "") << '"' << st.stage
+                   << "\": {\"total\": ";
+                bench::writeBreakdownJson(os, st.total);
+                os << ", \"wait\": ";
+                bench::writeBreakdownJson(os, st.wait);
+                os << ", \"compute\": ";
+                bench::writeBreakdownJson(os, st.compute);
+                os << ", \"blocked\": ";
+                bench::writeBreakdownJson(os, st.blocked);
+                os << "}";
+            }
+            os << "}}}" << (i + 1 < cells.size() ? "," : "") << "\n";
         }
         os << "  ]\n}\n";
         std::printf("wrote %s\n", jsonPath);

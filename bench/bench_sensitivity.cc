@@ -111,7 +111,7 @@ main()
             auto app = AppCatalog::videoPlayer(rv.r, 60.0,
                 std::string("Play") + rv.name);
             for (auto &f : app.flows)
-                f.name += "#" + std::to_string(i);
+                f.name.append("#").append(std::to_string(i));
             w.apps.push_back(std::move(app));
         }
         SocConfig cfg;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/simulation.hh"
+#include "obs/provenance.hh"
 
 namespace vip
 {
@@ -27,7 +28,42 @@ namespace bench
  * (CI comparisons, plotting scripts) can reject files they do not
  * understand.
  */
-constexpr int kBenchSchemaVersion = 1;
+constexpr int kBenchSchemaVersion = 2;
+
+/**
+ * Emit the build/run provenance object shared by every bench JSON:
+ *   "provenance": {"git": ..., "compiler": ..., "build": ...}
+ * `indent` is the leading whitespace for the line; no trailing comma.
+ */
+template <typename Stream>
+void
+writeProvenanceJson(Stream &os, const char *indent = "  ")
+{
+    os << indent << "\"provenance\": {";
+    bool first = true;
+    for (const auto &[k, v] : provenanceFields()) {
+        os << (first ? "" : ", ") << '"' << k << "\": \"" << v << '"';
+        first = false;
+    }
+    os << "}";
+}
+
+/**
+ * Emit one latency-breakdown object ("{\"n\": ..., \"p50Ms\": ...}")
+ * for bench JSON output.
+ */
+template <typename Stream>
+void
+writeBreakdownJson(Stream &os, const LatencyBreakdown &b)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"n\": %llu, \"meanMs\": %.6f, \"p50Ms\": %.6f, "
+                  "\"p95Ms\": %.6f, \"p99Ms\": %.6f, \"maxMs\": %.6f}",
+                  static_cast<unsigned long long>(b.count), b.meanMs,
+                  b.p50Ms, b.p95Ms, b.p99Ms, b.maxMs);
+    os << buf;
+}
 
 /** Simulated seconds per run (env VIP_BENCH_SECONDS overrides). */
 inline double

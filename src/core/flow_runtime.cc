@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/header_packet.hh"
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
 
 namespace vip
 {
@@ -104,6 +106,14 @@ FlowRuntime::makeCtx(std::uint64_t k)
     ++_generated;
     auto [it, ok] = _frames.emplace(k, std::move(ctx));
     vip_assert(ok, "duplicate frame ", k, " in flow ", _spec.name);
+    if (Tracer *tr = _p.sys->tracer();
+        tr && tr->enabled(TraceCat::Frame)) {
+        if (!_obsFrameNm)
+            _obsFrameNm = tr->intern("frame " + _spec.name);
+        tr->asyncBegin(TraceCat::Frame, _obsFrameNm, it->second.gen,
+                       static_cast<std::int32_t>(_id),
+                       static_cast<std::int64_t>(k));
+    }
     return it->second;
 }
 
@@ -132,6 +142,15 @@ FlowRuntime::shedFrame(std::uint64_t k)
     ++_generated;
     ++_shed;
     _consecLate = 0;
+    if (Tracer *tr = _p.sys->tracer();
+        tr && tr->enabled(TraceCat::Fault)) {
+        if (!_obsTrack)
+            _obsTrack = tr->intern("flow." + _spec.name);
+        tr->instant(TraceCat::Fault, _obsTrack,
+                    tr->intern("frame-shed"), _p.sys->curTick(),
+                    static_cast<std::int32_t>(_id),
+                    static_cast<std::int64_t>(k));
+    }
 }
 
 void
@@ -140,14 +159,31 @@ FlowRuntime::noteDegraded(std::uint64_t k)
     auto it = _frames.find(k);
     if (it != _frames.end())
         it->second.degraded = true;
+    if (Tracer *tr = _p.sys->tracer();
+        tr && tr->enabled(TraceCat::Fault)) {
+        if (!_obsTrack)
+            _obsTrack = tr->intern("flow." + _spec.name);
+        tr->instant(TraceCat::Fault, _obsTrack,
+                    tr->intern("frame-degraded"), _p.sys->curTick(),
+                    static_cast<std::int32_t>(_id),
+                    static_cast<std::int64_t>(k));
+    }
 }
 
 void
 FlowRuntime::recordStart(std::uint64_t k)
 {
     auto it = _frames.find(k);
-    if (it != _frames.end() && it->second.started == 0)
+    if (it != _frames.end() && it->second.started == 0) {
         it->second.started = _p.sys->curTick();
+        if (Tracer *tr = _p.sys->tracer();
+            tr && tr->enabled(TraceCat::Frame)) {
+            tr->asyncInstant(TraceCat::Frame, tr->intern("started"),
+                             it->second.started,
+                             static_cast<std::int32_t>(_id),
+                             static_cast<std::int64_t>(k));
+        }
+    }
 }
 
 void
@@ -190,7 +226,28 @@ FlowRuntime::frameDone(std::uint64_t k)
     Tick flowTime = now > startRef ? now - startRef : 0;
     _flowTimeSumMs += toMs(flowTime);
     Tick transitRef = ctx.started ? ctx.started : ctx.gen;
-    _transitSumMs += toMs(now > transitRef ? now - transitRef : 0);
+    Tick transit = now > transitRef ? now - transitRef : 0;
+    _transitSumMs += toMs(transit);
+
+    if (LatencyCollector *lc = _p.sys->latency())
+        lc->recordFrame(flowTime, transit);
+    if (Tracer *tr = _p.sys->tracer();
+        tr && tr->enabled(TraceCat::Frame)) {
+        if (!_obsFrameNm)
+            _obsFrameNm = tr->intern("frame " + _spec.name);
+        tr->asyncEnd(TraceCat::Frame, _obsFrameNm, now,
+                     static_cast<std::int32_t>(_id),
+                     static_cast<std::int64_t>(k), ctx.deadline);
+        if (violated || dropped) {
+            if (!_obsTrack)
+                _obsTrack = tr->intern("flow." + _spec.name);
+            tr->instant(TraceCat::Frame, _obsTrack,
+                        tr->intern(dropped ? "frame-dropped"
+                                           : "deadline-miss"),
+                        now, static_cast<std::int32_t>(_id),
+                        static_cast<std::int64_t>(k));
+        }
+    }
 
     if (_trace) {
         FrameEvent ev;

@@ -196,6 +196,14 @@ class FlowRuntime : public Auditable
     std::uint32_t _consecLate = 0; ///< frames late in a row
     /** @} */
 
+    /**
+     * @{ observability (cached tracer string ids; excluded from
+     * stateDigest so tracing never perturbs digest streams)
+     */
+    std::uint32_t _obsTrack = 0;   ///< "flow.<name>" track
+    std::uint32_t _obsFrameNm = 0; ///< async lifecycle name
+    /** @} */
+
     std::unique_ptr<BurstPolicy> _burst;
     std::unique_ptr<TouchModel> _touch;
     Tick _nextInput = MaxTick;

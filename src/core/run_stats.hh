@@ -13,6 +13,7 @@
 
 #include "app/trace.hh"
 #include "fault/fault_plan.hh"
+#include "obs/latency.hh"
 
 namespace vip
 {
@@ -130,6 +131,13 @@ struct RunStats
     /** FNV-1a over the whole digest stream (run fingerprint). */
     std::uint64_t digestStreamHash = 0;
     /** @} */
+
+    /**
+     * Per-frame latency decomposition: end-to-end/transit plus
+     * wait/compute/blocked/total per chain stage, as p50/p95/p99
+     * (always collected; see src/obs/latency.hh).
+     */
+    LatencySummary latency;
 
     std::vector<FlowResult> flows;
     std::vector<IpResult> ips;

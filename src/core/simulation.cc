@@ -16,6 +16,16 @@ Simulation::Simulation(SocConfig cfg, Workload workload)
 {
     for (const auto &app : _wl.apps)
         app.validate();
+    // Observability wiring happens before build() so every component
+    // sees the pointers from its first tick.  Both objects are purely
+    // observational: digests stay bit-identical with tracing on.
+    _latency = std::make_unique<LatencyCollector>();
+    _sys.setLatencyCollector(_latency.get());
+    if (_cfg.trace.enabled()) {
+        _tracer = std::make_unique<Tracer>(_cfg.trace.categories,
+                                           _cfg.trace.bufferEvents);
+        _sys.setTracer(_tracer.get());
+    }
     build();
     attachAuditors();
 }
@@ -83,6 +93,80 @@ Simulation::build()
             ++next;
         }
     }
+}
+
+void
+Simulation::buildMetrics()
+{
+    _metrics = std::make_unique<MetricsSampler>(
+        _sys, fromMs(_cfg.metrics.intervalMs));
+
+    for (auto &[kind, ipPtr] : _ips) {
+        IpCore *ip = ipPtr.get();
+        std::string base = ipKindName(kind);
+        _metrics->addProbe(base + ".state", [ip] {
+            return static_cast<double>(ip->engineStateCode());
+        });
+        _metrics->addProbe(base + ".occupancy_bytes", [ip] {
+            std::uint64_t occ = 0;
+            for (std::uint32_t l = 0; l < ip->numLanes(); ++l)
+                occ += ip->laneOccupancy(static_cast<int>(l));
+            return static_cast<double>(occ);
+        });
+        _metrics->addProbe(base + ".lane_frames", [ip] {
+            std::size_t depth = 0;
+            for (std::uint32_t l = 0; l < ip->numLanes(); ++l)
+                depth += ip->laneDepth(static_cast<int>(l));
+            return static_cast<double>(depth);
+        });
+        _metrics->addProbe(base + ".credits_held", [ip] {
+            return static_cast<double>(ip->creditsReserved()
+                                       - ip->creditsReturned());
+        });
+    }
+
+    MemoryController *mem = _mem.get();
+    auto lastBytes = std::make_shared<std::uint64_t>(0);
+    Tick interval = fromMs(_cfg.metrics.intervalMs);
+    _metrics->addProbe("mem.bw_gbps", [mem, lastBytes, interval] {
+        std::uint64_t total = mem->bytesRead() + mem->bytesWritten();
+        std::uint64_t delta = total - *lastBytes;
+        *lastBytes = total;
+        return static_cast<double>(delta) / toSec(interval) / 1e9;
+    });
+    _metrics->addProbe("mem.lp_state", [mem] {
+        return static_cast<double>(static_cast<int>(mem->lpState()));
+    });
+
+    SystemAgent *sa = _sa.get();
+    auto lastBusy = std::make_shared<Tick>(0);
+    _metrics->addProbe("sa.utilization", [sa, lastBusy, interval] {
+        Tick busy = sa->busyTicks();
+        Tick delta = busy - *lastBusy;
+        *lastBusy = busy;
+        return static_cast<double>(delta)
+               / static_cast<double>(interval);
+    });
+
+    for (std::uint32_t i = 0; i < _cpus->numCores(); ++i) {
+        CpuCore *core = &_cpus->core(i);
+        _metrics->addProbe("cpu" + std::to_string(i) + ".state",
+                           [core] {
+                               return static_cast<double>(
+                                   static_cast<int>(core->state()));
+                           });
+    }
+
+    for (auto &flowPtr : _flows) {
+        FlowRuntime *f = flowPtr.get();
+        _metrics->addProbe("flow." + f->spec().name + ".inflight",
+                           [f] {
+                               return static_cast<double>(
+                                   f->framesInFlight());
+                           });
+    }
+
+    _metrics->start();
 }
 
 void
@@ -252,6 +336,10 @@ Simulation::run()
     }
     if (_cfg.audit.periodic())
         scheduleAudit();
+    // The sampler schedules real events (digest-visible), so it only
+    // exists when explicitly requested.
+    if (_cfg.metrics.enabled())
+        buildMetrics();
     _sys.run(fromSec(_cfg.simSeconds));
     _ledger.closeAll(_sys.curTick());
     // Final audit pass under every enabled mode: catches teardown-time
@@ -390,6 +478,8 @@ Simulation::collect(double seconds)
     r.auditViolations = _auditor.violations().size();
     r.digestStreamHash =
         r.auditRecords > 0 ? _auditor.streamDigest() : 0;
+
+    r.latency = _latency->summarize();
 
     if (_cfg.recordTrace)
         r.trace = _trace;

@@ -28,6 +28,9 @@
 #include "core/run_stats.hh"
 #include "core/soc_config.hh"
 #include "fault/fault_injector.hh"
+#include "obs/latency.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace vip
 {
@@ -56,6 +59,12 @@ class Simulation
     FaultInjector *faults() { return _faults.get(); }
     /** The run's invariant auditor (inactive under --audit=off). */
     Auditor &auditor() { return _auditor; }
+    /** The run's tracer; null unless cfg.trace is enabled. */
+    Tracer *tracer() { return _tracer.get(); }
+    /** The metrics sampler; null unless cfg.metrics is enabled. */
+    MetricsSampler *metrics() { return _metrics.get(); }
+    /** Always-on per-frame latency decomposition. */
+    LatencyCollector &latencyCollector() { return *_latency; }
     const SocConfig &config() const { return _cfg; }
     const Workload &workload() const { return _wl; }
     const std::vector<std::unique_ptr<FlowRuntime>> &flows() const
@@ -84,6 +93,7 @@ class Simulation
 
   private:
     void build();
+    void buildMetrics();
     void attachAuditors();
     void scheduleAudit();
     RunStats collect(double seconds);
@@ -100,6 +110,10 @@ class Simulation
     SocConfig _cfg;
     Workload _wl;
     System _sys;
+    /** Constructed before build() so components can cache pointers. */
+    std::unique_ptr<LatencyCollector> _latency;
+    std::unique_ptr<Tracer> _tracer;
+    std::unique_ptr<MetricsSampler> _metrics;
     Auditor _auditor;
     EnergyLedger _ledger;
     FrameAllocator _alloc;

@@ -15,6 +15,7 @@
 #include "fault/fault_plan.hh"
 #include "ip/ip_types.hh"
 #include "mem/dram_config.hh"
+#include "obs/trace_config.hh"
 #include "sa/system_agent.hh"
 #include "sim/audit.hh"
 
@@ -110,6 +111,16 @@ struct SocConfig
 
     /** Record the full per-frame trace into RunStats. */
     bool recordTrace = false;
+
+    /**
+     * Execution tracing (--trace-out / --trace).  Disabled by
+     * default; when enabled, the run is still bit-identical (the
+     * tracer is purely observational and digest-neutral).
+     */
+    TraceConfig trace{};
+
+    /** Periodic metrics sampling (--metrics-out). */
+    MetricsConfig metrics{};
 
     /**
      * Fault-injection plan.  All probabilities default to zero, so a

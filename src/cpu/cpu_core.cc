@@ -3,8 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.hh"
+#include "sim/system.hh"
+
 namespace vip
 {
+
+void
+CpuCore::obsIntern(Tracer *tr)
+{
+    if (_obsTrk)
+        return;
+    _obsTrk = tr->intern(name());
+    _obsNmTask = tr->intern("task");
+    _obsNmIsr = tr->intern("isr");
+    _obsNmIrq = tr->intern("irq");
+    _obsNmSleep = tr->intern("sleep");
+    _obsNmWake = tr->intern("wake");
+}
 
 CpuCore::CpuCore(System &system, std::string name, const CpuConfig &cfg,
                  EnergyLedger &ledger)
@@ -38,6 +54,15 @@ CpuCore::enterState(State s)
         _activeTicks += now - _stateSince;
     else if (_state == State::Sleep)
         _sleepTicks += now - _stateSince;
+
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Power) && s != _state) {
+        obsIntern(tr);
+        if (s == State::Sleep)
+            tr->instant(TraceCat::Power, _obsTrk, _obsNmSleep, now);
+        else if (_state == State::Sleep)
+            tr->instant(TraceCat::Power, _obsTrk, _obsNmWake, now);
+    }
 
     _state = s;
     _stateSince = now;
@@ -102,6 +127,11 @@ CpuCore::interrupt(CpuTask isr)
 {
     ++_interrupts;
     ++_statInterrupts;
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Cpu)) {
+        obsIntern(tr);
+        tr->instant(TraceCat::Cpu, _obsTrk, _obsNmIrq, curTick());
+    }
     isr.isr = true;
     isr.instructions += static_cast<std::uint64_t>(
         toSec(_cfg.irqEntryLatency) * _cfg.freqHz * _cfg.ipc);
@@ -121,6 +151,7 @@ CpuCore::tryStart()
     _running = true;
     _current = std::move(_queue.front());
     _queue.pop_front();
+    _obsTaskStart = curTick();
     enterState(State::Active);
 
     double ips = _curFreqHz * _cfg.ipc;
@@ -140,6 +171,15 @@ CpuCore::finishTask()
     _energy.addDynamicNj(_cfg.power.energyPerInstrNj *
                          static_cast<double>(_current.instructions));
     ++_statTasks;
+
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Cpu)) {
+        obsIntern(tr);
+        tr->complete(TraceCat::Cpu, _obsTrk,
+                     _current.isr ? _obsNmIsr : _obsNmTask,
+                     _obsTaskStart, curTick(), -1, -1, -1,
+                     static_cast<double>(_current.instructions));
+    }
 
     auto cb = std::move(_current.onComplete);
     _running = false;

@@ -26,6 +26,8 @@
 namespace vip
 {
 
+class Tracer;
+
 /** DVFS governor selection. */
 enum class CpuGovernor : std::uint8_t
 {
@@ -143,6 +145,17 @@ class CpuCore : public ClockedObject
     Tick _sleepTicks = 0;
     std::uint64_t _instructions = 0;
     std::uint64_t _interrupts = 0;
+
+    // ---- observability (tracer string ids + task start tick;
+    //      never digested, never affects behaviour) ----
+    Tick _obsTaskStart = 0;
+    std::uint32_t _obsTrk = 0;
+    std::uint32_t _obsNmTask = 0;
+    std::uint32_t _obsNmIsr = 0;
+    std::uint32_t _obsNmIrq = 0;
+    std::uint32_t _obsNmSleep = 0;
+    std::uint32_t _obsNmWake = 0;
+    void obsIntern(Tracer *tr);
 
     // DVFS state
     double _curFreqHz = 0.0;

@@ -4,6 +4,10 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
+#include "sim/system.hh"
+
 namespace vip
 {
 
@@ -17,6 +21,52 @@ ceilDiv(std::uint64_t a, std::uint64_t b)
 }
 
 } // namespace
+
+void
+IpCore::obsInternIds(Tracer *tr)
+{
+    if (_obsTrkEngine)
+        return;
+    _obsTrkEngine = tr->intern(name() + ".engine");
+    _obsTrkExec = tr->intern(name() + ".exec");
+    _obsNmActive = tr->intern("active");
+    _obsNmStalled = tr->intern("stalled");
+    _obsNmBp = tr->intern("backpressured");
+    _obsNmUnit = tr->intern("unit");
+    std::string stage = ipKindName(_p.kind);
+    _obsNmStageAnnounce = tr->intern(stage + ":announce");
+    _obsNmStageDone = tr->intern(stage + ":done");
+    _obsNmGrant = tr->intern("grant");
+    _obsNmCtxSwitch = tr->intern("ctx-switch");
+}
+
+std::pair<std::int32_t, std::int64_t>
+IpCore::obsUnitIdentity() const
+{
+    if (_unitStream && _unitLane >= 0 &&
+        _unitLane < static_cast<int>(_lanes.size())) {
+        const Lane &l = _lanes[_unitLane];
+        if (!l.frames.empty())
+            return {static_cast<std::int32_t>(l.flow),
+                    static_cast<std::int64_t>(l.frames.front().frameId)};
+    } else if (_jobActive) {
+        return {static_cast<std::int32_t>(_job.flowId),
+                static_cast<std::int64_t>(_job.frameId)};
+    }
+    return {-1, -1};
+}
+
+void
+IpCore::obsFaultInstant(const char *what)
+{
+    Tracer *tr = system().tracer();
+    if (!tr || !tr->enabled(TraceCat::Fault))
+        return;
+    obsInternIds(tr);
+    auto [flow, frame] = obsUnitIdentity();
+    tr->instant(TraceCat::Fault, _obsTrkEngine, tr->intern(what),
+                curTick(), flow, frame, _unitLane);
+}
 
 IpCore::IpCore(System &system, std::string name, const IpParams &params,
                SystemAgent &sa, EnergyLedger &ledger,
@@ -136,6 +186,22 @@ IpCore::updateEngineState()
         return;
     Tick now = curTick();
     accumulateState(now);
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Ip)) {
+        obsInternIds(tr);
+        // Non-idle states render as back-to-back spans on the engine
+        // track; idle is the gap between them.
+        if (_engineState != EngineState::Idle)
+            tr->end(TraceCat::Ip, _obsTrkEngine, now);
+        if (next != EngineState::Idle) {
+            std::uint32_t nm = next == EngineState::Active
+                                   ? _obsNmActive
+                                   : next == EngineState::Stalled
+                                         ? _obsNmStalled
+                                         : _obsNmBp;
+            tr->begin(TraceCat::Ip, _obsTrkEngine, nm, now);
+        }
+    }
     _engineState = next;
     double watts = 0.0;
     switch (next) {
@@ -314,6 +380,7 @@ IpCore::onWatchdogTimeout()
     ++_watchdogResets;
     ++_statResets;
     _faults->noteWatchdogReset();
+    obsFaultInstant("watchdog-reset");
     retryUnit(/*from_reset=*/true);
 }
 
@@ -324,6 +391,7 @@ IpCore::retryUnit(bool from_reset)
     ++_unitRetries;
     ++_statRetries;
     _faults->noteUnitRetry();
+    obsFaultInstant("unit-retry");
     if (_unitAttempts > _faults->plan().maxRetries) {
         giveUpUnit();
         return;
@@ -347,6 +415,7 @@ IpCore::giveUpUnit()
     ++_framesDegraded;
     ++_statDegraded;
     _faults->noteFrameDegraded();
+    obsFaultInstant("unit-giveup");
     if (_unitStream) {
         Lane &l = _lanes[_unitLane];
         vip_assert(!l.frames.empty(), "give-up on empty lane");
@@ -368,6 +437,14 @@ IpCore::finishUnit()
         Tick elapsed = curTick() - _unitStart;
         Tick extra = elapsed > _unitTime ? elapsed - _unitTime : 0;
         _faults->noteRecoveryLatency(extra);
+    }
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Ip)) {
+        obsInternIds(tr);
+        auto [flow, frame] = obsUnitIdentity();
+        tr->complete(TraceCat::Ip, _obsTrkExec, _obsNmUnit, _unitStart,
+                     curTick(), flow, frame, _unitLane,
+                     static_cast<double>(_unitInBytes));
     }
     if (_unitStream) {
         // The unit held its input-buffer reservation across every
@@ -393,6 +470,15 @@ IpCore::submitJob(StageJob job)
 {
     if (queueFull())
         return false;
+    job.obsEnqueue = curTick();
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Frame)) {
+        obsInternIds(tr);
+        tr->asyncInstant(TraceCat::Frame, _obsNmStageAnnounce,
+                         curTick(),
+                         static_cast<std::int32_t>(job.flowId),
+                         static_cast<std::int64_t>(job.frameId));
+    }
     _jobs.push_back(std::move(job));
     tryStartJob();
     updateEngineState();
@@ -417,6 +503,7 @@ IpCore::tryStartJob()
     _jobs.erase(_jobs.begin() + idx);
     _jobActive = true;
     _jobStartTick = curTick();
+    _obsJobComputeAccum = 0;
     if (_job.onStart)
         _job.onStart();
 
@@ -474,6 +561,8 @@ IpCore::tryComputeJobUnit()
     --_unitsReady;
     std::uint64_t in_unit = ceilDiv(_job.inputBytes, _unitsTotal);
     std::uint64_t out_unit = ceilDiv(_job.outputBytes, _unitsTotal);
+    if (!_jobFaulted)
+        _obsJobComputeAccum += computeTime(in_unit, out_unit);
     startUnit(/*stream=*/false, /*lane=*/-1,
               computeTime(in_unit, out_unit), _jobFaulted);
     updateEngineState();
@@ -523,6 +612,27 @@ IpCore::checkJobDone()
     ++_jobsCompleted;
     ++_statJobs;
     _statJobLatencyMs.sample(toMs(curTick() - _jobStartTick));
+
+    // Latency decomposition + lifecycle mark, before tryStartJob()
+    // below replaces _job with the next queued one.
+    Tick ob_wait = _jobStartTick > _job.obsEnqueue
+        ? _jobStartTick - _job.obsEnqueue : 0;
+    Tick ob_total = curTick() > _job.obsEnqueue
+        ? curTick() - _job.obsEnqueue : 0;
+    Tick ob_comp = std::min(_obsJobComputeAccum, ob_total);
+    Tick ob_blocked = ob_total > ob_wait + ob_comp
+        ? ob_total - ob_wait - ob_comp : 0;
+    if (LatencyCollector *lc = system().latency())
+        lc->recordStage(ipKindName(_p.kind), ob_wait, ob_comp,
+                        ob_blocked, ob_total);
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Frame)) {
+        obsInternIds(tr);
+        tr->asyncInstant(TraceCat::Frame, _obsNmStageDone,
+                         curTick(),
+                         static_cast<std::int32_t>(_job.flowId),
+                         static_cast<std::int64_t>(_job.frameId));
+    }
 
     auto cb = std::move(_job.onComplete);
     auto drain = _queueDrainCb;
@@ -617,6 +727,15 @@ IpCore::announceFrame(int lane, std::uint64_t frame_id,
     f.deadline = deadline;
     f.txnEnd = txn_end;
     f.units = ceilDiv(std::max(in_bytes, out_bytes), _p.subframeBytes);
+    f.obsAnnounce = curTick();
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Frame)) {
+        obsInternIds(tr);
+        tr->asyncInstant(TraceCat::Frame, _obsNmStageAnnounce,
+                         curTick(),
+                         static_cast<std::int32_t>(l.flow),
+                         static_cast<std::int64_t>(frame_id));
+    }
     l.frames.push_back(f);
     kickStream();
     updateEngineState();
@@ -947,6 +1066,24 @@ IpCore::kickStream()
 
     std::uint64_t uIn = f.unitIn(f.unitsDone);
     std::uint64_t uOut = f.unitOut(f.unitsDone);
+
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Sched)) {
+        obsInternIds(tr);
+        if (cs)
+            tr->instant(TraceCat::Sched, _obsTrkEngine, _obsNmCtxSwitch,
+                        curTick(), static_cast<std::int32_t>(l.flow),
+                        static_cast<std::int64_t>(f.frameId), lane);
+        if (f.unitsDone == 0 && f.obsFirstStart == 0)
+            tr->instant(TraceCat::Sched, _obsTrkEngine, _obsNmGrant,
+                        curTick(), static_cast<std::int32_t>(l.flow),
+                        static_cast<std::int64_t>(f.frameId), lane);
+    }
+    if (f.unitsDone == 0 && f.obsFirstStart == 0)
+        f.obsFirstStart = curTick();
+    if (!f.faulted)
+        f.obsComputeAccum += computeTime(uIn, uOut);
+
     if (uIn > 0) {
         _bufferEnergy.addDynamicNj(
             SramModel::readEnergyNj(_p.laneBytes, uIn));
@@ -995,6 +1132,28 @@ IpCore::onUnitComputed(int lane)
     }
 
     if (frameDone) {
+        // Latency decomposition + lifecycle mark, before the frame
+        // context is retired below.  Wait = visible-to-started,
+        // compute = nominal unit time (retries land in "blocked").
+        Tick ob_total = curTick() > f.obsAnnounce
+            ? curTick() - f.obsAnnounce : 0;
+        Tick ob_wait = f.obsFirstStart > f.obsAnnounce
+            ? f.obsFirstStart - f.obsAnnounce : 0;
+        if (ob_wait > ob_total)
+            ob_wait = ob_total;
+        Tick ob_comp = std::min(f.obsComputeAccum, ob_total - ob_wait);
+        Tick ob_blocked = ob_total - ob_wait - ob_comp;
+        if (LatencyCollector *lc = system().latency())
+            lc->recordStage(ipKindName(_p.kind), ob_wait, ob_comp,
+                            ob_blocked, ob_total);
+        if (Tracer *tr = system().tracer();
+            tr && tr->enabled(TraceCat::Frame)) {
+            obsInternIds(tr);
+            tr->asyncInstant(TraceCat::Frame, _obsNmStageDone,
+                             curTick(),
+                             static_cast<std::int32_t>(l.flow),
+                             static_cast<std::int64_t>(f.frameId));
+        }
         // Release the single context at the configured boundary.
         if ((_p.switchGranularity == SwitchGranularity::Frame) ||
             (_p.switchGranularity == SwitchGranularity::Transaction &&

@@ -61,6 +61,8 @@
 namespace vip
 {
 
+class Tracer;
+
 /** One accelerator of the SoC. */
 class IpCore : public ClockedObject
 {
@@ -235,6 +237,16 @@ class IpCore : public ClockedObject
     stats::Group &statsGroup() { return _stats; }
 
     /**
+     * Engine state as a stable numeric code (0 idle, 1 active,
+     * 2 stalled, 3 backpressured) for the metrics sampler.
+     */
+    std::uint32_t
+    engineStateCode() const
+    {
+        return static_cast<std::uint32_t>(_engineState);
+    }
+
+    /**
      * One-line occupancy snapshot (engine state, lane depths and
      * buffer fill) for the no-progress guard's diagnostic dump.
      */
@@ -275,6 +287,15 @@ class IpCore : public ClockedObject
          * and the remaining units drain as zero-cost passthrough.
          */
         bool faulted = false;
+
+        /**
+         * @{ observability only (latency decomposition); written by
+         * the tracing/latency hooks, excluded from stateDigest.
+         */
+        Tick obsAnnounce = 0;     ///< announceFrame() time
+        Tick obsFirstStart = 0;   ///< first unit entered compute
+        Tick obsComputeAccum = 0; ///< nominal compute time consumed
+        /** @} */
 
         /** Input bytes unit @p u consumes (fractional distribution). */
         std::uint64_t
@@ -497,6 +518,29 @@ class IpCore : public ClockedObject
     std::uint64_t _unitRetries = 0;
     std::uint64_t _framesDegraded = 0;
     Addr _spillNext = 0; ///< bump pointer into the spill region
+
+    // ---- observability (tracer string ids + latency accumulation;
+    //      never digested, never affects behaviour) ----
+    std::uint32_t _obsTrkEngine = 0; ///< "<name>.engine" state track
+    std::uint32_t _obsTrkExec = 0;   ///< "<name>.exec" unit track
+    std::uint32_t _obsNmActive = 0;
+    std::uint32_t _obsNmStalled = 0;
+    std::uint32_t _obsNmBp = 0;
+    std::uint32_t _obsNmUnit = 0;
+    std::uint32_t _obsNmStageDone = 0;
+    std::uint32_t _obsNmStageAnnounce = 0;
+    std::uint32_t _obsNmGrant = 0;
+    std::uint32_t _obsNmCtxSwitch = 0;
+    Tick _obsJobComputeAccum = 0; ///< nominal compute of current job
+
+    /** Lazily intern this IP's track/name ids (tracer non-null). */
+    void obsInternIds(Tracer *tr);
+
+    /** Flow/frame of the unit in flight (stream or job), or -1/-1. */
+    std::pair<std::int32_t, std::int64_t> obsUnitIdentity() const;
+
+    /** Emit a fault-category instant on this engine's track. */
+    void obsFaultInstant(const char *what);
 
     stats::Group _stats;
     stats::Scalar _statJobs;

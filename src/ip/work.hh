@@ -66,6 +66,8 @@ struct StageJob
     std::function<void()> onComplete;
     /** Fired when the engine begins this job (flow-time metric). */
     std::function<void()> onStart;
+    /** Tick the job was queued (observability only, never digested). */
+    Tick obsEnqueue = 0;
 };
 
 } // namespace vip

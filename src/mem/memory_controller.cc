@@ -1,5 +1,9 @@
 #include "mem/memory_controller.hh"
 
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
+#include "sim/system.hh"
+
 #include <algorithm>
 #include <memory>
 
@@ -89,6 +93,15 @@ MemoryController::enterLpState(LpState s)
     else if (s == LpState::SelfRefresh)
         watts = base * _cfg.power.selfRefreshFraction;
     _energy.setPower(watts, now);
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Power)) {
+        if (!_obsTrkMem)
+            _obsTrkMem = tr->intern(name());
+        const char *nm = s == LpState::Active ? "lp:active"
+            : (s == LpState::PowerDown ? "lp:power-down"
+                                       : "lp:self-refresh");
+        tr->instant(TraceCat::Power, _obsTrkMem, tr->intern(nm), now);
+    }
     if (s != LpState::Active)
         ++_lpEntries;
     if (s == LpState::SelfRefresh) {
@@ -160,6 +173,15 @@ MemoryController::sampleBandwidth()
                       static_cast<double>(dt) * 1000.0;
         double pct = 100.0 * gbps / _cfg.peakGBps();
         _bwHist.sample(std::min(pct, 99.99));
+        if (Tracer *tr = system().tracer();
+            tr && tr->enabled(TraceCat::Dram)) {
+            if (!_obsTrkMem)
+                _obsTrkMem = tr->intern(name());
+            if (!_obsNmBw)
+                _obsNmBw = tr->intern("bw_gbps");
+            tr->counter(TraceCat::Dram, _obsTrkMem, _obsNmBw, now,
+                        gbps);
+        }
     }
     _windowBytes = 0;
     _windowStart = now;
@@ -326,6 +348,25 @@ MemoryController::trySchedule(std::uint32_t ch)
     for (const auto &cc : _channels)
         busyCount += cc.busy ? 1.0 : 0.0;
     _busyChannels.set(busyCount, curTick());
+
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Dram)) {
+        if (_obsTrkCh.empty()) {
+            _obsTrkCh.resize(_channels.size());
+            for (std::size_t i = 0; i < _channels.size(); ++i) {
+                _obsTrkCh[i] =
+                    tr->intern(name() + ".ch" + std::to_string(i));
+            }
+            _obsNmBurst = tr->intern("burst");
+        }
+        // The requester id rides in the lane slot (no lanes in DRAM).
+        tr->complete(TraceCat::Dram, _obsTrkCh[ch], _obsNmBurst,
+                     curTick(), curTick() + service, -1, -1,
+                     static_cast<std::int32_t>(p.req.requesterId),
+                     static_cast<double>(p.req.bytes));
+    }
+    if (LatencyCollector *lc = system().latency())
+        lc->recordDramBurst(service);
 
     Tick enqueue = p.enqueued;
     auto cb = std::move(p.req.onComplete);

@@ -182,6 +182,12 @@ class MemoryController : public SimObject
     /** Exit penalty pending application to the next scheduled burst. */
     Tick _wakePenalty = 0;
 
+    // ---- observability (tracer string ids; never digested) ----
+    std::vector<std::uint32_t> _obsTrkCh; ///< per-channel burst tracks
+    std::uint32_t _obsTrkMem = 0;         ///< controller-level track
+    std::uint32_t _obsNmBurst = 0;
+    std::uint32_t _obsNmBw = 0;
+
     stats::Group _stats;
     stats::Scalar _statReads;
     stats::Scalar _statWrites;

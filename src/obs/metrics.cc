@@ -1,0 +1,66 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/provenance.hh"
+#include "sim/logging.hh"
+#include "sim/system.hh"
+
+namespace vip
+{
+
+MetricsSampler::MetricsSampler(System &sys, Tick interval)
+    : _sys(sys), _interval(interval)
+{
+    vip_assert(interval > 0, "metrics interval must be positive");
+}
+
+void
+MetricsSampler::addProbe(std::string name, Probe fn)
+{
+    _probes.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+MetricsSampler::start()
+{
+    _sys.eventq().scheduleIn(
+        _interval, [this] { sampleNow(); }, EventPriority::Stats);
+}
+
+void
+MetricsSampler::sampleNow()
+{
+    _ticks.push_back(_sys.curTick());
+    for (const auto &[name, fn] : _probes)
+        _data.push_back(fn());
+    _sys.eventq().scheduleIn(
+        _interval, [this] { sampleNow(); }, EventPriority::Stats);
+}
+
+void
+MetricsSampler::writeCsv(std::ostream &os) const
+{
+    os << "# vip-metrics v1\n";
+    for (const auto &line : provenanceMetaLines())
+        os << "# " << line << "\n";
+    os << "# intervalMs=" << toMs(_interval) << "\n";
+    os << "tick_ms";
+    for (const auto &[name, fn] : _probes)
+        os << "," << name;
+    os << "\n";
+    char buf[48];
+    for (std::size_t r = 0; r < _ticks.size(); ++r) {
+        std::snprintf(buf, sizeof(buf), "%.6f", toMs(_ticks[r]));
+        os << buf;
+        for (std::size_t c = 0; c < _probes.size(); ++c) {
+            std::snprintf(buf, sizeof(buf), "%.6g",
+                          _data[r * _probes.size() + c]);
+            os << "," << buf;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace vip

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Periodic metrics sampler.
+ *
+ * Samples a set of registered probes (buffer/lane occupancy, credits,
+ * DRAM bandwidth, power states, ...) every N simulated milliseconds
+ * and dumps the time series as CSV.  Sampling runs at
+ * EventPriority::Stats so each row observes post-update state.
+ *
+ * Unlike the Tracer, the sampler *does* schedule events, which
+ * perturbs the event queue's scheduling digest — so it is only
+ * constructed when --metrics-out is given.
+ */
+
+#ifndef VIP_OBS_METRICS_HH
+#define VIP_OBS_METRICS_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip
+{
+
+class System;
+
+class MetricsSampler
+{
+  public:
+    using Probe = std::function<double()>;
+
+    MetricsSampler(System &sys, Tick interval);
+
+    /** Register a named probe; call before start(). */
+    void addProbe(std::string name, Probe fn);
+
+    /** Schedule the first sample one interval from now. */
+    void start();
+
+    std::size_t rows() const { return _ticks.size(); }
+    std::size_t probes() const { return _probes.size(); }
+    Tick interval() const { return _interval; }
+
+    /**
+     * Write the time series as CSV: '#'-prefixed provenance header,
+     * one column per probe, one row per sample.
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void sampleNow();
+
+    System &_sys;
+    Tick _interval;
+    std::vector<std::pair<std::string, Probe>> _probes;
+    std::vector<Tick> _ticks;
+    std::vector<double> _data; ///< rows() * probes(), row-major
+};
+
+} // namespace vip
+
+#endif // VIP_OBS_METRICS_HH

@@ -1,0 +1,55 @@
+#include "obs/provenance.hh"
+
+namespace vip
+{
+
+const char *
+buildGitHash()
+{
+#ifdef VIP_GIT_HASH
+    return VIP_GIT_HASH;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildCompiler()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildType()
+{
+#ifdef VIP_BUILD_TYPE
+    return (VIP_BUILD_TYPE[0] != '\0') ? VIP_BUILD_TYPE : "unknown";
+#else
+    return "unknown";
+#endif
+}
+
+std::vector<std::pair<std::string, std::string>>
+provenanceFields()
+{
+    return {{"git", buildGitHash()},
+            {"compiler", buildCompiler()},
+            {"build", buildType()}};
+}
+
+std::vector<std::string>
+provenanceMetaLines()
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : provenanceFields())
+        out.push_back(k + "=" + v);
+    return out;
+}
+
+} // namespace vip

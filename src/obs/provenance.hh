@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Build provenance stamped into every artifact (bench JSON, digest
+ * streams, trace headers) so outputs from different builds are never
+ * silently compared.
+ */
+
+#ifndef VIP_OBS_PROVENANCE_HH
+#define VIP_OBS_PROVENANCE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vip
+{
+
+/** Short git hash of the build tree ("unknown" outside a checkout). */
+const char *buildGitHash();
+
+/** Compiler id and version, e.g. "gcc 13.2.0". */
+const char *buildCompiler();
+
+/** CMAKE_BUILD_TYPE at configure time ("unknown" if unset). */
+const char *buildType();
+
+/** {git, compiler, build} as key/value pairs for JSON headers. */
+std::vector<std::pair<std::string, std::string>> provenanceFields();
+
+/** "git=...", "compiler=...", "build=..." lines for digest streams. */
+std::vector<std::string> provenanceMetaLines();
+
+} // namespace vip
+
+#endif // VIP_OBS_PROVENANCE_HH

@@ -1,0 +1,440 @@
+#include "obs/trace_check.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <iterator>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON parser — just enough DOM for
+ * trace_event files, with no external dependencies.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (_pos != _s.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        fatal("JSON parse error at offset ", _pos, ": ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size()
+               && std::isspace(static_cast<unsigned char>(_s[_pos])))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (_pos >= _s.size())
+            fail("unexpected end of input");
+        return _s[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + _s[_pos]
+                 + "'");
+        ++_pos;
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return stringValue();
+          case 't': return literal("true", JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", JsonValue::Kind::Bool, false);
+          case 'n': return literal("null", JsonValue::Kind::Null, false);
+          default: return number();
+        }
+    }
+
+    JsonValue
+    literal(const char *word, JsonValue::Kind kind, bool b)
+    {
+        for (const char *p = word; *p; ++p, ++_pos)
+            if (_pos >= _s.size() || _s[_pos] != *p)
+                fail(std::string("bad literal, expected ") + word);
+        JsonValue v;
+        v.kind = kind;
+        v.b = b;
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = _pos;
+        while (_pos < _s.size()
+               && (std::isdigit(static_cast<unsigned char>(_s[_pos]))
+                   || _s[_pos] == '-' || _s[_pos] == '+'
+                   || _s[_pos] == '.' || _s[_pos] == 'e'
+                   || _s[_pos] == 'E'))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        try {
+            v.num = std::stod(_s.substr(start, _pos - start));
+        } catch (const std::exception &) {
+            fail("unparseable number '" + _s.substr(start, _pos - start)
+                 + "'");
+        }
+        return v;
+    }
+
+    JsonValue
+    stringValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.str = rawString();
+        return v;
+    }
+
+    std::string
+    rawString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_pos >= _s.size())
+                fail("unterminated string");
+            char c = _s[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                fail("dangling escape");
+            char e = _s[_pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (_pos + 4 > _s.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _s[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // ASCII only (the tracer never emits more).
+                out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            std::string key = rawString();
+            expect(':');
+            v.obj.emplace_back(std::move(key), value());
+            if (peek() == ',') {
+                ++_pos;
+                skipWs();
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+std::string
+strField(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->kind == JsonValue::Kind::String ? v->str : "";
+}
+
+double
+numField(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->kind == JsonValue::Kind::Number ? v->num : 0.0;
+}
+
+} // namespace
+
+TraceFile
+parseTraceJson(std::istream &is)
+{
+    std::string text(std::istreambuf_iterator<char>(is), {});
+    // The DOM of a large trace is heavy; parse on the heap.
+    auto root = std::make_unique<JsonValue>(JsonParser(text).parse());
+    if (root->kind != JsonValue::Kind::Object)
+        fatal("trace root is not a JSON object");
+    const JsonValue *events = root->find("traceEvents");
+    if (!events || events->kind != JsonValue::Kind::Array)
+        fatal("trace has no traceEvents array");
+
+    TraceFile out;
+    for (const JsonValue &e : events->arr) {
+        if (e.kind != JsonValue::Kind::Object)
+            fatal("traceEvents entry is not an object");
+        std::string ph = strField(e, "ph");
+        if (ph == "M") {
+            if (strField(e, "name") == "thread_name") {
+                const JsonValue *args = e.find("args");
+                if (args)
+                    out.threadNames[static_cast<long long>(
+                        numField(e, "tid"))] = strField(*args, "name");
+            }
+            continue;
+        }
+        TraceEventView ev;
+        ev.ph = ph;
+        ev.name = strField(e, "name");
+        ev.cat = strField(e, "cat");
+        ev.id = strField(e, "id");
+        ev.tid = static_cast<long long>(numField(e, "tid"));
+        ev.ts = numField(e, "ts");
+        ev.dur = numField(e, "dur");
+        if (const JsonValue *args = e.find("args")) {
+            for (const auto &[k, v] : args->obj) {
+                if (v.kind == JsonValue::Kind::Number)
+                    ev.numArgs[k] = v.num;
+                else if (v.kind == JsonValue::Kind::String)
+                    ev.strArgs[k] = v.str;
+            }
+        }
+        out.events.push_back(std::move(ev));
+    }
+    if (const JsonValue *other = root->find("otherData")) {
+        for (const auto &[k, v] : other->obj) {
+            if (v.kind == JsonValue::Kind::String)
+                out.otherData[k] = v.str;
+            else if (v.kind == JsonValue::Kind::Number)
+                out.otherData[k] = std::to_string(
+                    static_cast<long long>(v.num));
+        }
+        auto it = out.otherData.find("droppedEvents");
+        if (it != out.otherData.end())
+            out.droppedEvents = std::stoull(it->second);
+    }
+    return out;
+}
+
+TraceCheckResult
+checkTrace(const TraceFile &f)
+{
+    TraceCheckResult res;
+    res.events = f.events.size();
+    bool lossless = f.droppedEvents == 0;
+
+    auto err = [&](std::string msg) {
+        if (res.errors.size() < 20)
+            res.errors.push_back(std::move(msg));
+        res.ok = false;
+    };
+
+    // Per-track B/E stacks.
+    std::map<long long, std::vector<std::uint64_t>> stacks;
+    // Async open counts per (cat, id).
+    std::map<std::string, int> asyncNest;
+
+    for (const TraceEventView &ev : f.events) {
+        std::uint64_t tick = ev.tickArg("tick");
+        if (ev.ph == "B") {
+            stacks[ev.tid].push_back(tick);
+        } else if (ev.ph == "E") {
+            auto &st = stacks[ev.tid];
+            if (st.empty()) {
+                if (lossless)
+                    err("E without matching B on tid "
+                        + std::to_string(ev.tid) + " at tick "
+                        + std::to_string(tick));
+            } else {
+                if (tick < st.back())
+                    err("span ends before it begins on tid "
+                        + std::to_string(ev.tid) + " ("
+                        + std::to_string(st.back()) + " -> "
+                        + std::to_string(tick) + ")");
+                st.pop_back();
+                ++res.spans;
+            }
+        } else if (ev.ph == "X") {
+            if (ev.dur < 0)
+                err("X event with negative dur at tick "
+                    + std::to_string(tick));
+            ++res.spans;
+        } else if (ev.ph == "b") {
+            ++asyncNest[ev.cat + "/" + ev.id];
+        } else if (ev.ph == "e") {
+            auto &n = asyncNest[ev.cat + "/" + ev.id];
+            if (n <= 0 && lossless)
+                err("async end without begin for id " + ev.id);
+            else
+                --n;
+        } else if (ev.ph == "n") {
+            // instant within an async group; nothing to pair
+        } else if (ev.ph == "i") {
+            ++res.instants;
+        } else if (ev.ph == "C") {
+            ++res.counters;
+        } else {
+            err("unknown phase '" + ev.ph + "'");
+        }
+    }
+
+    for (const auto &[tid, st] : stacks)
+        res.openAtEof += st.size();
+    for (const auto &[key, n] : asyncNest)
+        if (n > 0)
+            res.asyncOpen += static_cast<std::size_t>(n);
+    return res;
+}
+
+std::vector<FrameLifecycle>
+frameLifecycles(const TraceFile &f)
+{
+    std::map<std::string, FrameLifecycle> byId;
+    std::map<std::string, bool> sawBegin;
+    for (const TraceEventView &ev : f.events) {
+        if (ev.cat != "frame" || ev.id.empty())
+            continue;
+        if (ev.ph != "b" && ev.ph != "n" && ev.ph != "e")
+            continue;
+        FrameLifecycle &lc = byId[ev.id];
+        lc.asyncId = ev.id;
+        auto flowIt = ev.numArgs.find("flow");
+        if (flowIt != ev.numArgs.end())
+            lc.flow = static_cast<std::int64_t>(flowIt->second);
+        auto frameIt = ev.numArgs.find("frame");
+        if (frameIt != ev.numArgs.end())
+            lc.frame = static_cast<std::int64_t>(frameIt->second);
+        std::uint64_t tick = ev.tickArg("tick");
+        if (ev.ph == "b") {
+            lc.genTick = tick;
+            sawBegin[ev.id] = true;
+        } else if (ev.ph == "e") {
+            lc.endTick = tick;
+            lc.deadlineTick = ev.tickArg("deadlineTick");
+            lc.complete = true;
+        } else if (ev.name == "started") {
+            lc.startTick = tick;
+        } else {
+            lc.stageMarks.emplace_back(tick, ev.name);
+        }
+    }
+    std::vector<FrameLifecycle> out;
+    out.reserve(byId.size());
+    for (auto &[id, lc] : byId) {
+        std::sort(lc.stageMarks.begin(), lc.stageMarks.end());
+        // 'b' must have been seen for "complete" to mean anything
+        // (a burst-scheduled frame may legitimately end before its
+        // nominal generation tick, so ticks cannot be compared).
+        lc.complete = lc.complete && sawBegin[id];
+        out.push_back(std::move(lc));
+    }
+    return out;
+}
+
+} // namespace vip

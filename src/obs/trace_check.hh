@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace-file validation and analysis (the library behind vip_trace).
+ *
+ * Parses Chrome trace_event JSON back into memory, validates span
+ * nesting and async pairing, and reconstructs per-frame lifecycles
+ * from the exact-tick args every event carries — so a frame's
+ * end-to-end latency can be re-derived from spans alone and checked
+ * against RunStats.
+ */
+
+#ifndef VIP_OBS_TRACE_CHECK_HH
+#define VIP_OBS_TRACE_CHECK_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/** One parsed trace event (string/number args flattened). */
+struct TraceEventView
+{
+    std::string ph;
+    std::string name;
+    std::string cat;
+    std::string id; ///< async id (hex string), empty otherwise
+    long long tid = 0;
+    double ts = 0.0;  ///< microseconds
+    double dur = 0.0; ///< microseconds (X only)
+    std::map<std::string, double> numArgs;
+    std::map<std::string, std::string> strArgs;
+
+    /** Exact-tick arg lookup (0 when missing). */
+    std::uint64_t
+    tickArg(const std::string &key) const
+    {
+        auto it = numArgs.find(key);
+        return it == numArgs.end()
+                   ? 0
+                   : static_cast<std::uint64_t>(it->second);
+    }
+};
+
+/** A whole parsed trace file. */
+struct TraceFile
+{
+    std::vector<TraceEventView> events; ///< non-metadata events
+    std::map<long long, std::string> threadNames;
+    std::map<std::string, std::string> otherData;
+    std::uint64_t droppedEvents = 0;
+};
+
+/**
+ * Parse trace_event JSON.  Throws SimFatal on malformed JSON or a
+ * structurally invalid trace container.
+ */
+TraceFile parseTraceJson(std::istream &is);
+
+/** Result of structural validation. */
+struct TraceCheckResult
+{
+    bool ok = true;
+    std::vector<std::string> errors;
+    std::size_t events = 0;
+    std::size_t spans = 0;        ///< B/E pairs + X events
+    std::size_t openAtEof = 0;    ///< B spans never closed (allowed)
+    std::size_t asyncOpen = 0;    ///< async ids begun, never ended
+    std::size_t instants = 0;
+    std::size_t counters = 0;
+};
+
+/**
+ * Validate span nesting (E matches a B on the same track, times
+ * monotone within a span), X durations, and async b/e pairing.
+ * Unmatched events are errors only when the trace reports zero
+ * dropped (ring-evicted) events.
+ */
+TraceCheckResult checkTrace(const TraceFile &f);
+
+/** One frame's lifecycle re-derived from async flow events. */
+struct FrameLifecycle
+{
+    std::string asyncId;
+    std::int64_t flow = -1;
+    std::int64_t frame = -1;
+    std::uint64_t genTick = 0;
+    std::uint64_t startTick = 0; ///< 0 if never started
+    std::uint64_t endTick = 0;
+    std::uint64_t deadlineTick = 0;
+    bool complete = false; ///< both 'b' and 'e' seen
+    /** Stage instants ('n'), in timestamp order: (tick, name). */
+    std::vector<std::pair<std::uint64_t, std::string>> stageMarks;
+
+    /** End-to-end latency as RunStats computes it. */
+    std::uint64_t
+    endToEndTicks() const
+    {
+        std::uint64_t ref = std::max(genTick, startTick);
+        return endTick > ref ? endTick - ref : 0;
+    }
+};
+
+/** Reconstruct all frame lifecycles from cat=="frame" async events. */
+std::vector<FrameLifecycle> frameLifecycles(const TraceFile &f);
+
+} // namespace vip
+
+#endif // VIP_OBS_TRACE_CHECK_HH

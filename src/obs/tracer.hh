@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Bounded, category-filtered span/instant tracer.
+ *
+ * Components emit spans (B/E or complete X), instants (i), counters
+ * (C) and async frame-lifecycle events (b/n/e) into a fixed-capacity
+ * ring buffer; the buffer is exported as Chrome/Perfetto trace_event
+ * JSON after the run.  The tracer is purely observational: it never
+ * schedules events, never consumes randomness, and none of its state
+ * enters any component's stateDigest(), so enabling it leaves the
+ * simulation (and its audit digest streams) bit-identical.
+ *
+ * When tracing is disabled the System's tracer pointer is null and
+ * every emission site reduces to one pointer test.
+ */
+
+#ifndef VIP_OBS_TRACER_HH
+#define VIP_OBS_TRACER_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_config.hh"
+#include "sim/types.hh"
+
+namespace vip
+{
+
+/**
+ * One recorded trace event.  Field use depends on the phase:
+ *  - 'B'/'E': begin/end of a nested span on @c track
+ *  - 'X':     complete span, @c dur is the duration
+ *  - 'i':     instant on @c track
+ *  - 'C':     counter sample, @c value is the sample
+ *  - 'b'/'n'/'e': async (frame-lifecycle) events grouped by the pair
+ *                 (flow, frame); for 'e', @c dur carries the QoS
+ *                 deadline tick
+ *
+ * Kept to 40 bytes: a busy run records hundreds of thousands of
+ * events, so event size is directly trace memory bandwidth.
+ */
+struct TraceEvent
+{
+    Tick ts = 0;
+    Tick dur = 0;
+    double value = 0.0;
+    std::int32_t flow = -1;
+    std::int32_t frame = -1;
+    std::uint16_t name = 0;  ///< string table index + 1 (0 = none)
+    std::uint16_t track = 0; ///< string table index + 1 (0 = process)
+    std::int16_t lane = -1;
+    char ph = '?';
+    std::uint8_t cat = 0; ///< bit index into TraceCat
+};
+
+/**
+ * Async id for a frame: groups all its lifecycle events.  Derived
+ * from (flow, frame) at export time rather than stored per event.
+ */
+inline std::uint64_t
+frameAsyncId(std::uint32_t flow, std::uint64_t frame)
+{
+    return (std::uint64_t{flow} << 32) | (frame & 0xffffffffull);
+}
+
+class Tracer
+{
+  public:
+    Tracer(std::uint32_t categories, std::size_t capacity);
+
+    /** Fast per-emission gate. */
+    bool
+    enabled(TraceCat cat) const
+    {
+        return (_categories & static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    std::uint32_t categories() const { return _categories; }
+
+    /**
+     * Intern a track/name string; returns a stable nonzero id.
+     * Emission sites cache the id (0 means "not interned yet").
+     */
+    std::uint32_t intern(const std::string &s);
+
+    /**
+     * @{ Emission API.  All timestamps are absolute ticks.  Inline:
+     * an emission is a branch, a ring-slot write, and an index bump.
+     */
+    void
+    begin(TraceCat cat, std::uint32_t track, std::uint32_t name,
+          Tick ts)
+    {
+        TraceEvent &ev = alloc('B', cat);
+        ev.track = static_cast<std::uint16_t>(track);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+    }
+
+    void
+    end(TraceCat cat, std::uint32_t track, Tick ts)
+    {
+        TraceEvent &ev = alloc('E', cat);
+        ev.track = static_cast<std::uint16_t>(track);
+        ev.ts = ts;
+    }
+
+    void
+    complete(TraceCat cat, std::uint32_t track, std::uint32_t name,
+             Tick start, Tick finish, std::int32_t flow = -1,
+             std::int64_t frame = -1, std::int32_t lane = -1,
+             double bytes = 0.0)
+    {
+        TraceEvent &ev = alloc('X', cat);
+        ev.track = static_cast<std::uint16_t>(track);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = start;
+        ev.dur = finish >= start ? finish - start : 0;
+        ev.flow = flow;
+        ev.frame = static_cast<std::int32_t>(frame);
+        ev.lane = static_cast<std::int16_t>(lane);
+        ev.value = bytes;
+    }
+
+    void
+    instant(TraceCat cat, std::uint32_t track, std::uint32_t name,
+            Tick ts, std::int32_t flow = -1, std::int64_t frame = -1,
+            std::int32_t lane = -1)
+    {
+        TraceEvent &ev = alloc('i', cat);
+        ev.track = static_cast<std::uint16_t>(track);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+        ev.flow = flow;
+        ev.frame = static_cast<std::int32_t>(frame);
+        ev.lane = static_cast<std::int16_t>(lane);
+    }
+
+    void
+    counter(TraceCat cat, std::uint32_t track, std::uint32_t name,
+            Tick ts, double value)
+    {
+        TraceEvent &ev = alloc('C', cat);
+        ev.track = static_cast<std::uint16_t>(track);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+        ev.value = value;
+    }
+
+    void
+    asyncBegin(TraceCat cat, std::uint32_t name, Tick ts,
+               std::int32_t flow, std::int64_t frame)
+    {
+        TraceEvent &ev = alloc('b', cat);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+        ev.flow = flow;
+        ev.frame = static_cast<std::int32_t>(frame);
+    }
+
+    void
+    asyncInstant(TraceCat cat, std::uint32_t name, Tick ts,
+                 std::int32_t flow, std::int64_t frame)
+    {
+        TraceEvent &ev = alloc('n', cat);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+        ev.flow = flow;
+        ev.frame = static_cast<std::int32_t>(frame);
+    }
+
+    void
+    asyncEnd(TraceCat cat, std::uint32_t name, Tick ts,
+             std::int32_t flow, std::int64_t frame, Tick deadline)
+    {
+        TraceEvent &ev = alloc('e', cat);
+        ev.name = static_cast<std::uint16_t>(name);
+        ev.ts = ts;
+        ev.flow = flow;
+        ev.frame = static_cast<std::int32_t>(frame);
+        ev.dur = deadline;
+    }
+    /** @} */
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return _count; }
+    /** Events evicted because the ring filled. */
+    std::uint64_t dropped() const { return _dropped; }
+    /** Requested capacity rounded up to whole blocks. */
+    std::size_t capacity() const { return _nBlocks * kBlockEvents; }
+
+    /** Visit events oldest-first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t cap = capacity();
+        // While filling, events live at linear [0, _count); once
+        // wrapped, the write cursor is also the oldest event.
+        std::size_t start = 0;
+        if (_count == cap) {
+            start = _wb * kBlockEvents + _wi;
+            if (start >= cap)
+                start -= cap;
+        }
+        for (std::size_t i = 0; i < _count; ++i) {
+            std::size_t idx = start + i;
+            if (idx >= cap)
+                idx -= cap;
+            fn((*_blocks[idx / kBlockEvents])[idx % kBlockEvents]);
+        }
+    }
+
+    /**
+     * Write Chrome trace_event JSON.  otherData automatically carries
+     * build provenance, the trace schema version, the enabled
+     * categories and the dropped-event count; @p meta adds run
+     * context (workload, config, seed).
+     */
+    void writeJson(
+        std::ostream &os,
+        const std::vector<std::pair<std::string, std::string>> &meta
+        = {}) const;
+
+  private:
+    /**
+     * The ring is a list of fixed blocks rather than one flat array:
+     * blocks are allocated on first touch (an idle or filtered tracer
+     * costs almost nothing), there is no reallocation copying as the
+     * trace grows, and each block is small enough that the heap
+     * recycles it across Tracer lifetimes — repeated runs in one
+     * process write into warm pages instead of faulting fresh ones.
+     */
+    static constexpr std::size_t kBlockEvents = 2048;
+    using Block = std::array<TraceEvent, kBlockEvents>;
+
+    /**
+     * Claim the next ring slot as a fresh event with phase and
+     * category set.  Grows block-by-block up to capacity, then wraps,
+     * dropping the oldest.
+     */
+    TraceEvent &
+    alloc(char ph, TraceCat cat)
+    {
+        if (_wi == kBlockEvents) {
+            _wi = 0;
+            if (++_wb == _nBlocks)
+                _wb = 0;
+        }
+        if (_wb == _blocks.size())
+            _blocks.push_back(std::make_unique<Block>());
+        TraceEvent &ev = (*_blocks[_wb])[_wi++];
+        if (_count == capacity()) {
+            ++_dropped;
+            ev = TraceEvent{};
+        } else {
+            ++_count;
+        }
+        ev.ph = ph;
+        ev.cat = static_cast<std::uint8_t>(
+            std::countr_zero(static_cast<std::uint32_t>(cat)));
+        return ev;
+    }
+
+    std::uint32_t _categories;
+    std::size_t _nBlocks;   ///< capacity in blocks
+    std::size_t _wb = 0;    ///< write block
+    std::size_t _wi = 0;    ///< write index within block
+    std::size_t _count = 0; ///< live events
+    std::uint64_t _dropped = 0;
+    std::vector<std::unique_ptr<Block>> _blocks;
+    std::vector<std::string> _strings;
+    std::unordered_map<std::string, std::uint32_t> _index;
+};
+
+} // namespace vip
+
+#endif // VIP_OBS_TRACER_HH

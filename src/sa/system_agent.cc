@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
+#include "sim/system.hh"
+
 namespace vip
 {
 
@@ -49,7 +53,25 @@ SystemAgent::transferAttempt(std::uint32_t bytes, Callback done,
     } else {
         _bytesRetransmitted += bytes;
     }
+    Tick ob_start = std::max(curTick(), _busyUntil);
     Tick delivered = occupy(bytes);
+    // The link-serialization window is [ob_start, _busyUntil]; the
+    // hop latency after it is propagation, not occupancy.
+    Tick ob_end = delivered - _cfg.hopLatency;
+    if (Tracer *tr = system().tracer();
+        tr && tr->enabled(TraceCat::Sa)) {
+        if (!_obsTrkLink) {
+            _obsTrkLink = tr->intern(name() + ".link");
+            _obsNmXfer = tr->intern("xfer");
+            _obsNmRetx = tr->intern("retransmit");
+        }
+        tr->complete(TraceCat::Sa, _obsTrkLink,
+                     attempt == 0 ? _obsNmXfer : _obsNmRetx,
+                     ob_start, ob_end, -1, -1, -1,
+                     static_cast<double>(bytes));
+    }
+    if (LatencyCollector *lc = system().latency())
+        lc->recordSaTransfer(ob_end > ob_start ? ob_end - ob_start : 0);
     schedule(delivered,
              [this, bytes, done = std::move(done), attempt]() mutable {
         // CRC over the payload is checked at the receiving end; a bad

@@ -93,6 +93,9 @@ class SystemAgent : public SimObject
     /** Fraction of elapsed time the link was busy. */
     double utilization() const;
 
+    /** Cumulative link-busy time (metrics sampler). */
+    Tick busyTicks() const { return _busyTicks; }
+
     stats::Group &statsGroup() { return _stats; }
 
     void finalize() override;
@@ -131,6 +134,11 @@ class SystemAgent : public SimObject
     std::uint64_t _bytesDelivered = 0;
     std::uint64_t _bytesInFlight = 0;
     std::uint64_t _bytesRetransmitted = 0;
+
+    // ---- observability (tracer string ids; never digested) ----
+    std::uint32_t _obsTrkLink = 0;
+    std::uint32_t _obsNmXfer = 0;
+    std::uint32_t _obsNmRetx = 0;
 
     stats::Group _stats;
     stats::Scalar _statMemXfers;

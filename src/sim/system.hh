@@ -22,6 +22,8 @@ namespace vip
 {
 
 class SimObject;
+class Tracer;
+class LatencyCollector;
 
 /** The root container of a simulation. */
 class System
@@ -61,9 +63,23 @@ class System
     /** True once run() was called at least once. */
     bool started() const { return _started; }
 
+    /**
+     * @{ Observability hooks (see src/obs/).  Both are optional and
+     * purely observational: a null pointer means "disabled", and
+     * emission sites reduce to one pointer test.  The System does not
+     * own either object; the Simulation wires them in before build.
+     */
+    Tracer *tracer() const { return _tracer; }
+    void setTracer(Tracer *t) { _tracer = t; }
+    LatencyCollector *latency() const { return _latency; }
+    void setLatencyCollector(LatencyCollector *c) { _latency = c; }
+    /** @} */
+
   private:
     EventQueue _eventq;
     Random _random;
+    Tracer *_tracer = nullptr;
+    LatencyCollector *_latency = nullptr;
     bool _started = false;
     std::vector<SimObject *> _objects;
     std::unordered_map<std::string, SimObject *> _byName;

@@ -14,7 +14,10 @@
  *           --digest-out b.dig
  *   vip_diverge a.dig b.dig
  *
- * Exit status: 0 identical, 1 diverged, 2 usage/load error.
+ * Exit status: 0 identical, 1 diverged, 2 usage/load error,
+ * 3 one stream is a strict prefix of the other (truncation — e.g. a
+ * run that aborted mid-way); the truncation point is reported as the
+ * divergence.
  */
 
 #include <cstdio>
@@ -35,7 +38,8 @@ usage()
         "usage: vip_diverge [-q] <a.dig> <b.dig>\n"
         "  compares two digest streams written by vip_sim"
         " --digest-out\n"
-        "  -q  only set the exit status (0 identical, 1 diverged)\n");
+        "  -q  only set the exit status (0 identical, 1 diverged,\n"
+        "      3 truncated: one stream is a prefix of the other)\n");
 }
 
 } // namespace
@@ -78,10 +82,10 @@ main(int argc, char **argv)
             return 0;
         }
         if (quiet)
-            return 1;
+            return d.truncated ? 3 : 1;
         if (d.truncated) {
             std::printf(
-                "diverged: stream lengths differ (%zu vs %zu "
+                "truncated: stream lengths differ (%zu vs %zu "
                 "records); first missing record #%zu",
                 a.records.size(), b.records.size(), d.record);
             if (!d.component.empty()) {
@@ -90,7 +94,7 @@ main(int argc, char **argv)
                             d.component.c_str());
             }
             std::printf("\n");
-            return 1;
+            return 3;
         }
         std::printf(
             "diverged at record #%zu: tick %llu (%.3f ms), "

@@ -8,7 +8,9 @@
  *
  *   vip_sim --workload W4 --config vip --seconds 0.5
  *   vip_sim --workload A5 --config baseline --ideal-memory
- *   vip_sim --workload W7 --config iptoip-fb --trace out.csv
+ *   vip_sim --workload W7 --config iptoip-fb --frame-csv out.csv
+ *   vip_sim --workload W4 --config vip --trace-out run.json \
+ *           --trace ip,frame,sched --metrics-out run.csv
  *   vip_sim --list
  */
 
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "core/simulation.hh"
+#include "obs/provenance.hh"
 
 namespace
 {
@@ -71,7 +74,16 @@ usage()
         "                               (for vip_diverge; implies\n"
         "                               --audit periodic:1 if off)\n"
         "  --stats                      dump component statistics\n"
-        "  --trace <file.csv>           write the per-frame trace\n"
+        "  --frame-csv <file>           write the per-frame CSV trace\n"
+        "  --trace-out <file>           write a Chrome/Perfetto\n"
+        "                               trace_event JSON of the run\n"
+        "  --trace <cat,...>            categories to record: ip,\n"
+        "                               frame, sa, dram, cpu, sched,\n"
+        "                               fault, power (default all)\n"
+        "  --trace-buffer <events>      trace ring capacity\n"
+        "                               (default 524288, drop-oldest)\n"
+        "  --metrics-out <file>         periodic metrics CSV\n"
+        "  --metrics-interval-ms <ms>   sampling period (default 1)\n"
         "  --list                       list workloads and exit\n");
 }
 
@@ -162,6 +174,31 @@ report(const vip::RunStats &s)
                 s.fracTimeAbove80PctBw * 100.0);
     std::printf("system agent: %.1f%% utilized\n",
                 s.saUtilization * 100.0);
+    const auto &L = s.latency;
+    if (L.endToEnd.count > 0) {
+        auto row = [](const char *nm,
+                      const vip::LatencyBreakdown &b) {
+            if (b.count == 0)
+                return;
+            std::printf("  %-8s %8.3f %8.3f %8.3f %8.3f  (n=%llu)\n",
+                        nm, b.p50Ms, b.p95Ms, b.p99Ms, b.maxMs,
+                        static_cast<unsigned long long>(b.count));
+        };
+        std::printf("latency breakdown (p50/p95/p99/max ms):\n");
+        row("e2e", L.endToEnd);
+        row("transit", L.transit);
+        row("sa-xfer", L.saTransfer);
+        row("dram", L.dramBurst);
+        for (const auto &st : L.stages) {
+            std::printf("  stage %-4s total %.3f/%.3f/%.3f ms  "
+                        "mean wait %.3f  compute %.3f  blocked "
+                        "%.3f ms\n",
+                        st.stage.c_str(), st.total.p50Ms,
+                        st.total.p95Ms, st.total.p99Ms,
+                        st.wait.meanMs, st.compute.meanMs,
+                        st.blocked.meanMs);
+        }
+    }
     if (s.faults.injected() > 0) {
         const auto &f = s.faults;
         std::printf("faults      : %llu injected (hang %llu, "
@@ -223,6 +260,43 @@ report(const vip::RunStats &s)
                     static_cast<unsigned long long>(
                         ip.contextSwitches));
     }
+}
+
+/** Write the trace JSON and metrics CSV, when requested. */
+bool
+traceJson(vip::Simulation &sim, const vip::SocConfig &cfg,
+          const std::string &workload, const std::string &config)
+{
+    if (cfg.trace.enabled()) {
+        std::ofstream out(cfg.trace.out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         cfg.trace.out.c_str());
+            return false;
+        }
+        sim.tracer()->writeJson(
+            out, {{"workload", workload},
+                  {"config", config},
+                  {"seed", std::to_string(cfg.seed)}});
+        std::printf("trace written to %s (%zu events, %llu "
+                    "dropped)\n",
+                    cfg.trace.out.c_str(), sim.tracer()->size(),
+                    static_cast<unsigned long long>(
+                        sim.tracer()->dropped()));
+    }
+    if (cfg.metrics.enabled()) {
+        std::ofstream out(cfg.metrics.out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         cfg.metrics.out.c_str());
+            return false;
+        }
+        sim.metrics()->writeCsv(out);
+        std::printf("metrics written to %s (%zu rows, %zu probes)\n",
+                    cfg.metrics.out.c_str(), sim.metrics()->rows(),
+                    sim.metrics()->probes());
+    }
+    return true;
 }
 
 } // namespace
@@ -324,9 +398,37 @@ main(int argc, char **argv)
             digestFile = arg.substr(13);
         } else if (arg == "--stats") {
             wantStats = true;
-        } else if (arg == "--trace") {
+        } else if (arg == "--frame-csv") {
             traceFile = next();
             cfg.recordTrace = true;
+        } else if (arg == "--trace-out") {
+            cfg.trace.out = next();
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            cfg.trace.out = arg.substr(12);
+        } else if (arg == "--trace") {
+            cfg.trace.categories = vip::parseTraceCats(next());
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            cfg.trace.categories =
+                vip::parseTraceCats(arg.substr(8));
+        } else if (arg == "--trace-buffer") {
+            const std::string v = next();
+            char *end = nullptr;
+            cfg.trace.bufferEvents =
+                std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0'
+                || cfg.trace.bufferEvents == 0)
+                vip::fatal("--trace-buffer needs a positive event "
+                           "count, got '", v, "'");
+        } else if (arg == "--metrics-out") {
+            cfg.metrics.out = next();
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            cfg.metrics.out = arg.substr(14);
+        } else if (arg == "--metrics-interval-ms") {
+            const std::string v = next();
+            cfg.metrics.intervalMs = std::atof(v.c_str());
+            if (!(cfg.metrics.intervalMs > 0.0))
+                vip::fatal("--metrics-interval-ms needs a positive "
+                           "period, got '", v, "'");
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -369,13 +471,18 @@ main(int argc, char **argv)
             std::printf("trace written to %s (%zu frames)\n",
                         traceFile.c_str(), s.trace.size());
         }
+        if (!traceJson(sim, cfg, workload, config))
+            return 1;
         if (!digestFile.empty()) {
             std::ofstream out(digestFile);
             if (!out)
                 vip::fatal("cannot write ", digestFile);
-            sim.auditor().writeDigestStream(
-                out, {"workload=" + workload, "config=" + config,
-                      "seed=" + std::to_string(cfg.seed)});
+            std::vector<std::string> meta{
+                "workload=" + workload, "config=" + config,
+                "seed=" + std::to_string(cfg.seed)};
+            for (const auto &l : vip::provenanceMetaLines())
+                meta.push_back(l);
+            sim.auditor().writeDigestStream(out, meta);
             std::printf("digest stream written to %s (%zu records)\n",
                         digestFile.c_str(),
                         sim.auditor().stream().records.size());
