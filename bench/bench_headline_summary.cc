@@ -93,5 +93,10 @@ main(int argc, char **argv)
     std::printf("%-52s %9s %12.2f\n",
                 "VIP interrupt rate vs Baseline (x)", "<<1x",
                 irqVip / std::max(irqBase, 1e-9));
+
+    // Perf-regression gate: dump per-cell stats.json files for
+    // vip_stats_diff to compare against bench/baseline/.
+    dumpStatsCells({std::begin(kAllConfigs), std::end(kAllConfigs)},
+                   seconds);
     return 0;
 }

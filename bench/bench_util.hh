@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -83,14 +84,49 @@ auditConfig()
 }
 
 /**
- * Consume --audit flags ("--audit strict" or "--audit=strict") into
- * auditConfig() and return the first other argument (the benches'
- * positional output path), or nullptr.  CI uses this to rerun the
- * figure benches with strict invariant audits enabled.
+ * Directory for per-cell stats.json dumps (--stats-dir).  Empty
+ * (the default) disables them; CI points this at a scratch dir and
+ * gates the files against bench/baseline/ with vip_stats_diff.
+ */
+inline std::string &
+statsDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+/** Workloads to dump stats for (--stats-workloads, default W4). */
+inline std::vector<std::string> &
+statsWorkloads()
+{
+    static std::vector<std::string> wls{"W4"};
+    return wls;
+}
+
+/**
+ * Consume shared bench flags — "--audit <mode>" into auditConfig(),
+ * "--stats-dir <dir>" into statsDir(), "--stats-workloads <W4,W7>"
+ * into statsWorkloads() (every flag also accepts --flag=value) — and
+ * return the first other argument (the benches' positional output
+ * path), or nullptr.  CI uses --audit=strict for the invariant gate
+ * and --stats-dir for the perf-regression gate.
  */
 inline const char *
 parseBenchArgs(int argc, char **argv)
 {
+    auto splitList = [](const std::string &csv) {
+        std::vector<std::string> out;
+        std::size_t start = 0;
+        while (start <= csv.size()) {
+            auto comma = csv.find(',', start);
+            if (comma == std::string::npos)
+                comma = csv.size();
+            if (comma > start)
+                out.push_back(csv.substr(start, comma - start));
+            start = comma + 1;
+        }
+        return out;
+    };
     const char *positional = nullptr;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -98,6 +134,14 @@ parseBenchArgs(int argc, char **argv)
             auditConfig() = AuditConfig::parse(argv[++i]);
         } else if (arg.rfind("--audit=", 0) == 0) {
             auditConfig() = AuditConfig::parse(arg.substr(8));
+        } else if (arg == "--stats-dir" && i + 1 < argc) {
+            statsDir() = argv[++i];
+        } else if (arg.rfind("--stats-dir=", 0) == 0) {
+            statsDir() = arg.substr(12);
+        } else if (arg == "--stats-workloads" && i + 1 < argc) {
+            statsWorkloads() = splitList(argv[++i]);
+        } else if (arg.rfind("--stats-workloads=", 0) == 0) {
+            statsWorkloads() = splitList(arg.substr(18));
         } else if (!positional) {
             positional = argv[i];
         }
@@ -128,6 +172,53 @@ runCell(SystemConfig config, const Workload &wl, double seconds,
     cfg.seed = seed;
     cfg.audit = auditConfig();
     return Simulation::run(cfg, wl);
+}
+
+/**
+ * Re-run the (config, workload) cells selected by --stats-workloads
+ * and write each run's stats registry to
+ * <statsDir()>/<config>-<workload>.stats.json — the files the CI
+ * perf-regression gate diffs against bench/baseline/.  No-op unless
+ * --stats-dir was given.
+ */
+inline void
+dumpStatsCells(const std::vector<SystemConfig> &configs, double seconds)
+{
+    if (statsDir().empty())
+        return;
+    for (const std::string &wname : statsWorkloads()) {
+        Workload wl = wname.size() >= 2 && (wname[0] | 0x20) == 'a'
+                          ? WorkloadCatalog::single(
+                                std::atoi(wname.c_str() + 1))
+                          : WorkloadCatalog::byIndex(
+                                std::atoi(wname.c_str() + 1));
+        for (SystemConfig config : configs) {
+            SocConfig cfg;
+            cfg.system = config;
+            cfg.simSeconds = seconds;
+            cfg.audit = auditConfig();
+            Simulation sim(cfg, wl);
+            sim.run();
+            // CLI-style config names keep the filenames shell-safe
+            // ("IP-to-IP+FB" would glob badly).
+            const char *cname =
+                config == SystemConfig::Baseline     ? "baseline"
+                : config == SystemConfig::FrameBurst ? "frameburst"
+                : config == SystemConfig::IpToIp     ? "iptoip"
+                : config == SystemConfig::IpToIpBurst ? "iptoip-fb"
+                                                      : "vip";
+            std::string path = statsDir() + "/" + cname + "-" + wname +
+                               ".stats.json";
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                std::exit(1);
+            }
+            sim.writeStatsJson(out);
+            std::printf("stats: %s (%zu stats)\n", path.c_str(),
+                        sim.statsRegistry().size());
+        }
+    }
 }
 
 /** value/reference with a floor guarding zero references. */

@@ -103,6 +103,12 @@ class FlowRuntime : public Auditable
     std::size_t framesInFlight() const { return _frames.size(); }
     /** @} */
 
+    /** @{ QoS accounting (stats registry) */
+    std::uint64_t generatedFrames() const { return _generated; }
+    std::uint64_t violations() const { return _violations; }
+    std::uint64_t drops() const { return _drops; }
+    /** @} */
+
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;
     void stateDigest(StateDigest &d) const override;

@@ -1,11 +1,14 @@
 #include "core/simulation.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
+
+#include "obs/flight_recorder.hh"
 
 namespace vip
 {
@@ -25,9 +28,17 @@ Simulation::Simulation(SocConfig cfg, Workload workload)
         _tracer = std::make_unique<Tracer>(_cfg.trace.categories,
                                            _cfg.trace.bufferEvents);
         _sys.setTracer(_tracer.get());
+    } else if (!_cfg.postmortemDir.empty()) {
+        // The flight recorder wants a trace tail in its crash bundle:
+        // run a small all-category ring even when the user asked for
+        // no trace output.  Still digest-neutral (see tracer.hh).
+        _tracer = std::make_unique<Tracer>(kAllTraceCats,
+                                           std::size_t{32} << 10);
+        _sys.setTracer(_tracer.get());
     }
     build();
     attachAuditors();
+    buildStatsRegistry();
 }
 
 Simulation::~Simulation() = default;
@@ -166,6 +177,11 @@ Simulation::buildMetrics()
                            });
     }
 
+    // "(buffer)" is the test sentinel for "keep rows in memory only";
+    // any real path gets incremental streaming so a killed run still
+    // leaves a usable series behind.
+    if (!_cfg.metrics.out.empty() && _cfg.metrics.out != "(buffer)")
+        _metrics->streamTo(_cfg.metrics.out);
     _metrics->start();
 }
 
@@ -206,6 +222,147 @@ Simulation::attachAuditors()
                     _sa->bytesAccepted(),
                     "DRAM saw bytes that never crossed the SA");
     });
+}
+
+void
+Simulation::buildStatsRegistry()
+{
+    // Component-owned stats: every SimObject hangs its counters under
+    // its own prefix (ip.<kind>, dram, sa, cpu.<core>).
+    for (SimObject *obj : _sys.objects())
+        obj->registerStats(_registry);
+
+    _latency->registerStats(_registry);
+
+    // Per-flow QoS counters under flow.<id>.* — the dense flow id
+    // rather than the spec name, which embeds '#' and '.'.
+    for (const auto &fp : _flows) {
+        const FlowRuntime *f = fp.get();
+        std::string p = "flow." + std::to_string(f->id());
+        _registry.addExact(p + ".generated",
+                           "frames generated (" + f->spec().name + ")",
+                           "frames",
+                           [f] { return double(f->generatedFrames()); });
+        _registry.addExact(p + ".completed", "frames completed",
+                           "frames",
+                           [f] { return double(f->completedFrames()); });
+        _registry.addExact(p + ".violations", "QoS deadline misses",
+                           "frames",
+                           [f] { return double(f->violations()); });
+        _registry.addExact(p + ".drops", "frames dropped (never "
+                           "shown)", "frames",
+                           [f] { return double(f->drops()); });
+        _registry.addExact(p + ".frames_shed", "frames shed at the "
+                           "chain head", "frames",
+                           [f] { return double(f->shedFrames()); });
+        _registry.addExact(p + ".admitted", "1 when admission let "
+                           "the flow start", "bool",
+                           [f] { return f->admitted() ? 1.0 : 0.0; });
+        _registry.addExact(p + ".down_rated", "1 when admission "
+                           "halved the target FPS", "bool",
+                           [f] { return f->downRated() ? 1.0 : 0.0; });
+    }
+
+    // Overload-protection aggregates.
+    _registry.addExact("overload.flows_rejected", "flows refused by "
+                       "admission control", "flows", [this] {
+                           double n = 0;
+                           for (const auto &f : _flows)
+                               n += f->admitted() ? 0 : 1;
+                           return n;
+                       });
+    _registry.addExact("overload.flows_down_rated", "flows admitted "
+                       "at reduced FPS", "flows", [this] {
+                           double n = 0;
+                           for (const auto &f : _flows)
+                               n += f->downRated() ? 1 : 0;
+                           return n;
+                       });
+    _registry.addExact("overload.frames_shed", "frames shed across "
+                       "all flows", "frames", [this] {
+                           double n = 0;
+                           for (const auto &f : _flows)
+                               n += double(f->shedFrames());
+                           return n;
+                       });
+    _registry.addExact("overload.waiters", "chain acquisitions "
+                       "waiting at end of run", "",
+                       [this] { return double(_chains->waiters()); });
+
+    // Fault-injection outcome (all zeros without an injector, so the
+    // stats namespace is identical across configurations).
+    const FaultInjector *fi = _faults.get();
+    auto faultStat = [&](const char *leaf, const char *desc,
+                         auto getter) {
+        _registry.addExact(std::string("fault.") + leaf, desc, "",
+                           [fi, getter] {
+                               return fi ? getter(fi->stats()) : 0.0;
+                           });
+    };
+    faultStat("engine_hangs", "injected engine hangs",
+              [](const FaultStats &s) { return double(s.engineHangs); });
+    faultStat("corruptions", "injected sub-frame corruptions",
+              [](const FaultStats &s) { return double(s.corruptions); });
+    faultStat("transfer_errors", "injected SA CRC errors",
+              [](const FaultStats &s) {
+                  return double(s.transferErrors);
+              });
+    faultStat("ecc_correctable", "injected correctable ECC events",
+              [](const FaultStats &s) {
+                  return double(s.eccCorrectable);
+              });
+    faultStat("ecc_uncorrectable", "injected uncorrectable ECC "
+              "events",
+              [](const FaultStats &s) {
+                  return double(s.eccUncorrectable);
+              });
+    faultStat("watchdog_resets", "engine resets by watchdogs",
+              [](const FaultStats &s) {
+                  return double(s.watchdogResets);
+              });
+    faultStat("unit_retries", "work units recomputed",
+              [](const FaultStats &s) { return double(s.unitRetries); });
+    faultStat("transfer_retries", "SA retransmissions",
+              [](const FaultStats &s) {
+                  return double(s.transferRetries);
+              });
+    faultStat("frames_degraded", "frames past their retry budget",
+              [](const FaultStats &s) {
+                  return double(s.framesDegraded);
+              });
+    faultStat("recoveries", "units needing at least one retry",
+              [](const FaultStats &s) { return double(s.recoveries); });
+
+    // Energy by ledger category plus the platform total.
+    for (const std::string &cat : _ledger.categories()) {
+        _registry.addTiming("power." + cat + ".mj",
+                            cat + " energy", "mJ", [this, cat] {
+                                return _ledger.categoryNj(cat) * 1e-6;
+                            });
+    }
+    _registry.addTiming("power.total.mj", "platform energy", "mJ",
+                        [this] { return _ledger.totalNj() * 1e-6; });
+
+    // Kernel / audit bookkeeping.
+    _registry.addExact("sim.events_serviced", "event-queue callbacks "
+                       "run", "events", [this] {
+                           return double(_sys.eventq().servicedEvents());
+                       });
+    _registry.addTiming("sim.final_tick_ms", "simulated time at dump",
+                        "ms",
+                        [this] { return toMs(_sys.curTick()); });
+    _registry.addExact("audit.passes", "invariant audit passes",
+                       "",
+                       [this] { return double(_auditor.auditPasses()); });
+    _registry.addExact("audit.records", "digest-stream records", "",
+                       [this] {
+                           return double(
+                               _auditor.stream().records.size());
+                       });
+    _registry.addExact("audit.violations", "invariant violations "
+                       "collected", "", [this] {
+                           return double(_auditor.violations().size());
+                       });
 }
 
 void
@@ -326,27 +483,80 @@ Simulation::run()
     }
     _ran = true;
 
-    for (auto &f : _flows)
-        f->start();
-    if (_cfg.noProgressSec > 0.0) {
-        _lastRetired = 0;
-        _sys.eventq().scheduleIn(
-            fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
-            EventPriority::Teardown);
+    try {
+        for (auto &f : _flows)
+            f->start();
+        if (_cfg.noProgressSec > 0.0) {
+            _lastRetired = 0;
+            _sys.eventq().scheduleIn(
+                fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
+                EventPriority::Teardown);
+        }
+        if (_cfg.audit.periodic())
+            scheduleAudit();
+        // The sampler schedules real events (digest-visible), so it
+        // only exists when explicitly requested.
+        if (_cfg.metrics.enabled())
+            buildMetrics();
+        _sys.run(fromSec(_cfg.simSeconds));
+        _ledger.closeAll(_sys.curTick());
+        // Final audit pass under every enabled mode: catches
+        // teardown-time leaks that a periodic pass between frames
+        // cannot see.
+        if (_cfg.audit.enabled())
+            _auditor.runAudit(_sys.curTick());
+    } catch (const SimFatal &e) {
+        writePostmortem(e.what(), "fatal");
+        throw;
+    } catch (const SimPanic &e) {
+        writePostmortem(e.what(), "panic");
+        throw;
     }
-    if (_cfg.audit.periodic())
-        scheduleAudit();
-    // The sampler schedules real events (digest-visible), so it only
-    // exists when explicitly requested.
-    if (_cfg.metrics.enabled())
-        buildMetrics();
-    _sys.run(fromSec(_cfg.simSeconds));
-    _ledger.closeAll(_sys.curTick());
-    // Final audit pass under every enabled mode: catches teardown-time
-    // leaks that a periodic pass between frames cannot see.
-    if (_cfg.audit.enabled())
-        _auditor.runAudit(_sys.curTick());
     return collect(_cfg.simSeconds);
+}
+
+std::vector<std::pair<std::string, std::string>>
+Simulation::runMeta() const
+{
+    return {
+        { "config", systemConfigName(_cfg.system) },
+        { "workload", _wl.name },
+        { "seed", std::to_string(_cfg.seed) },
+        { "seconds", std::to_string(_cfg.simSeconds) },
+    };
+}
+
+void
+Simulation::writeStatsJson(std::ostream &os) const
+{
+    _registry.writeJson(os, runMeta());
+}
+
+void
+Simulation::writePostmortem(const std::string &reason,
+                            const char *kind) noexcept
+{
+    if (_cfg.postmortemDir.empty())
+        return;
+    try {
+        PostmortemInfo info;
+        info.reason = reason;
+        info.kind = kind;
+        info.tick = _sys.curTick();
+        // snapshotDigest() hashes component state directly, so it
+        // works even under --audit=off.
+        info.stateDigest = _auditor.snapshotDigest();
+        if (_faults)
+            info.faultPlan = _cfg.fault.describe();
+        info.meta = runMeta();
+        if (_metrics)
+            info.metricsPath = _metrics->streamPath();
+        writePostmortemBundle(_cfg.postmortemDir, info, &_registry,
+                              _tracer.get());
+    } catch (...) {
+        // The original error is what the user needs to see; a broken
+        // flight recorder must not replace it.
+    }
 }
 
 RunStats

@@ -30,6 +30,7 @@
 #include "fault/fault_injector.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
+#include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 
 namespace vip
@@ -65,6 +66,8 @@ class Simulation
     MetricsSampler *metrics() { return _metrics.get(); }
     /** Always-on per-frame latency decomposition. */
     LatencyCollector &latencyCollector() { return *_latency; }
+    /** The unified stats registry (always built, populated in ctor). */
+    StatRegistry &statsRegistry() { return _registry; }
     const SocConfig &config() const { return _cfg; }
     const Workload &workload() const { return _wl; }
     const std::vector<std::unique_ptr<FlowRuntime>> &flows() const
@@ -87,6 +90,13 @@ class Simulation
     void dumpStats(std::ostream &os);
 
     /**
+     * Write the unified stats registry as self-describing JSON
+     * (schemaVersion'd, provenance- and run-context-stamped); the
+     * format vip_stats_diff compares.  Call after run().
+     */
+    void writeStatsJson(std::ostream &os) const;
+
+    /**
      * Convenience: build + run in one call.
      */
     static RunStats run(SocConfig cfg, Workload workload);
@@ -95,8 +105,16 @@ class Simulation
     void build();
     void buildMetrics();
     void attachAuditors();
+    void buildStatsRegistry();
     void scheduleAudit();
     RunStats collect(double seconds);
+
+    /** Run-context pairs stamped into stats.json / crash bundles. */
+    std::vector<std::pair<std::string, std::string>> runMeta() const;
+
+    /** Flight recorder: dump a crash bundle to cfg.postmortemDir. */
+    void writePostmortem(const std::string &reason,
+                         const char *kind) noexcept;
 
     /** @{ no-progress guard */
     /** Total units of retired work (frames, sub-frames, jobs). */
@@ -114,6 +132,7 @@ class Simulation
     std::unique_ptr<LatencyCollector> _latency;
     std::unique_ptr<Tracer> _tracer;
     std::unique_ptr<MetricsSampler> _metrics;
+    StatRegistry _registry;
     Auditor _auditor;
     EnergyLedger _ledger;
     FrameAllocator _alloc;

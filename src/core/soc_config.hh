@@ -123,6 +123,24 @@ struct SocConfig
     MetricsConfig metrics{};
 
     /**
+     * Unified stats registry dump (--stats-out): after the run, every
+     * registered counter is written as self-describing JSON.  The
+     * registry itself is always built and purely observational, so
+     * setting this leaves state digests bit-identical.
+     */
+    std::string statsOut;
+
+    /**
+     * Postmortem flight recorder (--postmortem-dir): when the run
+     * dies (SimFatal/SimPanic, including the no-progress guard and
+     * strict-audit violations), a crash bundle — crash.json,
+     * stats.json, trace-tail.json — is written here before the error
+     * propagates.  Enables an internal trace ring when tracing is
+     * otherwise off (digest-neutral).
+     */
+    std::string postmortemDir;
+
+    /**
      * Fault-injection plan.  All probabilities default to zero, so a
      * plain config runs fault-free; a non-trivial plan instantiates a
      * FaultInjector shared by the IPs, the SA and the memory

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/system.hh"
 
@@ -268,6 +269,23 @@ CpuCore::finalize()
     _stateSince = now;
     _energy.close(now);
     _statUtil.close(now);
+}
+
+void
+CpuCore::registerStats(StatRegistry &r)
+{
+    // "soc.cpu.core0" -> "cpu.core0.*"
+    std::string p = "cpu." + name().substr(name().rfind('.') + 1);
+    r.addExact(p + ".instructions", "instructions retired", "",
+               [this] { return double(_instructions); });
+    r.addExact(p + ".interrupts", "interrupts serviced", "",
+               [this] { return double(_interrupts); });
+    r.addExact(p + ".dvfs_transitions", "DVFS steps taken (up+down)",
+               "", [this] { return double(_dvfsTransitions); });
+    r.addTiming(p + ".active_ms", "time executing tasks", "ms",
+                [this] { return toMs(_activeTicks); });
+    r.addTiming(p + ".sleep_ms", "time in the sleep state", "ms",
+                [this] { return toMs(sleepTicks()); });
 }
 
 void

@@ -117,6 +117,7 @@ class CpuCore : public ClockedObject
 
     void startup() override;
     void finalize() override;
+    void registerStats(StatRegistry &registry) override;
 
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;

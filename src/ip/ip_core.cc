@@ -1,10 +1,12 @@
 #include "ip/ip_core.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <utility>
 
 #include "obs/latency.hh"
+#include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/system.hh"
 
@@ -248,6 +250,61 @@ IpCore::finalize()
     accumulateState(curTick());
     _energy.close(curTick());
     _bufferEnergy.close(curTick());
+}
+
+void
+IpCore::registerStats(StatRegistry &r)
+{
+    // "VD" -> "ip.vd.*"
+    std::string p = "ip.";
+    for (const char *k = ipKindName(kind()); *k; ++k)
+        p += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(*k)));
+    r.addExact(p + ".jobs", "job-mode jobs completed", "jobs",
+               [this] { return double(_jobsCompleted); });
+    r.addExact(p + ".subframes", "stream-mode work units processed",
+               "units", [this] { return double(_subframes); });
+    r.addExact(p + ".frames_exited", "frames consumed at sink lanes",
+               "frames", [this] { return double(_framesExited); });
+    r.addExact(p + ".context_switches", "hardware context switches",
+               "", [this] { return double(_contextSwitches); });
+    r.addExact(p + ".bytes_processed", "input bytes consumed by "
+               "compute", "bytes",
+               [this] { return double(_bytesProcessed); });
+    r.addExact(p + ".bytes_spilled", "bytes detoured through DRAM by "
+               "the overflow path", "bytes",
+               [this] { return double(_bytesSpilled); });
+    r.addExact(p + ".lane_overflows", "reservations that overran a "
+               "lane (must stay 0)", "",
+               [this] { return double(_laneOverflows); });
+    r.addExact(p + ".credit_stalls", "producer pushes deferred for a "
+               "downstream credit", "",
+               [this] { return double(_creditStalls); });
+    r.addExact(p + ".credits_reserved", "input-buffer bytes reserved",
+               "bytes", [this] { return double(_creditsReserved); });
+    r.addExact(p + ".credits_returned", "input-buffer bytes returned",
+               "bytes", [this] { return double(_creditsReturned); });
+    r.addExact(p + ".watchdog_resets", "engine resets by the "
+               "watchdog", "",
+               [this] { return double(_watchdogResets); });
+    r.addExact(p + ".unit_retries", "work units retried after a "
+               "fault", "",
+               [this] { return double(_unitRetries); });
+    r.addExact(p + ".frames_degraded", "frames drained as passthrough "
+               "after retry exhaustion", "frames",
+               [this] { return double(_framesDegraded); });
+    r.addTiming(p + ".busy_ms", "time actively computing", "ms",
+                [this] { return toMs(_activeTicks); });
+    r.addTiming(p + ".stall_ms", "time stalled on memory", "ms",
+                [this] { return toMs(_stallTicks); });
+    r.addTiming(p + ".bp_stall_ms", "time backpressured on "
+                "downstream credits", "ms",
+                [this] { return toMs(_bpStallTicks); });
+    r.addTiming(p + ".utilization", "active / (active + stalled)",
+                "ratio", [this] { return utilization(); });
+    r.addTiming(p + ".duty_cycle", "busy fraction of elapsed time",
+                "ratio", [this] { return dutyCycle(); });
+    r.addAccumulator(p + ".job_latency_ms", "ms", _statJobLatencyMs);
 }
 
 std::string

@@ -255,6 +255,7 @@ class IpCore : public ClockedObject
     /** @} */
 
     void finalize() override;
+    void registerStats(StatRegistry &registry) override;
 
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;

@@ -1,6 +1,7 @@
 #include "mem/memory_controller.hh"
 
 #include "obs/latency.hh"
+#include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/system.hh"
 
@@ -306,14 +307,18 @@ MemoryController::trySchedule(std::uint32_t ch)
     if (!bank.open) {
         access += _cfg.tRCD;
         ++_rowMisses;
+        ++c.rowMisses;
         _energy.addDynamicNj(_cfg.power.activateNj);
     } else if (bank.row != row) {
         access += _cfg.tRP + _cfg.tRCD;
         ++_rowMisses;
+        ++c.rowMisses;
         _energy.addDynamicNj(_cfg.power.activateNj);
     } else {
         ++_rowHits;
+        ++c.rowHits;
     }
+    c.bytes += p.req.bytes;
     bank.open = true;
     bank.row = row;
 
@@ -374,6 +379,7 @@ MemoryController::trySchedule(std::uint32_t ch)
         Channel &cc = _channels[ch];
         cc.busy = false;
         ++_burstsCompleted;
+        ++cc.bursts;
         double busy = 0;
         for (const auto &c2 : _channels)
             busy += c2.busy ? 1.0 : 0.0;
@@ -430,6 +436,54 @@ MemoryController::finalize()
     _lpSince = now;
     _busyChannels.close(now);
     _energy.close(now);
+}
+
+void
+MemoryController::registerStats(StatRegistry &r)
+{
+    r.addExact("dram.bytes_read", "bytes read from DRAM", "bytes",
+               [this] { return double(_bytesRead); });
+    r.addExact("dram.bytes_written", "bytes written to DRAM", "bytes",
+               [this] { return double(_bytesWritten); });
+    r.addExact("dram.row_hits", "row-buffer hits", "bursts",
+               [this] { return double(_rowHits); });
+    r.addExact("dram.row_misses", "row-buffer misses", "bursts",
+               [this] { return double(_rowMisses); });
+    r.addExact("dram.ecc_corrected", "bursts with a corrected ECC "
+               "error", "bursts",
+               [this] { return double(_eccCorrected); });
+    r.addExact("dram.ecc_uncorrected", "bursts replayed for "
+               "uncorrectable ECC", "bursts",
+               [this] { return double(_eccUncorrected); });
+    r.addExact("dram.bursts_accepted", "bursts accepted into channel "
+               "queues", "bursts",
+               [this] { return double(_burstsAccepted); });
+    r.addExact("dram.bursts_completed", "bursts serviced to "
+               "completion", "bursts",
+               [this] { return double(_burstsCompleted); });
+    r.addExact("dram.lp_entries", "low-power state entries", "",
+               [this] { return double(_lpEntries); });
+    r.addTiming("dram.avg_bw_gbps", "average observed bandwidth",
+                "GB/s", [this] { return averageBandwidthGBps(); });
+    r.addTiming("dram.powerdown_ms", "time in power-down", "ms",
+                [this] { return toMs(_powerDownTicks); });
+    r.addTiming("dram.selfrefresh_ms", "time in self-refresh", "ms",
+                [this] { return toMs(_selfRefreshTicks); });
+    r.addAccumulator("dram.latency_ns", "ns", _latency);
+    r.addTimeWeighted("dram.busy_channels", "channels",
+                      _busyChannels);
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        const Channel *c = &_channels[i];
+        std::string p = "dram.ch" + std::to_string(i);
+        r.addExact(p + ".row_hits", "row-buffer hits", "bursts",
+                   [c] { return double(c->rowHits); });
+        r.addExact(p + ".row_misses", "row-buffer misses", "bursts",
+                   [c] { return double(c->rowMisses); });
+        r.addExact(p + ".bursts", "bursts serviced", "bursts",
+                   [c] { return double(c->bursts); });
+        r.addExact(p + ".bytes", "payload bytes serviced", "bytes",
+                   [c] { return double(c->bytes); });
+    }
 }
 
 void

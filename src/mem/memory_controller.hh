@@ -100,6 +100,7 @@ class MemoryController : public SimObject
 
     void startup() override;
     void finalize() override;
+    void registerStats(StatRegistry &registry) override;
 
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;
@@ -124,6 +125,13 @@ class MemoryController : public SimObject
         std::deque<Pending> queue;
         std::vector<Bank> banks;
         bool busy = false;
+
+        /** @{ per-channel accounting (stats registry, dram.ch<i>.*) */
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        std::uint64_t bursts = 0; ///< completed
+        std::uint64_t bytes = 0;  ///< serviced payload bytes
+        /** @} */
     };
 
     std::uint32_t channelOf(Addr addr) const;

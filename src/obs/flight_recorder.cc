@@ -1,0 +1,103 @@
+#include "obs/flight_recorder.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hh"
+#include "obs/provenance.hh"
+#include "obs/stat_registry.hh"
+#include "obs/tracer.hh"
+#include "sim/logging.hh"
+
+namespace vip
+{
+
+namespace
+{
+
+void
+writeCrashJson(std::ostream &os, const PostmortemInfo &info)
+{
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"kind\": \"vip-crash\",\n";
+    os << "  \"provenance\": {";
+    bool first = true;
+    for (const auto &[k, v] : provenanceFields()) {
+        os << (first ? "" : ", ") << '"' << k << "\": \"" << v << '"';
+        first = false;
+    }
+    os << "},\n";
+    os << "  \"run\": {";
+    first = true;
+    for (const auto &[k, v] : info.meta) {
+        os << (first ? "" : ", ") << '"' << k
+           << "\": " << json::quoted(v);
+        first = false;
+    }
+    os << "},\n";
+    os << "  \"crash\": {\n";
+    os << "    \"kind\": " << json::quoted(info.kind) << ",\n";
+    os << "    \"reason\": " << json::quoted(info.reason) << ",\n";
+    os << "    \"tick\": " << info.tick << ",\n";
+    os << "    \"stateDigest\": \"0x" << std::hex << info.stateDigest
+       << std::dec << "\",\n";
+    os << "    \"faultPlan\": " << json::quoted(info.faultPlan)
+       << ",\n";
+    os << "    \"metricsCsv\": " << json::quoted(info.metricsPath)
+       << "\n";
+    os << "  }\n";
+    os << "}\n";
+}
+
+} // namespace
+
+bool
+writePostmortemBundle(const std::string &dir,
+                      const PostmortemInfo &info,
+                      const StatRegistry *registry,
+                      const Tracer *tracer)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("postmortem: cannot create ", dir, ": ", ec.message());
+        return false;
+    }
+
+    bool ok = true;
+    auto emit = [&](const char *file, auto &&writer) {
+        std::string path = (fs::path(dir) / file).string();
+        std::ofstream os(path);
+        if (!os) {
+            warn("postmortem: cannot open ", path);
+            ok = false;
+            return;
+        }
+        writer(os);
+        os.flush();
+        if (!os) {
+            warn("postmortem: short write to ", path);
+            ok = false;
+        }
+    };
+
+    emit("crash.json",
+         [&](std::ostream &os) { writeCrashJson(os, info); });
+    if (registry) {
+        emit("stats.json", [&](std::ostream &os) {
+            registry->writeJson(os, info.meta);
+        });
+    }
+    if (tracer) {
+        emit("trace-tail.json", [&](std::ostream &os) {
+            tracer->writeJson(os, info.meta);
+        });
+    }
+    if (ok)
+        inform("postmortem: crash bundle written to ", dir);
+    return ok;
+}
+
+} // namespace vip

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Postmortem flight recorder: crash bundles for dead runs.
+ *
+ * When a run dies — SimFatal (config errors, the no-progress guard,
+ * watchdog exhaustion escalated by the fault layer), SimPanic
+ * (internal bugs), or a strict-audit violation — the last thing the
+ * Simulation does before rethrowing is write a crash bundle to
+ * `--postmortem-dir`:
+ *
+ *   <dir>/crash.json      what died, where, and the final state
+ *                         digest + active fault plan
+ *   <dir>/stats.json      full counter snapshot at time of death
+ *   <dir>/trace-tail.json last-N events from the trace ring
+ *                         (Chrome trace_event, loadable in Perfetto)
+ *
+ * The recorder itself must never make things worse: every write is
+ * best-effort, failures are warn()'d and swallowed, and nothing here
+ * runs on the simulation's hot path.
+ */
+
+#ifndef VIP_OBS_FLIGHT_RECORDER_HH
+#define VIP_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vip
+{
+
+class StatRegistry;
+class Tracer;
+
+/** Everything crash.json records about the death. */
+struct PostmortemInfo
+{
+    std::string reason; ///< the exception's what()
+    std::string kind;   ///< "fatal", "panic", or "audit"
+    Tick tick = 0;      ///< simulated time of death
+    std::uint64_t stateDigest = 0; ///< folded component digest
+    std::string faultPlan; ///< FaultPlan::describe(), "" when none
+    /** Run context: workload, config, seed, seconds. */
+    std::vector<std::pair<std::string, std::string>> meta;
+    /** Where the incremental metrics CSV lives, "" when disabled. */
+    std::string metricsPath;
+};
+
+/**
+ * Write a crash bundle into @p dir (created if needed).  @p registry
+ * and @p tracer may be null; the bundle then omits stats.json /
+ * trace-tail.json.  Returns true when every applicable file was
+ * written.  Never throws.
+ */
+bool writePostmortemBundle(const std::string &dir,
+                           const PostmortemInfo &info,
+                           const StatRegistry *registry,
+                           const Tracer *tracer);
+
+} // namespace vip
+
+#endif // VIP_OBS_FLIGHT_RECORDER_HH

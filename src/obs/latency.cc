@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/stat_registry.hh"
+
 namespace vip
 {
 
@@ -135,6 +137,19 @@ LatencyCollector::summarize() const
         out.stages.push_back(std::move(s));
     }
     return out;
+}
+
+void
+LatencyCollector::registerStats(StatRegistry &r) const
+{
+    r.addLogHistogramMs("latency.end_to_end",
+                        "frame generation -> sink", _endToEnd);
+    r.addLogHistogramMs("latency.transit", "first start -> sink",
+                        _transit);
+    r.addLogHistogramMs("latency.sa_transfer",
+                        "per-transfer SA link occupancy", _sa);
+    r.addLogHistogramMs("latency.dram_burst",
+                        "per-burst DRAM service time", _dram);
 }
 
 } // namespace vip

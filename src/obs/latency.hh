@@ -92,6 +92,8 @@ struct LatencySummary
     std::vector<StageLatency> stages;
 };
 
+class StatRegistry;
+
 class LatencyCollector
 {
   public:
@@ -102,6 +104,14 @@ class LatencyCollector
     void recordDramBurst(Tick service);
 
     LatencySummary summarize() const;
+
+    /**
+     * Register the four run-level histograms under latency.*.  The
+     * per-stage map grows lazily as frames move, so stage breakdowns
+     * stay summarize()-only: their histograms have no stable address
+     * at registration time.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     struct StageHists

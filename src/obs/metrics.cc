@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <cstdio>
+#include <fstream>
 #include <ostream>
 
 #include "obs/provenance.hh"
@@ -16,6 +17,8 @@ MetricsSampler::MetricsSampler(System &sys, Tick interval)
     vip_assert(interval > 0, "metrics interval must be positive");
 }
 
+MetricsSampler::~MetricsSampler() = default;
+
 void
 MetricsSampler::addProbe(std::string name, Probe fn)
 {
@@ -23,8 +26,25 @@ MetricsSampler::addProbe(std::string name, Probe fn)
 }
 
 void
+MetricsSampler::streamTo(std::string path)
+{
+    _path = std::move(path);
+}
+
+void
 MetricsSampler::start()
 {
+    if (!_path.empty()) {
+        _stream = std::make_unique<std::ofstream>(_path);
+        if (!*_stream) {
+            warn("metrics: cannot open ", _path,
+                 "; falling back to in-memory only");
+            _stream.reset();
+        } else {
+            writeHeader(*_stream);
+            _stream->flush();
+        }
+    }
     _sys.eventq().scheduleIn(
         _interval, [this] { sampleNow(); }, EventPriority::Stats);
 }
@@ -35,12 +55,18 @@ MetricsSampler::sampleNow()
     _ticks.push_back(_sys.curTick());
     for (const auto &[name, fn] : _probes)
         _data.push_back(fn());
+    if (_stream) {
+        // One row per flush: a killed run loses at most the sample
+        // being taken when the axe fell.
+        writeRow(*_stream, _ticks.size() - 1);
+        _stream->flush();
+    }
     _sys.eventq().scheduleIn(
         _interval, [this] { sampleNow(); }, EventPriority::Stats);
 }
 
 void
-MetricsSampler::writeCsv(std::ostream &os) const
+MetricsSampler::writeHeader(std::ostream &os) const
 {
     os << "# vip-metrics v1\n";
     for (const auto &line : provenanceMetaLines())
@@ -50,17 +76,28 @@ MetricsSampler::writeCsv(std::ostream &os) const
     for (const auto &[name, fn] : _probes)
         os << "," << name;
     os << "\n";
+}
+
+void
+MetricsSampler::writeRow(std::ostream &os, std::size_t r) const
+{
     char buf[48];
-    for (std::size_t r = 0; r < _ticks.size(); ++r) {
-        std::snprintf(buf, sizeof(buf), "%.6f", toMs(_ticks[r]));
-        os << buf;
-        for (std::size_t c = 0; c < _probes.size(); ++c) {
-            std::snprintf(buf, sizeof(buf), "%.6g",
-                          _data[r * _probes.size() + c]);
-            os << "," << buf;
-        }
-        os << "\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", toMs(_ticks[r]));
+    os << buf;
+    for (std::size_t c = 0; c < _probes.size(); ++c) {
+        std::snprintf(buf, sizeof(buf), "%.6g",
+                      _data[r * _probes.size() + c]);
+        os << "," << buf;
     }
+    os << "\n";
+}
+
+void
+MetricsSampler::writeCsv(std::ostream &os) const
+{
+    writeHeader(os);
+    for (std::size_t r = 0; r < _ticks.size(); ++r)
+        writeRow(os, r);
 }
 
 } // namespace vip

@@ -7,6 +7,11 @@
  * and dumps the time series as CSV.  Sampling runs at
  * EventPriority::Stats so each row observes post-update state.
  *
+ * With streamTo() set, every sampled row is also appended (and
+ * flushed) to the output file as it is taken, so the series survives
+ * a run killed by the no-progress guard or a SimFatal — the flight
+ * recorder points at this file from its crash bundle.
+ *
  * Unlike the Tracer, the sampler *does* schedule events, which
  * perturbs the event queue's scheduling digest — so it is only
  * constructed when --metrics-out is given.
@@ -17,6 +22,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,9 +39,17 @@ class MetricsSampler
     using Probe = std::function<double()>;
 
     MetricsSampler(System &sys, Tick interval);
+    ~MetricsSampler();
 
     /** Register a named probe; call before start(). */
     void addProbe(std::string name, Probe fn);
+
+    /**
+     * Stream rows incrementally to @p path: the header is written at
+     * start(), each sampled row is appended and flushed immediately.
+     * Call before start().
+     */
+    void streamTo(std::string path);
 
     /** Schedule the first sample one interval from now. */
     void start();
@@ -43,21 +57,29 @@ class MetricsSampler
     std::size_t rows() const { return _ticks.size(); }
     std::size_t probes() const { return _probes.size(); }
     Tick interval() const { return _interval; }
+    const std::string &streamPath() const { return _path; }
+    /** True once start() opened the incremental stream. */
+    bool streaming() const { return _stream != nullptr; }
 
     /**
-     * Write the time series as CSV: '#'-prefixed provenance header,
-     * one column per probe, one row per sample.
+     * Write the full time series as CSV: '#'-prefixed provenance
+     * header, one column per probe, one row per sample.  Redundant
+     * when streamTo() is active (the file already has every row).
      */
     void writeCsv(std::ostream &os) const;
 
   private:
     void sampleNow();
+    void writeHeader(std::ostream &os) const;
+    void writeRow(std::ostream &os, std::size_t r) const;
 
     System &_sys;
     Tick _interval;
     std::vector<std::pair<std::string, Probe>> _probes;
     std::vector<Tick> _ticks;
     std::vector<double> _data; ///< rows() * probes(), row-major
+    std::string _path;
+    std::unique_ptr<std::ofstream> _stream;
 };
 
 } // namespace vip

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/latency.hh"
+#include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/system.hh"
 
@@ -134,6 +135,32 @@ void
 SystemAgent::finalize()
 {
     _energy.close(curTick());
+}
+
+void
+SystemAgent::registerStats(StatRegistry &r)
+{
+    r.addExact("sa.bytes_moved", "payload bytes serialized on the "
+               "link (incl. retransmissions)", "bytes",
+               [this] { return double(_bytesMoved); });
+    r.addExact("sa.bytes_forwarded", "IP-to-IP peer-transfer bytes",
+               "bytes", [this] { return double(_peerBytes); });
+    r.addExact("sa.bytes_accepted", "payload bytes handed to the SA",
+               "bytes", [this] { return double(_bytesAccepted); });
+    r.addExact("sa.bytes_delivered", "payload bytes delivered",
+               "bytes", [this] { return double(_bytesDelivered); });
+    r.addExact("sa.bytes_retransmitted", "bytes re-serialized by CRC "
+               "retransmissions", "bytes",
+               [this] { return double(_bytesRetransmitted); });
+    r.addExact("sa.signals", "low-bandwidth signals delivered", "",
+               [this] { return double(_signals); });
+    r.addExact("sa.transfer_retries", "CRC-failed crossings "
+               "retransmitted", "",
+               [this] { return double(_xferRetries); });
+    r.addTiming("sa.busy_ms", "link-busy time", "ms",
+                [this] { return toMs(_busyTicks); });
+    r.addTiming("sa.utilization", "fraction of time the link was "
+                "busy", "ratio", [this] { return utilization(); });
 }
 
 void

@@ -99,6 +99,7 @@ class SystemAgent : public SimObject
     stats::Group &statsGroup() { return _stats; }
 
     void finalize() override;
+    void registerStats(StatRegistry &registry) override;
 
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;

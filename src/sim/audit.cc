@@ -135,6 +135,19 @@ Auditor::runAudit(Tick now)
 }
 
 std::uint64_t
+Auditor::snapshotDigest() const
+{
+    StateDigest d;
+    for (const auto &[name, comp] : _components) {
+        d.add(name);
+        StateDigest c;
+        comp->stateDigest(c);
+        d.add(c.value());
+    }
+    return d.value();
+}
+
+std::uint64_t
 Auditor::streamDigest() const
 {
     StateDigest d;

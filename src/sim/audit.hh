@@ -271,6 +271,15 @@ class Auditor
     std::uint64_t streamDigest() const;
 
     /**
+     * Fold every attached component's current state digest into one
+     * value, without recording a stream entry or running invariant
+     * checks.  Used by the flight recorder to stamp crash bundles
+     * with the platform's state at the moment of death — works even
+     * under --audit=off.
+     */
+    std::uint64_t snapshotDigest() const;
+
+    /**
      * Write the stream as text: '#'-comment header (schema, optional
      * user metadata lines), then one "tick component hex-digest" line
      * per record.

@@ -19,6 +19,7 @@
 namespace vip
 {
 
+class StatRegistry;
 class System;
 
 /** Base class for all named simulation components. */
@@ -63,6 +64,19 @@ class SimObject : public Auditable
      * in-progress accounting (e.g. energy integration) into stats.
      */
     virtual void finalize() {}
+
+    /**
+     * Register this component's counters with the unified stats
+     * registry (dotted paths, units, descriptions; see
+     * obs/stat_registry.hh).  Called once after the platform is
+     * built; registered getters must stay valid for the component's
+     * lifetime.  Purely observational — implementations must not
+     * schedule events or touch architectural state.
+     */
+    virtual void registerStats(StatRegistry &registry)
+    {
+        (void)registry;
+    }
 
   private:
     System &_system;

@@ -169,7 +169,14 @@ class TimeWeighted : public Stat
     Tick _last = 0;
 };
 
-/** Sample accumulator: count/min/max/mean/stddev. */
+/**
+ * Sample accumulator: count/min/max/mean/stddev.
+ *
+ * Variance uses Welford's online update rather than the naive
+ * sum-of-squares form: E[x²]−E[x]² cancels catastrophically when the
+ * mean dwarfs the spread (constant inputs reported nonzero stddev;
+ * large-offset samples lost all variance precision).
+ */
 class Accumulator : public Stat
 {
   public:
@@ -180,7 +187,9 @@ class Accumulator : public Stat
     {
         ++_n;
         _sum += v;
-        _sumSq += v * v;
+        double delta = v - _meanRun;
+        _meanRun += delta / static_cast<double>(_n);
+        _m2 += delta * (v - _meanRun);
         if (_n == 1 || v < _min)
             _min = v;
         if (_n == 1 || v > _max)
@@ -189,7 +198,7 @@ class Accumulator : public Stat
 
     std::uint64_t count() const { return _n; }
     double sum() const { return _sum; }
-    double mean() const { return _n ? _sum / _n : 0.0; }
+    double mean() const { return _n ? _meanRun : 0.0; }
     double min() const { return _n ? _min : 0.0; }
     double max() const { return _n ? _max : 0.0; }
 
@@ -198,8 +207,7 @@ class Accumulator : public Stat
     {
         if (_n < 2)
             return 0.0;
-        double m = mean();
-        double var = _sumSq / _n - m * m;
+        double var = _m2 / static_cast<double>(_n);
         return var > 0.0 ? std::sqrt(var) : 0.0;
     }
 
@@ -209,13 +217,14 @@ class Accumulator : public Stat
     reset() override
     {
         _n = 0;
-        _sum = _sumSq = _min = _max = 0.0;
+        _sum = _meanRun = _m2 = _min = _max = 0.0;
     }
 
   private:
     std::uint64_t _n = 0;
     double _sum = 0.0;
-    double _sumSq = 0.0;
+    double _meanRun = 0.0; ///< running mean (Welford)
+    double _m2 = 0.0;      ///< sum of squared deviations from mean
     double _min = 0.0;
     double _max = 0.0;
 };

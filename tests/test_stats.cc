@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "obs/latency.hh"
 #include "stats/stats.hh"
 
 namespace vip
@@ -89,6 +90,52 @@ TEST(Accumulator, EmptyIsZero)
     EXPECT_DOUBLE_EQ(a.min(), 0.0);
 }
 
+TEST(Accumulator, ConstantInputsHaveZeroStddev)
+{
+    // The naive E[x^2]-E[x]^2 form reports nonzero stddev here from
+    // catastrophic cancellation; Welford's update must not.
+    Group g("t");
+    Accumulator a(g, "lat", "latency");
+    for (int i = 0; i < 1000; ++i)
+        a.sample(1e9 + 0.1);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 1e9 + 0.1);
+}
+
+TEST(Accumulator, VarianceSurvivesLargeOffset)
+{
+    // Small spread on a huge mean: the double sum-of-squares form
+    // loses all variance bits (1e18 + 1 == 1e18); Welford keeps them.
+    Group g("t");
+    Accumulator a(g, "lat", "latency");
+    for (double v : {1e9, 1e9 + 1.0, 1e9 + 2.0})
+        a.sample(v);
+    EXPECT_NEAR(a.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), 1e9);
+    EXPECT_DOUBLE_EQ(a.max(), 1e9 + 2.0);
+}
+
+TEST(Accumulator, SingleSampleStddevIsZero)
+{
+    Group g("t");
+    Accumulator a(g, "lat", "latency");
+    a.sample(42.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+}
+
+TEST(TimeWeighted, ZeroElapsedReportsCurrent)
+{
+    // close() at the same tick as set(): no time has passed, so the
+    // average degrades to the only value ever seen, not 0/0.
+    Group g("t");
+    TimeWeighted w(g, "u", "util");
+    w.set(3.0, 0);
+    w.close(0);
+    EXPECT_DOUBLE_EQ(w.average(), 3.0);
+    EXPECT_DOUBLE_EQ(w.timeAbove(), 0.0);
+}
+
 TEST(Histogram, BinPlacementAndFractions)
 {
     Group g("t");
@@ -114,6 +161,48 @@ TEST(Histogram, ClampsOutOfRangeSamples)
     h.sample(50.0);
     EXPECT_EQ(h.binCount(0), 1u);
     EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, RangeEdgesLandInEndBins)
+{
+    // Exactly lo goes to the first bin, exactly hi to the last; the
+    // bin arithmetic must not index one past the end at v == hi.
+    Group g("t");
+    Histogram h(g, "h", "hist", 0.0, 10.0, 5);
+    h.sample(0.0);
+    h.sample(10.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LogHistogram, EmptyPercentilesAreZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50.0), Tick{0});
+    EXPECT_EQ(h.percentile(99.0), Tick{0});
+    EXPECT_EQ(h.min(), Tick{0});
+    EXPECT_EQ(h.max(), Tick{0});
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, PercentilesBracketSamples)
+{
+    LogHistogram h;
+    for (Tick t = 1; t <= 100; ++t)
+        h.sample(t * 1000);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.min(), Tick{1000});
+    EXPECT_EQ(h.max(), Tick{100000});
+    // Log-linear buckets: the percentile is a bucket midpoint, so it
+    // is approximate but must stay within the sampled range and be
+    // monotone in p.
+    Tick p50 = h.percentile(50.0);
+    Tick p99 = h.percentile(99.0);
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max() * 2);
+    EXPECT_LE(p50, p99);
 }
 
 TEST(Histogram, WeightedSamples)

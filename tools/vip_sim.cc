@@ -83,7 +83,15 @@ usage()
         "  --trace-buffer <events>      trace ring capacity\n"
         "                               (default 524288, drop-oldest)\n"
         "  --metrics-out <file>         periodic metrics CSV\n"
+        "                               (streamed row-by-row; survives\n"
+        "                               a killed run)\n"
         "  --metrics-interval-ms <ms>   sampling period (default 1)\n"
+        "  --stats-out <file>           write every registered counter\n"
+        "                               as self-describing JSON (the\n"
+        "                               format vip_stats_diff reads)\n"
+        "  --postmortem-dir <dir>       on a fatal error write a crash\n"
+        "                               bundle (crash.json, stats.json,\n"
+        "                               trace-tail.json) there\n"
         "  --list                       list workloads and exit\n");
 }
 
@@ -285,13 +293,17 @@ traceJson(vip::Simulation &sim, const vip::SocConfig &cfg,
                         sim.tracer()->dropped()));
     }
     if (cfg.metrics.enabled()) {
-        std::ofstream out(cfg.metrics.out);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         cfg.metrics.out.c_str());
-            return false;
+        // Rows were streamed (and flushed) as they were sampled;
+        // rewrite only if the incremental stream could not be opened.
+        if (!sim.metrics()->streaming()) {
+            std::ofstream out(cfg.metrics.out);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             cfg.metrics.out.c_str());
+                return false;
+            }
+            sim.metrics()->writeCsv(out);
         }
-        sim.metrics()->writeCsv(out);
         std::printf("metrics written to %s (%zu rows, %zu probes)\n",
                     cfg.metrics.out.c_str(), sim.metrics()->rows(),
                     sim.metrics()->probes());
@@ -423,6 +435,14 @@ main(int argc, char **argv)
             cfg.metrics.out = next();
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             cfg.metrics.out = arg.substr(14);
+        } else if (arg == "--stats-out") {
+            cfg.statsOut = next();
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            cfg.statsOut = arg.substr(12);
+        } else if (arg == "--postmortem-dir") {
+            cfg.postmortemDir = next();
+        } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+            cfg.postmortemDir = arg.substr(17);
         } else if (arg == "--metrics-interval-ms") {
             const std::string v = next();
             cfg.metrics.intervalMs = std::atof(v.c_str());
@@ -465,6 +485,15 @@ main(int argc, char **argv)
         }
         if (wantStats)
             sim.dumpStats(std::cout);
+        if (!cfg.statsOut.empty()) {
+            std::ofstream out(cfg.statsOut);
+            if (!out)
+                vip::fatal("cannot write ", cfg.statsOut);
+            sim.writeStatsJson(out);
+            std::printf("stats written to %s (%zu stats)\n",
+                        cfg.statsOut.c_str(),
+                        sim.statsRegistry().size());
+        }
         if (!traceFile.empty()) {
             std::ofstream out(traceFile);
             s.trace.dumpCsv(out);

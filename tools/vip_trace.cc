@@ -4,11 +4,20 @@
  *
  *   vip_trace --check run.json          structural validation
  *   vip_trace --summary run.json        latency-breakdown summary
+ *   vip_trace --summary crash-bundle/   postmortem: crash reason,
+ *                                       counter snapshot, trace tail
+ *   vip_trace --summary --stats s.json run.json   add the counter
+ *                                       snapshot from a stats dump
  *   vip_trace --list-frames run.json    every frame lifecycle
  *   vip_trace --frame 0:12 run.json     one frame in depth: its
  *                                       lifecycle marks, per-stage
  *                                       compute, and the top stall
  *                                       contributors in its window
+ *
+ * A positional argument naming a directory is treated as a crash
+ * bundle from --postmortem-dir: the trace is read from its
+ * trace-tail.json, and --summary also prints crash.json and the
+ * stats.json counter snapshot.
  *
  * Exit codes: 0 ok, 1 validation errors / frame not found, 2 usage
  * or unparseable input.
@@ -17,11 +26,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
+#include "obs/stats_io.hh"
 #include "obs/trace_check.hh"
 #include "sim/logging.hh"
 
@@ -32,9 +44,13 @@ void
 usage()
 {
     std::printf(
-        "usage: vip_trace <mode> <trace.json>\n"
+        "usage: vip_trace <mode> <trace.json | crash-bundle-dir>\n"
         "  --check              validate span nesting/async pairing\n"
-        "  --summary            latency breakdown from spans\n"
+        "  --summary            latency breakdown from spans; for a\n"
+        "                       crash bundle also the crash reason and\n"
+        "                       the counter snapshot\n"
+        "  --stats <file>       with --summary: print this stats.json\n"
+        "                       counter snapshot too\n"
         "  --list-frames        list reconstructed frame lifecycles\n"
         "  --frame <flow>:<k>   one frame: lifecycle, per-stage\n"
         "                       compute, top stall contributors\n");
@@ -200,6 +216,55 @@ doSummary(const vip::TraceFile &f)
     return 0;
 }
 
+/** Print crash.json from a postmortem bundle. */
+void
+printCrash(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return;
+    auto root = vip::json::parse(in);
+    const auto *crash = root.find("crash");
+    if (!crash)
+        return;
+    std::printf("crash       : %s at tick %.0f (digest %s)\n",
+                vip::json::strField(*crash, "kind").c_str(),
+                vip::json::numField(*crash, "tick"),
+                vip::json::strField(*crash, "stateDigest").c_str());
+    std::printf("reason      : %s\n",
+                vip::json::strField(*crash, "reason").c_str());
+    const auto *plan = crash->find("faultPlan");
+    if (plan && !plan->str.empty())
+        std::printf("fault plan  : %s\n", plan->str.c_str());
+    const auto *csv = crash->find("metricsCsv");
+    if (csv && !csv->str.empty())
+        std::printf("metrics csv : %s\n", csv->str.c_str());
+    if (const auto *run = root.find("run")) {
+        std::printf("run         :");
+        for (const auto &[k, v] : run->obj)
+            std::printf(" %s=%s", k.c_str(), v.str.c_str());
+        std::printf("\n");
+    }
+}
+
+/** Print the counter snapshot from a stats.json dump. */
+bool
+printStats(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return false;
+    }
+    auto f = vip::parseStatsJson(in);
+    std::printf("counter snapshot (%zu stats):\n", f.stats.size());
+    for (const auto &s : f.stats) {
+        std::printf("  %-36s %14.9g %s\n", s.path.c_str(), s.value,
+                    s.unit.c_str());
+    }
+    return true;
+}
+
 int
 doListFrames(const vip::TraceFile &f)
 {
@@ -325,7 +390,7 @@ doFrame(const vip::TraceFile &f, const std::string &spec)
 int
 main(int argc, char **argv)
 {
-    std::string mode, frameSpec, file;
+    std::string mode, frameSpec, file, statsFile;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--check" || arg == "--summary" ||
@@ -338,6 +403,14 @@ main(int argc, char **argv)
                 return 2;
             }
             frameSpec = argv[++i];
+        } else if (arg == "--stats") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            statsFile = argv[++i];
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            statsFile = arg.substr(8);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -354,6 +427,17 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // A directory is a crash bundle from --postmortem-dir.
+    std::string crashFile;
+    if (std::filesystem::is_directory(file)) {
+        auto dir = std::filesystem::path(file);
+        crashFile = (dir / "crash.json").string();
+        if (statsFile.empty() &&
+            std::filesystem::exists(dir / "stats.json"))
+            statsFile = (dir / "stats.json").string();
+        file = (dir / "trace-tail.json").string();
+    }
+
     std::ifstream in(file);
     if (!in) {
         std::fprintf(stderr, "cannot read %s\n", file.c_str());
@@ -363,8 +447,14 @@ main(int argc, char **argv)
         auto f = vip::parseTraceJson(in);
         if (mode == "--check")
             return doCheck(f);
-        if (mode == "--summary")
-            return doSummary(f);
+        if (mode == "--summary") {
+            if (!crashFile.empty())
+                printCrash(crashFile);
+            int rc = doSummary(f);
+            if (!statsFile.empty() && !printStats(statsFile))
+                rc = 2;
+            return rc;
+        }
         if (mode == "--list-frames")
             return doListFrames(f);
         return doFrame(f, frameSpec);
