@@ -323,4 +323,85 @@ ChainManager::stateDigest(StateDigest &d) const
     }
 }
 
+void
+ChainManager::saveState(SnapshotWriter &w) const
+{
+    vip_assert(_waiters.empty(),
+               "checkpointing with chain acquisitions queued");
+    w.u32(static_cast<std::uint32_t>(_chains.size()));
+    for (const Chain &c : _chains) {
+        w.u64(static_cast<std::uint64_t>(c.flow));
+        w.b(c.isBound);
+        w.b(c.persistent);
+        w.u32(static_cast<std::uint32_t>(c.lanes.size()));
+        for (int lane : c.lanes)
+            w.i64(lane);
+    }
+    // The admission ledger accumulates doubles in call order, so the
+    // values are not reproducible by replaying recordAdmission();
+    // store the exact bits keyed by IP name, sorted for stability.
+    std::vector<std::pair<std::string, double>> loads;
+    loads.reserve(_ipLoad.size());
+    for (const auto &[ip, load] : _ipLoad)
+        loads.emplace_back(ip->name(), load);
+    std::sort(loads.begin(), loads.end());
+    w.u32(static_cast<std::uint32_t>(loads.size()));
+    for (const auto &[name, load] : loads) {
+        w.str(name);
+        w.d(load);
+    }
+}
+
+void
+ChainManager::loadState(SnapshotReader &r,
+                        const std::function<ChainId(FlowId)> &recreate,
+                        const std::function<IpCore *(const std::string &)>
+                            &ip_by_name)
+{
+    vip_assert(_chains.empty(),
+               "restoring into a non-empty chain manager");
+    std::uint32_t nChains = r.u32();
+    for (std::uint32_t i = 0; i < nChains; ++i) {
+        FlowId flow = static_cast<FlowId>(r.u64());
+        bool isBound = r.b();
+        bool persistent = r.b();
+        ChainId id = recreate(flow);
+        if (id != i)
+            fatal("chain restore out of order: flow ", flow,
+                  " recreated chain ", id, ", snapshot expects ", i);
+        Chain &c = _chains.at(id);
+        std::uint32_t nLanes = r.u32();
+        if (nLanes != c.lanes.size())
+            fatal("chain ", id, ": snapshot has ", nLanes,
+                  " stages, flow rebuilds ", c.lanes.size(),
+                  " (config mismatch)");
+        for (std::uint32_t j = 0; j < nLanes; ++j)
+            c.lanes[j] = static_cast<int>(r.i64());
+        c.isBound = isBound;
+        c.persistent = persistent;
+        if (!c.isBound)
+            continue;
+        // Rewire the stages exactly as tryBind() did, against the
+        // lane bindings the IPs restored in their own sections.
+        const std::size_t n = c.ips.size();
+        for (std::size_t s = 0; s + 1 < n; ++s) {
+            c.ips[s]->connectLane(c.lanes[s], c.ips[s + 1],
+                                  c.lanes[s + 1]);
+        }
+        c.ips[n - 1]->makeLaneSink(c.lanes[n - 1], c.onExit);
+        if (c.onStart)
+            c.ips[0]->setLaneFrameStartCb(c.lanes[0], c.onStart);
+    }
+    std::uint32_t nLoads = r.u32();
+    for (std::uint32_t i = 0; i < nLoads; ++i) {
+        std::string name = r.str();
+        double load = r.d();
+        IpCore *ip = ip_by_name(name);
+        if (!ip)
+            fatal("admission ledger references unknown IP '", name,
+                  "' (config mismatch)");
+        _ipLoad[ip] = load;
+    }
+}
+
 } // namespace vip

@@ -142,6 +142,23 @@ class ChainManager : public Auditable
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /** @{ checkpoint serialization (driven by the Simulation).
+     *
+     * Chains hold continuation lambdas and IpCore pointers, so the
+     * snapshot stores only their POD identity (flow, binding, lane
+     * indices) in creation order plus the admission ledger by IP
+     * name.  loadState() re-creates every chain through @p recreate
+     * (the owning FlowRuntime re-issues its create() call, minting
+     * identical ids) and rewires bound chains exactly as tryBind()
+     * did, against lane bindings the IPs restored beforehand.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r,
+                   const std::function<ChainId(FlowId)> &recreate,
+                   const std::function<IpCore *(const std::string &)>
+                       &ip_by_name);
+    /** @} */
+
   private:
     struct Chain
     {

@@ -331,8 +331,6 @@ FlowRuntime::applyAdmission()
 void
 FlowRuntime::start()
 {
-    auto &eq = _p.sys->eventq();
-
     applyAdmission();
     if (_rejected)
         return;
@@ -365,22 +363,33 @@ FlowRuntime::start()
     if (_touch)
         scheduleNextInput();
 
+    armGen(0);
+}
+
+void
+FlowRuntime::armGen(std::uint64_t k)
+{
+    _genNextK = k;
+    _genEvent = _p.sys->eventq().schedule(
+        frameTick(k), [this, k] { dispatchGen(k); });
+}
+
+void
+FlowRuntime::dispatchGen(std::uint64_t k)
+{
+    _genEvent = InvalidEventId;
     if (_traits.frameBurst) {
-        eq.schedule(_phase, [this] {
-            if (!_traits.ipToIp)
-                genBurstJobs(0);
-            else if (_traits.virtualized && !_vipFallback)
-                genBurstVip(0);
-            else
-                genBurstChained(0);
-        });
+        if (!_traits.ipToIp)
+            genBurstJobs(k);
+        else if (_traits.virtualized && !_vipFallback)
+            genBurstVip(k);
+        else
+            genBurstChained(k);
     } else {
-        eq.schedule(_phase, [this] {
-            if (_traits.ipToIp)
-                genFrameChained(0);
-            else
-                genFrameBaseline(0);
-        });
+        if (_traits.ipToIp)
+            genFrameChained(k);
+        else
+            genFrameBaseline(k);
     }
 }
 
@@ -419,8 +428,11 @@ FlowRuntime::scheduleNextInput()
     Tick gap = _touch->nextGap(_p.sys->random());
     Tick dur = _touch->inputDuration(_p.sys->random());
     _nextInput = _p.sys->curTick() + gap;
-    _p.sys->eventq().schedule(_nextInput,
-                              [this, dur] { onInputEvent(dur); });
+    _inputDur = dur;
+    _inputEvent = _p.sys->eventq().schedule(_nextInput, [this, dur] {
+        _inputEvent = InvalidEventId;
+        onInputEvent(dur);
+    });
 }
 
 void
@@ -467,9 +479,7 @@ FlowRuntime::genFrameBaseline(std::uint64_t k)
             [this, k] { submitStage(k, 0, /*burst_mode=*/false); });
     }
 
-    _p.sys->eventq().schedule(frameTick(k + 1), [this, k] {
-        genFrameBaseline(k + 1);
-    });
+    armGen(k + 1);
 }
 
 void
@@ -584,9 +594,7 @@ FlowRuntime::genBurstJobs(std::uint64_t k0)
     if (shouldShed()) {
         for (std::uint64_t k = k0; k < k0 + n; ++k)
             shedFrame(k);
-        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-            genBurstJobs(k0 + n);
-        });
+        armGen(k0 + n);
         return;
     }
     auto left = std::make_shared<std::uint32_t>(n);
@@ -601,9 +609,7 @@ FlowRuntime::genBurstJobs(std::uint64_t k0)
         submitStage(k, 0, /*burst_mode=*/true);
     });
 
-    _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-        genBurstJobs(k0 + n);
-    });
+    armGen(k0 + n);
 }
 
 // --------------------------------------------------------------------
@@ -627,9 +633,7 @@ FlowRuntime::genFrameChained(std::uint64_t k)
         return;
     if (shouldShed()) {
         shedFrame(k);
-        _p.sys->eventq().schedule(frameTick(k + 1), [this, k] {
-            genFrameChained(k + 1);
-        });
+        armGen(k + 1);
         return;
     }
     makeCtx(k);
@@ -644,9 +648,7 @@ FlowRuntime::genFrameChained(std::uint64_t k)
             }
         });
 
-    _p.sys->eventq().schedule(frameTick(k + 1), [this, k] {
-        genFrameChained(k + 1);
-    });
+    armGen(k + 1);
 }
 
 void
@@ -659,9 +661,7 @@ FlowRuntime::genBurstChained(std::uint64_t k0)
     if (shouldShed()) {
         for (std::uint64_t k = k0; k < k0 + n; ++k)
             shedFrame(k);
-        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-            genBurstChained(k0 + n);
-        });
+        armGen(k0 + n);
         return;
     }
     auto left = std::make_shared<std::uint32_t>(n);
@@ -686,9 +686,7 @@ FlowRuntime::genBurstChained(std::uint64_t k0)
         burstPipeline(k0, n, k0, feed);
     }
 
-    _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-        genBurstChained(k0 + n);
-    });
+    armGen(k0 + n);
 }
 
 void
@@ -701,9 +699,7 @@ FlowRuntime::genBurstVip(std::uint64_t k0)
     if (shouldShed()) {
         for (std::uint64_t k = k0; k < k0 + n; ++k)
             shedFrame(k);
-        _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-            genBurstVip(k0 + n);
-        });
+        armGen(k0 + n);
         return;
     }
     auto left = std::make_shared<std::uint32_t>(n);
@@ -741,9 +737,7 @@ FlowRuntime::genBurstVip(std::uint64_t k0)
         feedNow(k, /*txn_end=*/last);
     });
 
-    _p.sys->eventq().schedule(frameTick(k0 + n), [this, k0, n] {
-        genBurstVip(k0 + n);
-    });
+    armGen(k0 + n);
 }
 
 void
@@ -844,6 +838,127 @@ FlowRuntime::stateDigest(StateDigest &d) const
         d.add(static_cast<std::uint64_t>(f.deadline));
         d.add(static_cast<std::uint64_t>(f.started));
         d.add(f.degraded);
+    }
+}
+
+// --------------------------------------------------------------------
+// Checkpoint / restore
+// --------------------------------------------------------------------
+
+ChainId
+FlowRuntime::recreateChain()
+{
+    vip_assert(_chainCreated,
+               "chain restore for flow ", _spec.name,
+               " which never created one");
+    ChainId id = _p.chains->create(
+        _id, _ips, _spec.edgeBytes,
+        [this](FlowId, std::uint64_t k) { onChainExit(k); },
+        [this](FlowId, std::uint64_t k) { recordStart(k); });
+    vip_assert(id == _chain, "chain ", _chain, " of flow ", _spec.name,
+               " recreated out of order as ", id);
+    return id;
+}
+
+void
+FlowRuntime::saveState(SnapshotWriter &w) const
+{
+    vip_assert(quiescent(), "checkpointing flow ", _spec.name,
+               " with frames in flight");
+    w.d(_spec.fps);
+    w.d(_nominalFps);
+    w.u32(_chain);
+    w.b(_chainCreated);
+    w.b(_vipFallback);
+    w.b(_stopping);
+    w.b(_tornDown);
+    w.b(_rejected);
+    w.b(_admitted);
+    w.u32(_consecLate);
+    w.tick(_nextInput);
+    w.tick(_inputBusyUntil);
+    w.b(static_cast<bool>(_activeBurstLeft));
+    w.u32(_activeBurstLeft ? *_activeBurstLeft : 0);
+    w.u32(_activeBurstSize);
+    w.u64(_activeBurstFirst);
+    w.u64(_generated);
+    w.u64(_completed);
+    w.u64(_violations);
+    w.u64(_drops);
+    w.u64(_shed);
+    w.d(_flowTimeSumMs);
+    w.d(_transitSumMs);
+
+    // Pending cadence events.  A stopped flow's generation event may
+    // still be live as a no-op; it is saved and re-armed all the same
+    // so the restored event queue matches the snapshot exactly.
+    const EventQueue &eq = _p.sys->eventq();
+    bool genLive = _genEvent != InvalidEventId && eq.isLive(_genEvent);
+    w.b(genLive);
+    if (genLive) {
+        w.u64(_genEvent);
+        w.tick(eq.scheduledWhen(_genEvent));
+        w.u64(_genNextK);
+    }
+    bool inputLive =
+        _inputEvent != InvalidEventId && eq.isLive(_inputEvent);
+    w.b(inputLive);
+    if (inputLive) {
+        w.u64(_inputEvent);
+        w.tick(eq.scheduledWhen(_inputEvent));
+        w.tick(_inputDur);
+    }
+}
+
+void
+FlowRuntime::loadState(SnapshotReader &r)
+{
+    _spec.fps = r.d();
+    _nominalFps = r.d();
+    _chain = r.u32();
+    _chainCreated = r.b();
+    _vipFallback = r.b();
+    _stopping = r.b();
+    _tornDown = r.b();
+    _rejected = r.b();
+    _admitted = r.b();
+    _consecLate = r.u32();
+    _nextInput = r.tick();
+    _inputBusyUntil = r.tick();
+    bool haveBurst = r.b();
+    std::uint32_t burstLeft = r.u32();
+    _activeBurstLeft = haveBurst
+        ? std::make_shared<std::uint32_t>(burstLeft) : nullptr;
+    _activeBurstSize = r.u32();
+    _activeBurstFirst = r.u64();
+    _generated = r.u64();
+    _completed = r.u64();
+    _violations = r.u64();
+    _drops = r.u64();
+    _shed = r.u64();
+    _flowTimeSumMs = r.d();
+    _transitSumMs = r.d();
+    // Burst policies size bursts from the (possibly down-rated) spec.
+    buildBurstPolicy();
+
+    auto &eq = _p.sys->eventq();
+    if (r.b()) {
+        _genEvent = r.u64();
+        Tick when = r.tick();
+        _genNextK = r.u64();
+        std::uint64_t k = _genNextK;
+        eq.restoreEvent(_genEvent, when,
+                        [this, k] { dispatchGen(k); });
+    }
+    if (r.b()) {
+        _inputEvent = r.u64();
+        Tick when = r.tick();
+        _inputDur = r.tick();
+        Tick dur = _inputDur;
+        eq.restoreEvent(_inputEvent, when, [this, dur] {
+            _inputEvent = InvalidEventId;
+            onInputEvent(dur);
+        });
     }
 }
 

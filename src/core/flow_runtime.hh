@@ -121,6 +121,22 @@ class FlowRuntime : public Auditable
      */
     void corruptAccountingForTest() { ++_generated; }
 
+    /** True when no frame is in flight (checkpointing). */
+    bool quiescent() const { return _frames.empty(); }
+
+    /**
+     * Re-create this flow's chain during checkpoint restore,
+     * mirroring the create() call start() issued.  Driven by
+     * ChainManager::loadState in saved chain order so the ids come
+     * out identical; returns the new ChainId.
+     */
+    ChainId recreateChain();
+
+    /** @{ checkpoint serialization (driven by the Simulation) */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
+
   private:
     struct FrameCtx
     {
@@ -178,6 +194,13 @@ class FlowRuntime : public Auditable
     void onInputEvent(Tick duration);
     /** @} */
 
+    /** @{ frame-generation cadence (tracked for checkpointing) */
+    /** Schedule generation of frame/burst @p k at its nominal tick. */
+    void armGen(std::uint64_t k);
+    /** The armed event fired: dispatch on the mode traits. */
+    void dispatchGen(std::uint64_t k);
+    /** @} */
+
     PlatformRefs _p;
     FlowSpec _spec;
     AppClass _cls;
@@ -214,6 +237,12 @@ class FlowRuntime : public Auditable
     std::unique_ptr<TouchModel> _touch;
     Tick _nextInput = MaxTick;
     Tick _inputBusyUntil = 0;
+    /** @{ pending-event bookkeeping (checkpointing) */
+    EventId _genEvent = InvalidEventId;   ///< next generation event
+    std::uint64_t _genNextK = 0;          ///< frame/burst it fires for
+    EventId _inputEvent = InvalidEventId; ///< next user-input event
+    Tick _inputDur = 0;                   ///< its touch duration
+    /** @} */
     std::shared_ptr<std::uint32_t> _activeBurstLeft;
     std::uint32_t _activeBurstSize = 0;
     std::uint64_t _activeBurstFirst = 0;

@@ -1,7 +1,10 @@
 #include "core/simulation.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iomanip>
 #include <memory>
 #include <ostream>
@@ -9,9 +12,23 @@
 #include <sstream>
 
 #include "obs/flight_recorder.hh"
+#include "obs/provenance.hh"
 
 namespace vip
 {
+
+namespace
+{
+
+/**
+ * Flight-recorder checkpoint-ring cadence (simulated ms) when the
+ * user gave no --checkpoint-every-ms.  Snapshots land at the first
+ * quiescent point after each boundary and rotate 2-deep, so a killed
+ * soak loses at most ~one ring period of progress.
+ */
+constexpr double kRecorderRingMs = 50.0;
+
+} // namespace
 
 Simulation::Simulation(SocConfig cfg, Workload workload)
     : _cfg(std::move(cfg)), _wl(std::move(workload)), _sys(_cfg.seed),
@@ -137,7 +154,11 @@ Simulation::buildMetrics()
     }
 
     MemoryController *mem = _mem.get();
-    auto lastBytes = std::make_shared<std::uint64_t>(0);
+    // The delta baselines live in Simulation-owned cells so a
+    // checkpoint can carry them: the probes themselves are closures
+    // and are rebuilt, but their windows must not restart on resume.
+    _bwLastBytes = std::make_shared<std::uint64_t>(0);
+    auto lastBytes = _bwLastBytes;
     Tick interval = fromMs(_cfg.metrics.intervalMs);
     _metrics->addProbe("mem.bw_gbps", [mem, lastBytes, interval] {
         std::uint64_t total = mem->bytesRead() + mem->bytesWritten();
@@ -150,7 +171,8 @@ Simulation::buildMetrics()
     });
 
     SystemAgent *sa = _sa.get();
-    auto lastBusy = std::make_shared<Tick>(0);
+    _saLastBusy = std::make_shared<Tick>(0);
+    auto lastBusy = _saLastBusy;
     _metrics->addProbe("sa.utilization", [sa, lastBusy, interval] {
         Tick busy = sa->busyTicks();
         Tick delta = busy - *lastBusy;
@@ -182,7 +204,9 @@ Simulation::buildMetrics()
     // leaves a usable series behind.
     if (!_cfg.metrics.out.empty() && _cfg.metrics.out != "(buffer)")
         _metrics->streamTo(_cfg.metrics.out);
-    _metrics->start();
+    // start() / loadState()+resume() is the caller's choice: a fresh
+    // run schedules the first sample, a restore re-arms the pending
+    // one from the snapshot.
 }
 
 void
@@ -368,7 +392,7 @@ Simulation::buildStatsRegistry()
 void
 Simulation::scheduleAudit()
 {
-    _sys.eventq().scheduleIn(
+    _auditEvent = _sys.eventq().scheduleIn(
         fromMs(_cfg.audit.periodMs),
         [this] {
             _auditor.runAudit(_sys.curTick());
@@ -400,8 +424,8 @@ Simulation::stopAppAt(const std::string &app_name, Tick when)
         suffix = app_name.substr(hash);
     }
     bool found = false;
-    for (auto &f : _flows) {
-        const std::string &n = f->spec().name;
+    for (std::size_t i = 0; i < _flows.size(); ++i) {
+        const std::string &n = _flows[i]->spec().name;
         bool prefixOk = n.rfind(prefix + ".", 0) == 0;
         bool suffixOk = suffix.empty() ||
             (n.size() >= suffix.size() &&
@@ -409,12 +433,24 @@ Simulation::stopAppAt(const std::string &app_name, Tick when)
                        suffix) == 0);
         if (prefixOk && suffixOk) {
             found = true;
-            FlowRuntime *fr = f.get();
-            _sys.eventq().schedule(when, [fr] { fr->stop(); });
+            _stopEvents.push_back({i, InvalidEventId, when});
         }
     }
     if (!found)
         fatal("stopAppAt: no flows belong to app '", app_name, "'");
+    _stopIntents.push_back({app_name, when});
+}
+
+void
+Simulation::scheduleStopEvents()
+{
+    // Scheduled at the top of run(), before the flows start, so the
+    // event-id sequence is unchanged and the queue stays empty until
+    // a restoring run loads its snapshot.
+    for (StopEvent &s : _stopEvents) {
+        FlowRuntime *fr = _flows[s.flow].get();
+        s.id = _sys.eventq().schedule(s.when, [fr] { fr->stop(); });
+    }
 }
 
 std::uint64_t
@@ -469,7 +505,7 @@ Simulation::checkProgress()
               "platform is wedged.  Occupancy:\n", progressDump());
     }
     _lastRetired = now;
-    _sys.eventq().scheduleIn(
+    _progressEvent = _sys.eventq().scheduleIn(
         fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
         EventPriority::Teardown);
 }
@@ -484,27 +520,52 @@ Simulation::run()
     _ran = true;
 
     try {
-        for (auto &f : _flows)
-            f->start();
-        if (_cfg.noProgressSec > 0.0) {
-            _lastRetired = 0;
-            _sys.eventq().scheduleIn(
-                fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
-                EventPriority::Teardown);
+        if (!_cfg.restorePath.empty()) {
+            // The sampler must exist (probes registered, stream path
+            // set) before its section is loaded; its pending event is
+            // re-armed by loadState() inside restoreFrom().
+            if (_cfg.metrics.enabled())
+                buildMetrics();
+            restoreFrom(_cfg.restorePath);
+            if (_metrics)
+                _metrics->resume();
+        } else {
+            scheduleStopEvents();
+            for (auto &f : _flows)
+                f->start();
+            if (_cfg.noProgressSec > 0.0) {
+                _lastRetired = 0;
+                _progressEvent = _sys.eventq().scheduleIn(
+                    fromSec(_cfg.noProgressSec),
+                    [this] { checkProgress(); },
+                    EventPriority::Teardown);
+            }
+            if (_cfg.audit.periodic())
+                scheduleAudit();
+            // The sampler schedules real events (digest-visible), so
+            // it only exists when explicitly requested.
+            if (_cfg.metrics.enabled()) {
+                buildMetrics();
+                _metrics->start();
+            }
         }
-        if (_cfg.audit.periodic())
-            scheduleAudit();
-        // The sampler schedules real events (digest-visible), so it
-        // only exists when explicitly requested.
-        if (_cfg.metrics.enabled())
-            buildMetrics();
-        _sys.run(fromSec(_cfg.simSeconds));
+        runEventLoop(fromSec(_cfg.simSeconds));
         _ledger.closeAll(_sys.curTick());
         // Final audit pass under every enabled mode: catches
         // teardown-time leaks that a periodic pass between frames
         // cannot see.
         if (_cfg.audit.enabled())
             _auditor.runAudit(_sys.curTick());
+        // Final snapshot: only valid at a quiescent point.  A run
+        // that ends mid-frame still has its cadence checkpoints.
+        if (!_cfg.checkpointOut.empty()) {
+            if (quiescent())
+                saveCheckpoint(_cfg.checkpointOut);
+            else if (_checkpointsWritten == 0)
+                warn("checkpoint: run ended mid-frame and no cadence "
+                     "boundary was reached; no snapshot written to ",
+                     _cfg.checkpointOut);
+        }
     } catch (const SimFatal &e) {
         writePostmortem(e.what(), "fatal");
         throw;
@@ -513,6 +574,467 @@ Simulation::run()
         throw;
     }
     return collect(_cfg.simSeconds);
+}
+
+void
+Simulation::runEventLoop(Tick limit)
+{
+    // Arm the configured checkpoint cadence.  The flight recorder
+    // additionally keeps a snapshot ring next to its crash bundle, so
+    // a SIGKILLed or crashed soak can be resumed from the last
+    // quiescent point instead of restarting from zero.
+    Tick start = _sys.curTick();
+    auto firstBoundary = [start](Tick period) {
+        return (start / period + 1) * period;
+    };
+    if (!_cfg.checkpointOut.empty() && _cfg.checkpointEveryMs > 0.0) {
+        Tick period = fromMs(_cfg.checkpointEveryMs);
+        _plans.push_back(
+            {_cfg.checkpointOut, firstBoundary(period), period});
+    }
+    if (!_cfg.postmortemDir.empty()) {
+        Tick period = _cfg.checkpointEveryMs > 0.0
+                          ? fromMs(_cfg.checkpointEveryMs)
+                          : fromMs(kRecorderRingMs);
+        namespace fs = std::filesystem;
+        std::string path =
+            (fs::path(_cfg.postmortemDir) / "checkpoint.vips").string();
+        _plans.push_back({path, firstBoundary(period), period});
+    }
+    bool probe = std::getenv("VIP_QUIESCENCE_PROBE") != nullptr;
+    if (_plans.empty() && !probe) {
+        _sys.run(limit);
+        return;
+    }
+
+    std::uint64_t points = 0, quiet = 0;
+    Tick lastQuiet = start, maxGap = 0;
+    auto hook = [&](Tick next) {
+        ++points;
+        bool due = probe;
+        for (const CheckpointPlan &p : _plans)
+            due = due || next >= p.next;
+        if (!due || !quiescent())
+            return;
+        ++quiet;
+        maxGap = std::max(maxGap, next - lastQuiet);
+        lastQuiet = next;
+        for (CheckpointPlan &p : _plans) {
+            if (next < p.next)
+                continue;
+            saveCheckpoint(p.path);
+            if (p.period > 0) {
+                while (p.next <= next)
+                    p.next += p.period;
+            } else {
+                p.next = MaxTick;
+            }
+        }
+    };
+    _sys.run(limit, hook);
+    if (probe) {
+        maxGap = std::max(maxGap, _sys.curTick() - lastQuiet);
+        // Explicitly requested via the environment, so bypass the
+        // default verbosity gate.
+        logging::emit("probe",
+                      logging::format(
+                          "quiescence: ", quiet, " of ", points,
+                          " pre-service points quiescent; longest "
+                          "dry gap ", toMs(maxGap), " ms"));
+    }
+}
+
+bool
+Simulation::quiescent() const
+{
+    for (const auto &f : _flows) {
+        if (!f->quiescent())
+            return false;
+    }
+    if (!_mem->quiescent() || !_sa->quiescent() || !_cpus->quiescent())
+        return false;
+    for (const auto &[kind, ip] : _ips) {
+        if (!ip->quiescent())
+            return false;
+    }
+    return _chains->waiters() == 0 && _stack->totalQueued() == 0;
+}
+
+std::string
+Simulation::auditSpecString() const
+{
+    std::ostringstream os;
+    os << auditModeName(_cfg.audit.mode);
+    if (_cfg.audit.periodic())
+        os << ":" << _cfg.audit.periodMs;
+    return os.str();
+}
+
+std::string
+Simulation::identityString() const
+{
+    // Every knob that alters component behavior (and therefore the
+    // meaning of serialized state) beyond config/workload/seed/
+    // seconds.  Purely observational settings (trace, stats-out,
+    // postmortem dir, checkpoint cadence) are deliberately absent: a
+    // resume may change them freely.
+    std::ostringstream os;
+    os << "overload=" << overloadPolicyName(_cfg.overloadPolicy)
+       << " headroom=" << _cfg.admissionHeadroom
+       << " shedAfter=" << _cfg.shedAfterLateFrames
+       << " maxInFlight=" << _cfg.overloadMaxInFlight
+       << " deadline=" << _cfg.deadlineFrames
+       << " vsync=" << (_cfg.vsyncAligned ? 1 : 0) << "@"
+       << _cfg.vsyncHz
+       << " cpuCores=" << _cfg.cpuCores
+       << " vipLanes=" << _cfg.vipLanes
+       << " sched=" << schedPolicyName(_cfg.vipSched)
+       << " laneBytes=" << _cfg.laneBytes
+       << " subframeBytes=" << _cfg.subframeBytes
+       << " csp=" << _cfg.contextSwitchPenalty
+       << " spill=" << (_cfg.overflowToMemory ? 1 : 0)
+       << " burst=" << _cfg.burstFrames << "/" << _cfg.gameBurstCap
+       << "/" << (_cfg.enableRollback ? 1 : 0)
+       << " noProgress=" << _cfg.noProgressSec
+       << " recordTrace=" << (_cfg.recordTrace ? 1 : 0)
+       << " metrics=";
+    if (_cfg.metrics.enabled())
+        os << _cfg.metrics.intervalMs;
+    else
+        os << "off";
+    os << " stops=[";
+    for (std::size_t i = 0; i < _stopIntents.size(); ++i) {
+        os << (i ? "," : "") << _stopIntents[i].app << "@"
+           << _stopIntents[i].when;
+    }
+    os << "]";
+    return os.str();
+}
+
+SnapshotMeta
+Simulation::checkpointMeta() const
+{
+    SnapshotMeta m;
+    m.gitHash = buildGitHash();
+    m.compiler = buildCompiler();
+    m.buildType = buildType();
+    m.configName = systemConfigName(_cfg.system);
+    m.workloadName = _wl.name;
+    m.seed = _cfg.seed;
+    m.simSeconds = _cfg.simSeconds;
+    m.faultPlan = _faults ? _cfg.fault.describe() : "";
+    m.auditSpec = auditSpecString();
+    m.extraIdentity = identityString();
+    m.tick = _sys.curTick();
+    m.stateDigest = _auditor.snapshotDigest();
+    return m;
+}
+
+void
+Simulation::saveCheckpoint(const std::string &path)
+{
+    vip_assert(quiescent(),
+               "saveCheckpoint at a non-quiescent point (tick ",
+               _sys.curTick(), ")");
+    SnapshotWriter w;
+
+    w.beginSection("kernel");
+    _sys.eventq().saveState(w);
+    w.u64(_sys.random().state());
+
+    w.beginSection("mem");
+    _mem->saveState(w);
+    w.beginSection("sa");
+    _sa->saveState(w);
+    w.beginSection("cpu");
+    _cpus->saveState(w);
+
+    w.beginSection("ips");
+    w.u32(static_cast<std::uint32_t>(_ips.size()));
+    for (const auto &[kind, ip] : _ips) {
+        w.str(ip->name());
+        ip->saveState(w);
+    }
+
+    // Flows before chains: chain restore re-creates every chain
+    // through FlowRuntime::recreateChain(), which checks the chain id
+    // the flow restored in its own section.
+    w.beginSection("flows");
+    w.u32(static_cast<std::uint32_t>(_flows.size()));
+    for (const auto &f : _flows)
+        f->saveState(w);
+
+    w.beginSection("chains");
+    _chains->saveState(w);
+
+    w.beginSection("fault");
+    w.b(_faults != nullptr);
+    if (_faults)
+        _faults->saveState(w);
+
+    w.beginSection("auditor");
+    _auditor.saveState(w);
+    w.beginSection("latency");
+    _latency->saveState(w);
+    w.beginSection("energy");
+    _ledger.saveState(w);
+
+    w.beginSection("metrics");
+    w.b(_metrics != nullptr);
+    if (_metrics) {
+        _metrics->saveState(w);
+        w.u64(*_bwLastBytes);
+        w.tick(*_saLastBusy);
+    }
+
+    w.beginSection("sim");
+    w.u64(_alloc.cursor());
+    w.u64(_lastRetired);
+    const EventQueue &eq = _sys.eventq();
+    auto saveEvent = [&](EventId id) {
+        bool live = id != InvalidEventId && eq.isLive(id);
+        w.b(live);
+        if (live) {
+            w.u64(id);
+            w.tick(eq.scheduledWhen(id));
+        }
+    };
+    saveEvent(_auditEvent);
+    saveEvent(_progressEvent);
+    w.u32(static_cast<std::uint32_t>(_stopEvents.size()));
+    for (const StopEvent &s : _stopEvents) {
+        w.u64(s.flow);
+        saveEvent(s.id);
+    }
+    w.b(_cfg.recordTrace);
+    if (_cfg.recordTrace) {
+        w.u64(_trace.size());
+        for (const FrameEvent &ev : _trace.events()) {
+            w.u32(ev.flowId);
+            w.str(ev.flowName);
+            w.u64(ev.frameId);
+            w.tick(ev.generated);
+            w.tick(ev.started);
+            w.tick(ev.completed);
+            w.tick(ev.deadline);
+            w.b(ev.violated);
+            w.b(ev.dropped);
+        }
+    }
+
+    w.writeFile(path, checkpointMeta());
+    ++_checkpointsWritten;
+    _lastCheckpointPath = path;
+    _lastCheckpointTick = _sys.curTick();
+}
+
+void
+Simulation::checkpointAt(Tick when, std::string path)
+{
+    vip_assert(!_ran, "checkpointAt must be armed before run()");
+    _plans.push_back({std::move(path), when, 0});
+}
+
+void
+Simulation::restoreFrom(const std::string &path)
+{
+    SnapshotReader r(path);
+    const SnapshotMeta &m = r.meta();
+    auto check = [&](const char *what, const std::string &snap,
+                     const std::string &run) {
+        if (snap != run) {
+            fatal("restore '", path, "': snapshot ", what, " '", snap,
+                  "' does not match this run's '", run,
+                  "' -- resumed state would silently diverge");
+        }
+    };
+    check("git hash", m.gitHash, buildGitHash());
+    check("compiler", m.compiler, buildCompiler());
+    check("build type", m.buildType, buildType());
+    check("config", m.configName, systemConfigName(_cfg.system));
+    check("workload", m.workloadName, _wl.name);
+    if (m.seed != _cfg.seed)
+        fatal("restore '", path, "': snapshot seed ", m.seed,
+              " != this run's ", _cfg.seed);
+    if (m.simSeconds != _cfg.simSeconds)
+        fatal("restore '", path, "': snapshot simulates ",
+              m.simSeconds, " s, this run ", _cfg.simSeconds, " s");
+    check("fault plan", m.faultPlan,
+          _faults ? _cfg.fault.describe() : "");
+    check("audit spec", m.auditSpec, auditSpecString());
+    check("run knobs", m.extraIdentity, identityString());
+
+    EventQueue &eq = _sys.eventq();
+    r.openSection("kernel");
+    eq.loadState(r);
+    _sys.random().setState(r.u64());
+    r.closeSection();
+
+    r.openSection("mem");
+    _mem->loadState(r);
+    r.closeSection();
+    r.openSection("sa");
+    _sa->loadState(r);
+    r.closeSection();
+    r.openSection("cpu");
+    _cpus->loadState(r);
+    r.closeSection();
+
+    r.openSection("ips");
+    std::uint32_t nIps = r.u32();
+    if (nIps != _ips.size())
+        fatal("restore: snapshot has ", nIps, " IP cores, this run "
+              "builds ", _ips.size(), " (config mismatch)");
+    for (auto &[kind, ip] : _ips) {
+        std::string name = r.str();
+        if (name != ip->name())
+            fatal("restore: snapshot IP '", name, "' != built '",
+                  ip->name(), "' (config mismatch)");
+        ip->loadState(r);
+    }
+    r.closeSection();
+
+    r.openSection("flows");
+    std::uint32_t nFlows = r.u32();
+    if (nFlows != _flows.size())
+        fatal("restore: snapshot has ", nFlows, " flows, this run "
+              "builds ", _flows.size(), " (workload mismatch)");
+    for (auto &f : _flows)
+        f->loadState(r);
+    r.closeSection();
+
+    r.openSection("chains");
+    _chains->loadState(
+        r,
+        [this](FlowId f) {
+            vip_assert(static_cast<std::size_t>(f) < _flows.size(),
+                       "chain restore references flow ", f);
+            return _flows[f]->recreateChain();
+        },
+        [this](const std::string &n) -> IpCore * {
+            for (auto &[kind, ip] : _ips) {
+                if (ip->name() == n)
+                    return ip.get();
+            }
+            return nullptr;
+        });
+    r.closeSection();
+
+    r.openSection("fault");
+    bool hadFaults = r.b();
+    if (hadFaults != (_faults != nullptr))
+        fatal("restore: snapshot ", hadFaults ? "had" : "had no",
+              " fault injector, this run ",
+              _faults ? "has one" : "has none", " (config mismatch)");
+    if (_faults)
+        _faults->loadState(r);
+    r.closeSection();
+
+    r.openSection("auditor");
+    _auditor.loadState(r);
+    r.closeSection();
+    r.openSection("latency");
+    _latency->loadState(r);
+    r.closeSection();
+    r.openSection("energy");
+    _ledger.loadState(r);
+    r.closeSection();
+
+    r.openSection("metrics");
+    bool hadMetrics = r.b();
+    if (hadMetrics != (_metrics != nullptr))
+        fatal("restore: snapshot ", hadMetrics ? "had" : "had no",
+              " metrics sampler, this run ",
+              _metrics ? "has one" : "has none", " (config mismatch)");
+    if (_metrics) {
+        _metrics->loadState(r);
+        *_bwLastBytes = r.u64();
+        *_saLastBusy = r.tick();
+    }
+    r.closeSection();
+
+    r.openSection("sim");
+    _alloc.setCursor(r.u64());
+    _lastRetired = r.u64();
+    if (r.b()) {
+        _auditEvent = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(
+            _auditEvent, when,
+            [this] {
+                _auditor.runAudit(_sys.curTick());
+                scheduleAudit();
+            },
+            EventPriority::Audit);
+    }
+    if (r.b()) {
+        _progressEvent = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(_progressEvent, when,
+                        [this] { checkProgress(); },
+                        EventPriority::Teardown);
+    }
+    std::uint32_t nStops = r.u32();
+    if (nStops != _stopEvents.size())
+        fatal("restore: snapshot has ", nStops, " app-stop events, "
+              "this run scheduled ", _stopEvents.size(),
+              " (stopAppAt mismatch)");
+    for (StopEvent &s : _stopEvents) {
+        std::uint64_t flow = r.u64();
+        if (flow != s.flow)
+            fatal("restore: app-stop event targets flow ", flow,
+                  ", this run expects ", s.flow);
+        if (r.b()) {
+            s.id = r.u64();
+            s.when = r.tick();
+            FlowRuntime *fr = _flows[s.flow].get();
+            eq.restoreEvent(s.id, s.when, [fr] { fr->stop(); });
+        }
+    }
+    bool hadTrace = r.b();
+    if (hadTrace != _cfg.recordTrace)
+        fatal("restore: snapshot ", hadTrace ? "recorded" : "did not "
+              "record", " a frame trace, this run ",
+              _cfg.recordTrace ? "does" : "does not",
+              " (config mismatch)");
+    if (hadTrace) {
+        std::uint64_t n = r.u64();
+        _trace.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            FrameEvent ev;
+            ev.flowId = r.u32();
+            ev.flowName = r.str();
+            ev.frameId = r.u64();
+            ev.generated = r.tick();
+            ev.started = r.tick();
+            ev.completed = r.tick();
+            ev.deadline = r.tick();
+            ev.violated = r.b();
+            ev.dropped = r.b();
+            _trace.record(std::move(ev));
+        }
+    }
+    r.closeSection();
+
+    eq.verifyRestore();
+    std::uint64_t digest = _auditor.snapshotDigest();
+    if (digest != m.stateDigest) {
+        char a[32], b[32];
+        std::snprintf(a, sizeof(a), "%016llx",
+                      static_cast<unsigned long long>(digest));
+        std::snprintf(b, sizeof(b), "%016llx",
+                      static_cast<unsigned long long>(m.stateDigest));
+        fatal("restore '", path, "': reloaded state digest 0x", a,
+              " != snapshot header 0x", b,
+              " -- the snapshot is corrupt or state was not restored "
+              "faithfully");
+    }
+    // The snapshot already holds everything startup() would have
+    // scheduled; suppress it for the coming run() call.
+    _sys.markStarted();
+    _restored = true;
+    inform("restored checkpoint '", path, "': tick ", m.tick, " (",
+           toMs(m.tick), " ms), ", eq.pending(), " pending events");
 }
 
 std::vector<std::pair<std::string, std::string>>
@@ -551,6 +1073,12 @@ Simulation::writePostmortem(const std::string &reason,
         info.meta = runMeta();
         if (_metrics)
             info.metricsPath = _metrics->streamPath();
+        // Point at the newest snapshot of the checkpoint ring so the
+        // bundle is resumable: rerun with --restore=<checkpointPath>.
+        if (_checkpointsWritten > 0) {
+            info.checkpointPath = _lastCheckpointPath;
+            info.checkpointTick = _lastCheckpointTick;
+        }
         writePostmortemBundle(_cfg.postmortemDir, info, &_registry,
                               _tracer.get());
     } catch (...) {

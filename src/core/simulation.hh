@@ -32,6 +32,7 @@
 #include "obs/metrics.hh"
 #include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
+#include "sim/snapshot.hh"
 
 namespace vip
 {
@@ -84,6 +85,35 @@ class Simulation
     void stopAppAt(const std::string &app_name, Tick when);
 
     /**
+     * True when every component is at a checkpointable quiescent
+     * point: no frames in any flow, no DMA/link transfers or CPU
+     * tasks in flight, no queued chain acquisitions or software
+     * submissions.  Only re-armable tracked events are pending then.
+     */
+    bool quiescent() const;
+
+    /**
+     * Write a snapshot of the current state to @p path (must be
+     * quiescent).  Normally driven by cfg.checkpointOut /
+     * cfg.checkpointEveryMs; exposed for tests and tools.
+     */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Arm a one-shot checkpoint, written to @p path at the first
+     * quiescent point at or after tick @p when.  Call before run().
+     * Checkpoint writes are observational: they never perturb the
+     * event stream or digests.
+     */
+    void checkpointAt(Tick when, std::string path);
+
+    /** Checkpoint files written so far (cadence + one-shots). */
+    std::uint64_t checkpointsWritten() const
+    {
+        return _checkpointsWritten;
+    }
+
+    /**
      * Dump every component's statistics (gem5 stats.txt style) plus
      * the energy ledger to @p os.  Call after run().
      */
@@ -108,6 +138,24 @@ class Simulation
     void buildStatsRegistry();
     void scheduleAudit();
     RunStats collect(double seconds);
+
+    /** @{ checkpoint/restore internals */
+    /** Schedule the stop events recorded by stopAppAt() (fresh runs
+     *  only; restored runs re-arm them from the snapshot). */
+    void scheduleStopEvents();
+    /** Header identity + provenance for a snapshot written now. */
+    SnapshotMeta checkpointMeta() const;
+    /** --audit spec string stamped into snapshot identity. */
+    std::string auditSpecString() const;
+    /** Behavior-relevant knobs beyond config/workload/seed/seconds;
+     *  any mismatch between snapshot and run is a restore SimFatal. */
+    std::string identityString() const;
+    /** Load @p path into the freshly built platform (run() entry). */
+    void restoreFrom(const std::string &path);
+    /** Run the event loop, threading the checkpoint hook when any
+     *  cadence/one-shot checkpoints (or the probe) are armed. */
+    void runEventLoop(Tick limit);
+    /** @} */
 
     /** Run-context pairs stamped into stats.json / crash bundles. */
     std::vector<std::pair<std::string, std::string>> runMeta() const;
@@ -148,6 +196,44 @@ class Simulation
     std::vector<std::unique_ptr<FlowRuntime>> _flows;
     std::uint64_t _lastRetired = 0;
     bool _ran = false;
+
+    /** @{ checkpoint/restore bookkeeping */
+    /** stopAppAt() intent: part of the run identity, and scheduled
+     *  (fresh runs) / re-armed (restores) at run() time so the event
+     *  queue is empty when a snapshot is loaded. */
+    struct StopIntent
+    {
+        std::string app;
+        Tick when;
+    };
+    /** One tracked per-flow stop event. */
+    struct StopEvent
+    {
+        std::size_t flow;
+        EventId id = InvalidEventId;
+        Tick when = 0;
+    };
+    /** An armed checkpoint: cadence (period > 0) or one-shot. */
+    struct CheckpointPlan
+    {
+        std::string path;
+        Tick next;
+        Tick period; ///< 0 for one-shot
+    };
+    std::vector<StopIntent> _stopIntents;
+    std::vector<StopEvent> _stopEvents;
+    std::vector<CheckpointPlan> _plans;
+    EventId _auditEvent = InvalidEventId;
+    EventId _progressEvent = InvalidEventId;
+    /** Baselines of the delta-style metrics probes (mem.bw_gbps,
+     *  sa.utilization); serialized so resumed CSVs stay exact. */
+    std::shared_ptr<std::uint64_t> _bwLastBytes;
+    std::shared_ptr<Tick> _saLastBusy;
+    std::uint64_t _checkpointsWritten = 0;
+    std::string _lastCheckpointPath;
+    Tick _lastCheckpointTick = 0;
+    bool _restored = false;
+    /** @} */
 };
 
 } // namespace vip

@@ -140,6 +140,22 @@ struct SocConfig
      */
     std::string postmortemDir;
 
+    /** @{ Checkpoint/restore (--checkpoint-out / --restore).
+     *
+     * checkpointOut names the snapshot file written at the end of the
+     * run (and, with checkpointEveryMs > 0, periodically at the first
+     * quiescent point after each cadence boundary; each write rotates
+     * the previous file to <file>.prev).  restorePath resumes a run
+     * from a snapshot; the restored run must be started with the same
+     * config/workload/seed — any skew is a SimFatal at load.  A
+     * restored run's digest stream and stats output are bit-identical
+     * to the uninterrupted run's.
+     */
+    std::string checkpointOut;
+    double checkpointEveryMs = 0.0;
+    std::string restorePath;
+    /** @} */
+
     /**
      * Fault-injection plan.  All probabilities default to zero, so a
      * plain config runs fault-free; a non-trivial plan instantiates a

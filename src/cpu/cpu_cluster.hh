@@ -52,6 +52,35 @@ class CpuCluster : public Auditable
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /** True when every core is quiescent (checkpointing). */
+    bool
+    quiescent() const
+    {
+        for (const auto &c : _cores) {
+            if (!c->quiescent())
+                return false;
+        }
+        return true;
+    }
+
+    /** @{ Serializable: the round-robin cursor plus every core. */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u64(_rr);
+        for (const auto &c : _cores)
+            c->saveState(w);
+    }
+
+    void
+    loadState(SnapshotReader &r)
+    {
+        _rr = r.u64();
+        for (auto &c : _cores)
+            c->loadState(r);
+    }
+    /** @} */
+
   private:
     CpuCore &pickForTask();
     CpuCore &pickForInterrupt();

@@ -203,8 +203,9 @@ CpuCore::startup()
     maybeSleep();
     if (_cfg.governor == CpuGovernor::OnDemand) {
         _lastGovActive = _activeTicks;
-        scheduleIn(_cfg.governorPeriod, [this] { governorTick(); },
-                   EventPriority::Stats);
+        _govEvent = scheduleIn(_cfg.governorPeriod,
+                               [this] { governorTick(); },
+                               EventPriority::Stats);
     }
 }
 
@@ -233,8 +234,9 @@ CpuCore::governorTick()
         // Re-apply the current state's power at the new voltage/freq.
         enterState(_state);
     }
-    scheduleIn(_cfg.governorPeriod, [this] { governorTick(); },
-               EventPriority::Stats);
+    _govEvent = scheduleIn(_cfg.governorPeriod,
+                           [this] { governorTick(); },
+                           EventPriority::Stats);
 }
 
 void
@@ -242,11 +244,16 @@ CpuCore::maybeSleep()
 {
     if (_state != State::Idle || _sleepEvent != InvalidEventId)
         return;
-    _sleepEvent = scheduleIn(_cfg.sleepThreshold, [this] {
-        _sleepEvent = InvalidEventId;
-        if (_state == State::Idle && !_running && _queue.empty())
-            enterState(State::Sleep);
-    });
+    _sleepEvent = scheduleIn(_cfg.sleepThreshold,
+                             [this] { sleepTimerFired(); });
+}
+
+void
+CpuCore::sleepTimerFired()
+{
+    _sleepEvent = InvalidEventId;
+    if (_state == State::Idle && !_running && _queue.empty())
+        enterState(State::Sleep);
 }
 
 Tick
@@ -301,6 +308,76 @@ CpuCore::auditInvariants(AuditContext &ctx) const
                 "state buckets exceed elapsed time");
     ctx.checkTrue("cpu.run_queue", !_running || _state == State::Active,
                   "task running on a non-active core");
+}
+
+void
+CpuCore::saveState(SnapshotWriter &w) const
+{
+    vip_assert(quiescent(), "checkpointing a non-quiescent core ",
+               name());
+    EventQueue &eq = system().eventq();
+    w.u8(static_cast<std::uint8_t>(_state));
+    w.tick(_stateSince);
+    w.tick(_activeTicks);
+    w.tick(_sleepTicks);
+    w.u64(_instructions);
+    w.u64(_interrupts);
+    w.d(_curFreqHz);
+    w.u64(_curStep);
+    w.tick(_lastGovActive);
+    w.u64(_dvfsTransitions);
+    // Pending timers: the sleep countdown (idle cores) and the DVFS
+    // governor tick.  Ids + fire times; callbacks are re-created.
+    bool sleepLive =
+        _sleepEvent != InvalidEventId && eq.isLive(_sleepEvent);
+    w.b(sleepLive);
+    if (sleepLive) {
+        w.u64(_sleepEvent);
+        w.tick(eq.scheduledWhen(_sleepEvent));
+    }
+    bool govLive = _govEvent != InvalidEventId && eq.isLive(_govEvent);
+    w.b(govLive);
+    if (govLive) {
+        w.u64(_govEvent);
+        w.tick(eq.scheduledWhen(_govEvent));
+    }
+    _stats.saveState(w);
+}
+
+void
+CpuCore::loadState(SnapshotReader &r)
+{
+    EventQueue &eq = system().eventq();
+    _state = static_cast<State>(r.u8());
+    _stateSince = r.tick();
+    _activeTicks = r.tick();
+    _sleepTicks = r.tick();
+    _instructions = r.u64();
+    _interrupts = r.u64();
+    _curFreqHz = r.d();
+    _curStep = r.u64();
+    _lastGovActive = r.tick();
+    _dvfsTransitions = r.u64();
+    if (r.b()) {
+        EventId id = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(id, when, [this] { sleepTimerFired(); });
+        _sleepEvent = id;
+    } else {
+        _sleepEvent = InvalidEventId;
+    }
+    if (r.b()) {
+        EventId id = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(id, when, [this] { governorTick(); },
+                        EventPriority::Stats);
+        _govEvent = id;
+    } else {
+        _govEvent = InvalidEventId;
+    }
+    _stats.loadState(r);
+    // The restored power level is re-integrated by the energy ledger
+    // (serialized separately); nothing to re-apply here.
 }
 
 void

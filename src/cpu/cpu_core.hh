@@ -124,11 +124,29 @@ class CpuCore : public ClockedObject
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /**
+     * True when the core holds no work: nothing running or queued and
+     * not mid-wake.  At such a point its only pending events are the
+     * re-armable sleep/governor timers (checkpointing).
+     */
+    bool
+    quiescent() const
+    {
+        return !_running && _queue.empty() &&
+               (_state == State::Idle || _state == State::Sleep);
+    }
+
+    /** @{ Serializable */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     void enterState(State s);
     void tryStart();
     void finishTask();
     void maybeSleep();
+    void sleepTimerFired();
     void governorTick();
     double freqScale() const { return _curFreqHz / _cfg.freqHz; }
 
@@ -163,6 +181,7 @@ class CpuCore : public ClockedObject
     std::size_t _curStep = 0;
     Tick _lastGovActive = 0;
     std::uint64_t _dvfsTransitions = 0;
+    EventId _govEvent = InvalidEventId;
 
     stats::Group _stats;
     stats::Scalar _statTasks;

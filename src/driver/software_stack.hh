@@ -100,6 +100,16 @@ class SoftwareStack
     /** Jobs waiting in software for @p ip's hardware queue. */
     std::size_t softwareQueueLength(const IpCore &ip) const;
 
+    /** Jobs waiting in software across every IP (checkpointing). */
+    std::size_t
+    totalQueued() const
+    {
+        std::size_t n = 0;
+        for (const auto &[ip, q] : _waiting)
+            n += q.size();
+        return n;
+    }
+
   private:
     void drain(IpCore *ip);
 

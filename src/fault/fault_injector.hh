@@ -20,6 +20,7 @@
 #include "fault/fault_plan.hh"
 #include "sim/audit.hh"
 #include "sim/random.hh"
+#include "sim/snapshot.hh"
 
 namespace vip
 {
@@ -147,6 +148,44 @@ class FaultInjector : public Auditable
         d.add(_stats.recoveries);
         d.add(_stats.recoverySumMs);
         d.add(_stats.recoveryMaxMs);
+    }
+    /** @} */
+
+    /** @{ checkpoint serialization (driven by the Simulation) */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u64(_rng.state());
+        w.u64(_stats.engineHangs);
+        w.u64(_stats.corruptions);
+        w.u64(_stats.transferErrors);
+        w.u64(_stats.eccCorrectable);
+        w.u64(_stats.eccUncorrectable);
+        w.u64(_stats.watchdogResets);
+        w.u64(_stats.unitRetries);
+        w.u64(_stats.transferRetries);
+        w.u64(_stats.framesDegraded);
+        w.u64(_stats.recoveries);
+        w.d(_stats.recoverySumMs);
+        w.d(_stats.recoveryMaxMs);
+    }
+
+    void
+    loadState(SnapshotReader &r)
+    {
+        _rng.setState(r.u64());
+        _stats.engineHangs = r.u64();
+        _stats.corruptions = r.u64();
+        _stats.transferErrors = r.u64();
+        _stats.eccCorrectable = r.u64();
+        _stats.eccUncorrectable = r.u64();
+        _stats.watchdogResets = r.u64();
+        _stats.unitRetries = r.u64();
+        _stats.transferRetries = r.u64();
+        _stats.framesDegraded = r.u64();
+        _stats.recoveries = r.u64();
+        _stats.recoverySumMs = r.d();
+        _stats.recoveryMaxMs = r.d();
     }
     /** @} */
 

@@ -1458,4 +1458,95 @@ IpCore::stateDigest(StateDigest &d) const
     }
 }
 
+bool
+IpCore::quiescent() const
+{
+    if (_jobActive || _computing || !_jobs.empty() ||
+        _computeEvent != InvalidEventId ||
+        _watchdogEvent != InvalidEventId)
+        return false;
+    for (const Lane &l : _lanes) {
+        if (l.active() || l.outstandingDma > 0 || l.refillInFlight ||
+            l.creditWaiter)
+            return false;
+    }
+    return true;
+}
+
+void
+IpCore::saveState(SnapshotWriter &w) const
+{
+    vip_assert(quiescent(),
+               "checkpointing ", name(), " with work in flight");
+    w.u8(static_cast<std::uint8_t>(_engineState));
+    w.tick(_stateSince);
+    w.tick(_activeTicks);
+    w.tick(_stallTicks);
+    w.tick(_bpStallTicks);
+    w.u64(_jobsCompleted);
+    w.u64(_subframes);
+    w.u64(_framesExited);
+    w.u64(_contextSwitches);
+    w.u64(_bytesProcessed);
+    w.u64(_bytesSpilled);
+    w.u64(_laneOverflows);
+    w.u64(_creditStalls);
+    w.u64(_creditsReserved);
+    w.u64(_creditsReturned);
+    w.u64(_watchdogResets);
+    w.u64(_unitRetries);
+    w.u64(_framesDegraded);
+    w.u64(_spillNext);
+    w.i64(_currentLane);
+    w.i64(_stickyLane);
+    // Lane topology: bindings are restored here; the inter-IP wiring
+    // (next/nextLane/sink/callbacks) is structural and re-created by
+    // ChainManager::loadState, which runs after every IP's section.
+    w.u32(static_cast<std::uint32_t>(_lanes.size()));
+    for (const Lane &l : _lanes) {
+        w.b(l.bound);
+        w.u64(static_cast<std::uint64_t>(l.flow));
+        w.tick(l.headArrival);
+    }
+    _stats.saveState(w);
+}
+
+void
+IpCore::loadState(SnapshotReader &r)
+{
+    _engineState = static_cast<EngineState>(r.u8());
+    _stateSince = r.tick();
+    _activeTicks = r.tick();
+    _stallTicks = r.tick();
+    _bpStallTicks = r.tick();
+    _jobsCompleted = r.u64();
+    _subframes = r.u64();
+    _framesExited = r.u64();
+    _contextSwitches = r.u64();
+    _bytesProcessed = r.u64();
+    _bytesSpilled = r.u64();
+    _laneOverflows = r.u64();
+    _creditStalls = r.u64();
+    _creditsReserved = r.u64();
+    _creditsReturned = r.u64();
+    _watchdogResets = r.u64();
+    _unitRetries = r.u64();
+    _framesDegraded = r.u64();
+    _spillNext = r.u64();
+    _currentLane = static_cast<int>(r.i64());
+    _stickyLane = static_cast<int>(r.i64());
+    std::uint32_t nLanes = r.u32();
+    if (nLanes != _lanes.size())
+        fatal(name(), ": snapshot has ", nLanes, " lanes, config has ",
+              _lanes.size(), " (config mismatch)");
+    for (Lane &l : _lanes) {
+        l.bound = r.b();
+        l.flow = static_cast<FlowId>(r.u64());
+        l.headArrival = r.tick();
+    }
+    _stats.loadState(r);
+    // The restored power level is re-integrated by the energy ledger
+    // (serialized separately); nothing to re-apply here.
+}
+
 } // namespace vip

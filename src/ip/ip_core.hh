@@ -262,6 +262,20 @@ class IpCore : public ClockedObject
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /**
+     * True when the engine holds no job or unit in flight and every
+     * lane is drained (no frames, feeds, buffered bytes, outstanding
+     * DMA, spills or armed credit waiter) — the IP owns no pending
+     * events, so a checkpoint captures it with plain counters plus
+     * the lane-binding topology.
+     */
+    bool quiescent() const;
+
+    /** @{ Serializable */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     /** Occupancy/power accounting state. */
     enum class EngineState

@@ -55,6 +55,11 @@ class FrameAllocator
         return out;
     }
 
+    /** @{ bump-cursor access (checkpointing) */
+    Addr cursor() const { return _next; }
+    void setCursor(Addr next) { _next = next; }
+    /** @} */
+
   private:
     Addr _capacity;
     Addr _next = 0;

@@ -65,8 +65,8 @@ void
 MemoryController::startup()
 {
     _windowStart = curTick();
-    scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
-               EventPriority::Stats);
+    _bwEvent = scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
+                          EventPriority::Stats);
     armLpTimer();
 }
 
@@ -131,15 +131,18 @@ MemoryController::armLpTimer()
                                           : MaxTick);
     if (delay == MaxTick)
         return; // already in the deepest state
-    _lpTimer = scheduleIn(delay, [this] {
-        _lpTimer = InvalidEventId;
-        if (inFlight() > 0)
-            return;
-        enterLpState(_lpState == LpState::Active
-                         ? LpState::PowerDown
-                         : LpState::SelfRefresh);
-        armLpTimer();
-    });
+    _lpTimer = scheduleIn(delay, [this] { lpTimerFired(); });
+}
+
+void
+MemoryController::lpTimerFired()
+{
+    _lpTimer = InvalidEventId;
+    if (inFlight() > 0)
+        return;
+    enterLpState(_lpState == LpState::Active ? LpState::PowerDown
+                                             : LpState::SelfRefresh);
+    armLpTimer();
 }
 
 Tick
@@ -186,8 +189,8 @@ MemoryController::sampleBandwidth()
     }
     _windowBytes = 0;
     _windowStart = now;
-    scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
-               EventPriority::Stats);
+    _bwEvent = scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
+                          EventPriority::Stats);
 }
 
 void
@@ -211,7 +214,9 @@ MemoryController::access(MemRequest req)
         auto cb = std::move(req.onComplete);
         Tick lat = _cfg.idealLatency;
         _latency.sample(toNs(lat));
-        scheduleIn(lat, [cb = std::move(cb)] {
+        ++_idealInFlight;
+        scheduleIn(lat, [this, cb = std::move(cb)] {
+            --_idealInFlight;
             if (cb)
                 cb();
         });
@@ -546,6 +551,154 @@ MemoryController::stateDigest(StateDigest &d) const
         d.add(id);
         d.add(_byRequester.at(id));
     }
+}
+
+void
+MemoryController::saveState(SnapshotWriter &w) const
+{
+    vip_assert(quiescent(),
+               "checkpointing a memory controller with bursts in "
+               "flight");
+    EventQueue &eq = system().eventq();
+
+    w.u64(_windowBytes);
+    w.tick(_windowStart);
+    w.u64(_bytesRead);
+    w.u64(_bytesWritten);
+    w.u64(_rowHits);
+    w.u64(_rowMisses);
+    w.u64(_eccCorrected);
+    w.u64(_eccUncorrected);
+    w.u64(_burstsAccepted);
+    w.u64(_burstsCompleted);
+    w.tick(_wakePenalty);
+
+    // Per-requester attribution, in sorted-key order so the snapshot
+    // bytes are independent of hash iteration order.
+    std::vector<std::uint32_t> ids;
+    ids.reserve(_byRequester.size());
+    for (const auto &[id, bytes] : _byRequester)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (std::uint32_t id : ids) {
+        w.u32(id);
+        w.u64(_byRequester.at(id));
+    }
+
+    // Per-channel open-row state and accounting.  Queues are empty
+    // and no channel is busy at a quiescent point.
+    w.u32(static_cast<std::uint32_t>(_channels.size()));
+    for (const auto &c : _channels) {
+        vip_assert(c.queue.empty() && !c.busy,
+                   "channel not idle at checkpoint");
+        w.u32(static_cast<std::uint32_t>(c.banks.size()));
+        for (const auto &b : c.banks) {
+            w.b(b.open);
+            w.u64(b.row);
+        }
+        w.u64(c.rowHits);
+        w.u64(c.rowMisses);
+        w.u64(c.bursts);
+        w.u64(c.bytes);
+    }
+
+    // Low-power state machine.
+    w.u8(static_cast<std::uint8_t>(_lpState));
+    w.tick(_lpSince);
+    w.tick(_powerDownTicks);
+    w.tick(_selfRefreshTicks);
+    w.u64(_lpEntries);
+    bool lpLive = _lpTimer != InvalidEventId && eq.isLive(_lpTimer);
+    w.b(lpLive);
+    if (lpLive) {
+        w.u64(_lpTimer);
+        w.tick(eq.scheduledWhen(_lpTimer));
+    }
+
+    // Bandwidth sampler event.
+    bool bwLive = _bwEvent != InvalidEventId && eq.isLive(_bwEvent);
+    w.b(bwLive);
+    if (bwLive) {
+        w.u64(_bwEvent);
+        w.tick(eq.scheduledWhen(_bwEvent));
+    }
+
+    _stats.saveState(w);
+}
+
+void
+MemoryController::loadState(SnapshotReader &r)
+{
+    EventQueue &eq = system().eventq();
+
+    _windowBytes = r.u64();
+    _windowStart = r.tick();
+    _bytesRead = r.u64();
+    _bytesWritten = r.u64();
+    _rowHits = r.u64();
+    _rowMisses = r.u64();
+    _eccCorrected = r.u64();
+    _eccUncorrected = r.u64();
+    _burstsAccepted = r.u64();
+    _burstsCompleted = r.u64();
+    _wakePenalty = r.tick();
+
+    _byRequester.clear();
+    std::uint32_t nReq = r.u32();
+    for (std::uint32_t i = 0; i < nReq; ++i) {
+        std::uint32_t id = r.u32();
+        _byRequester[id] = r.u64();
+    }
+
+    std::uint32_t nCh = r.u32();
+    if (nCh != _channels.size()) {
+        fatal(name(), ": snapshot has ", nCh, " channels, config has ",
+              _channels.size(), " (config mismatch)");
+    }
+    for (auto &c : _channels) {
+        std::uint32_t nBanks = r.u32();
+        if (nBanks != c.banks.size()) {
+            fatal(name(), ": snapshot has ", nBanks,
+                  " banks/channel, config has ", c.banks.size(),
+                  " (config mismatch)");
+        }
+        for (auto &b : c.banks) {
+            b.open = r.b();
+            b.row = r.u64();
+        }
+        c.rowHits = r.u64();
+        c.rowMisses = r.u64();
+        c.bursts = r.u64();
+        c.bytes = r.u64();
+    }
+
+    _lpState = static_cast<LpState>(r.u8());
+    _lpSince = r.tick();
+    _powerDownTicks = r.tick();
+    _selfRefreshTicks = r.tick();
+    _lpEntries = r.u64();
+    if (r.b()) {
+        EventId id = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(id, when, [this] { lpTimerFired(); });
+        _lpTimer = id;
+    } else {
+        _lpTimer = InvalidEventId;
+    }
+    if (r.b()) {
+        EventId id = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(id, when, [this] { sampleBandwidth(); },
+                        EventPriority::Stats);
+        _bwEvent = id;
+    } else {
+        _bwEvent = InvalidEventId;
+    }
+
+    _stats.loadState(r);
+    // The restored power level is re-integrated by the energy ledger
+    // (serialized separately); nothing to re-apply here.
 }
 
 } // namespace vip

@@ -107,6 +107,22 @@ class MemoryController : public SimObject
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /**
+     * True when no burst is queued, in service, or (ideal mode) in
+     * flight as a pending completion — the only pending events are the
+     * re-armable bandwidth sampler and low-power timer.
+     */
+    bool
+    quiescent() const
+    {
+        return inFlight() == 0 && _idealInFlight == 0;
+    }
+
+    /** @{ Serializable */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     struct Pending
     {
@@ -152,6 +168,8 @@ class MemoryController : public SimObject
     /** @{ low-power state machine */
     void enterLpState(LpState s);
     void armLpTimer();
+    /** Body of the low-power demotion timer (named for restore). */
+    void lpTimerFired();
     /** Wake for an access; returns the exit penalty to charge. */
     Tick wakeForAccess();
     void onAllIdle();
@@ -165,6 +183,10 @@ class MemoryController : public SimObject
     // Bandwidth monitor state
     std::uint64_t _windowBytes = 0;
     Tick _windowStart = 0;
+    EventId _bwEvent = InvalidEventId;
+
+    /** Ideal-mode completions scheduled but not yet delivered. */
+    std::uint64_t _idealInFlight = 0;
 
     // Aggregate counters
     std::uint64_t _bytesRead = 0;

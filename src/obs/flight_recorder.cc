@@ -45,7 +45,10 @@ writeCrashJson(std::ostream &os, const PostmortemInfo &info)
     os << "    \"faultPlan\": " << json::quoted(info.faultPlan)
        << ",\n";
     os << "    \"metricsCsv\": " << json::quoted(info.metricsPath)
-       << "\n";
+       << ",\n";
+    os << "    \"checkpoint\": " << json::quoted(info.checkpointPath)
+       << ",\n";
+    os << "    \"checkpointTick\": " << info.checkpointTick << "\n";
     os << "  }\n";
     os << "}\n";
 }

@@ -47,6 +47,10 @@ struct PostmortemInfo
     std::vector<std::pair<std::string, std::string>> meta;
     /** Where the incremental metrics CSV lives, "" when disabled. */
     std::string metricsPath;
+    /** Newest checkpoint-ring snapshot, "" when none was written;
+     *  rerunning with --restore=<checkpointPath> resumes the run. */
+    std::string checkpointPath;
+    Tick checkpointTick = 0;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/stat_registry.hh"
+#include "sim/snapshot.hh"
 
 namespace vip
 {
@@ -150,6 +151,68 @@ LatencyCollector::registerStats(StatRegistry &r) const
                         "per-transfer SA link occupancy", _sa);
     r.addLogHistogramMs("latency.dram_burst",
                         "per-burst DRAM service time", _dram);
+}
+
+void
+LogHistogram::saveState(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(_bins.size()));
+    for (std::uint64_t b : _bins)
+        w.u64(b);
+    w.u64(_count);
+    w.tick(_min);
+    w.tick(_max);
+    w.d(_sum);
+}
+
+void
+LogHistogram::loadState(SnapshotReader &r)
+{
+    std::uint32_t n = r.u32();
+    _bins.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        _bins[i] = r.u64();
+    _count = r.u64();
+    _min = r.tick();
+    _max = r.tick();
+    _sum = r.d();
+}
+
+void
+LatencyCollector::saveState(SnapshotWriter &w) const
+{
+    _endToEnd.saveState(w);
+    _transit.saveState(w);
+    _sa.saveState(w);
+    _dram.saveState(w);
+    // The stage map is ordered by name, so iteration is stable.
+    w.u32(static_cast<std::uint32_t>(_stages.size()));
+    for (const auto &[name, hists] : _stages) {
+        w.str(name);
+        hists.wait.saveState(w);
+        hists.compute.saveState(w);
+        hists.blocked.saveState(w);
+        hists.total.saveState(w);
+    }
+}
+
+void
+LatencyCollector::loadState(SnapshotReader &r)
+{
+    _endToEnd.loadState(r);
+    _transit.loadState(r);
+    _sa.loadState(r);
+    _dram.loadState(r);
+    std::uint32_t n = r.u32();
+    _stages.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        StageHists &hists = _stages[name];
+        hists.wait.loadState(r);
+        hists.compute.loadState(r);
+        hists.blocked.loadState(r);
+        hists.total.loadState(r);
+    }
 }
 
 } // namespace vip

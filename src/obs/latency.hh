@@ -27,6 +27,9 @@
 namespace vip
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Log-linear histogram over non-negative tick values.  Values below
  * 2^kSubBits are exact; above that, each power-of-two range is split
@@ -47,6 +50,11 @@ class LogHistogram
     double mean() const;
     /** Value at percentile @p p in [0, 100]. */
     Tick percentile(double p) const;
+
+    /** @{ checkpoint serialization */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
 
   private:
     static std::size_t bucketOf(Tick v);
@@ -112,6 +120,11 @@ class LatencyCollector
      * at registration time.
      */
     void registerStats(StatRegistry &registry) const;
+
+    /** @{ checkpoint serialization (stage map re-grown on load) */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
 
   private:
     struct StageHists

@@ -6,6 +6,7 @@
 
 #include "obs/provenance.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/system.hh"
 
 namespace vip
@@ -45,8 +46,26 @@ MetricsSampler::start()
             _stream->flush();
         }
     }
-    _sys.eventq().scheduleIn(
+    _sampleEvent = _sys.eventq().scheduleIn(
         _interval, [this] { sampleNow(); }, EventPriority::Stats);
+}
+
+void
+MetricsSampler::resume()
+{
+    if (!_path.empty()) {
+        _stream = std::make_unique<std::ofstream>(_path,
+                                                  std::ios::app);
+        if (!*_stream) {
+            warn("metrics: cannot reopen ", _path,
+                 "; falling back to in-memory only");
+            _stream.reset();
+        } else {
+            *_stream << "# resumed-at-tick=" << _sys.curTick()
+                     << "\n";
+            _stream->flush();
+        }
+    }
 }
 
 void
@@ -61,7 +80,7 @@ MetricsSampler::sampleNow()
         writeRow(*_stream, _ticks.size() - 1);
         _stream->flush();
     }
-    _sys.eventq().scheduleIn(
+    _sampleEvent = _sys.eventq().scheduleIn(
         _interval, [this] { sampleNow(); }, EventPriority::Stats);
 }
 
@@ -98,6 +117,50 @@ MetricsSampler::writeCsv(std::ostream &os) const
     writeHeader(os);
     for (std::size_t r = 0; r < _ticks.size(); ++r)
         writeRow(os, r);
+}
+
+void
+MetricsSampler::saveState(SnapshotWriter &w) const
+{
+    EventQueue &eq = _sys.eventq();
+    bool live = eq.isLive(_sampleEvent);
+    w.b(live);
+    if (live) {
+        w.u64(_sampleEvent);
+        w.tick(eq.scheduledWhen(_sampleEvent));
+    }
+    // The in-memory rows are restored too, so a post-run writeCsv()
+    // is bit-identical to an uninterrupted run's.
+    w.u32(static_cast<std::uint32_t>(_probes.size()));
+    w.u64(_ticks.size());
+    for (Tick t : _ticks)
+        w.tick(t);
+    for (double v : _data)
+        w.d(v);
+}
+
+void
+MetricsSampler::loadState(SnapshotReader &r)
+{
+    EventQueue &eq = _sys.eventq();
+    if (r.b()) {
+        _sampleEvent = r.u64();
+        Tick when = r.tick();
+        eq.restoreEvent(_sampleEvent, when, [this] { sampleNow(); },
+                        EventPriority::Stats);
+    }
+    std::uint32_t nProbes = r.u32();
+    if (nProbes != _probes.size())
+        fatal("metrics: snapshot has ", nProbes,
+              " probes, this run registered ", _probes.size(),
+              " (config mismatch)");
+    std::uint64_t nRows = r.u64();
+    _ticks.assign(nRows, 0);
+    for (std::uint64_t i = 0; i < nRows; ++i)
+        _ticks[i] = r.tick();
+    _data.assign(nRows * _probes.size(), 0.0);
+    for (double &v : _data)
+        v = r.d();
 }
 
 } // namespace vip

@@ -26,12 +26,15 @@
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace vip
 {
 
 class System;
+class SnapshotWriter;
+class SnapshotReader;
 
 class MetricsSampler
 {
@@ -53,6 +56,21 @@ class MetricsSampler
 
     /** Schedule the first sample one interval from now. */
     void start();
+
+    /**
+     * Re-open the incremental stream after a checkpoint restore:
+     * append mode (the rows streamed before the checkpoint stay in
+     * place, no second header), stamped with a '# resumed-at-tick='
+     * comment so the seam is visible in the CSV.  The pending sample
+     * event itself is restored by loadState(); call resume() after
+     * it, in place of start().
+     */
+    void resume();
+
+    /** @{ checkpoint serialization (pending event + sampled rows) */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
 
     std::size_t rows() const { return _ticks.size(); }
     std::size_t probes() const { return _probes.size(); }
@@ -80,6 +98,7 @@ class MetricsSampler
     std::vector<double> _data; ///< rows() * probes(), row-major
     std::string _path;
     std::unique_ptr<std::ofstream> _stream;
+    EventId _sampleEvent = InvalidEventId; ///< next pending sample
 };
 
 } // namespace vip

@@ -118,7 +118,12 @@ void
 SystemAgent::signal(Callback on_delivered)
 {
     ++_signals;
-    scheduleIn(_cfg.signalLatency, std::move(on_delivered));
+    ++_signalsInFlight;
+    scheduleIn(_cfg.signalLatency,
+               [this, cb = std::move(on_delivered)] {
+        --_signalsInFlight;
+        cb();
+    });
 }
 
 double
@@ -193,6 +198,41 @@ SystemAgent::stateDigest(StateDigest &d) const
     d.add(_bytesDelivered);
     d.add(_bytesInFlight);
     d.add(_bytesRetransmitted);
+}
+
+void
+SystemAgent::saveState(SnapshotWriter &w) const
+{
+    vip_assert(quiescent(),
+               "checkpointing the SA with payload or signals in "
+               "flight");
+    w.tick(_busyUntil);
+    w.tick(_busyTicks);
+    w.u64(_bytesMoved);
+    w.u64(_peerBytes);
+    w.u64(_signals);
+    w.u64(_xferRetries);
+    w.u64(_bytesAccepted);
+    w.u64(_bytesDelivered);
+    w.u64(_bytesInFlight);
+    w.u64(_bytesRetransmitted);
+    _stats.saveState(w);
+}
+
+void
+SystemAgent::loadState(SnapshotReader &r)
+{
+    _busyUntil = r.tick();
+    _busyTicks = r.tick();
+    _bytesMoved = r.u64();
+    _peerBytes = r.u64();
+    _signals = r.u64();
+    _xferRetries = r.u64();
+    _bytesAccepted = r.u64();
+    _bytesDelivered = r.u64();
+    _bytesInFlight = r.u64();
+    _bytesRetransmitted = r.u64();
+    _stats.loadState(r);
 }
 
 } // namespace vip

@@ -106,6 +106,22 @@ class SystemAgent : public SimObject
     void stateDigest(StateDigest &d) const override;
     /** @} */
 
+    /**
+     * True when no payload is crossing the link and no signal
+     * delivery is pending — the SA owns no re-creatable events, so a
+     * checkpoint here captures it with plain counters.
+     */
+    bool
+    quiescent() const
+    {
+        return _bytesInFlight == 0 && _signalsInFlight == 0;
+    }
+
+    /** @{ Serializable */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     /** Charge occupancy for @p bytes; returns the delivery tick. */
     Tick occupy(std::uint32_t bytes);
@@ -135,6 +151,9 @@ class SystemAgent : public SimObject
     std::uint64_t _bytesDelivered = 0;
     std::uint64_t _bytesInFlight = 0;
     std::uint64_t _bytesRetransmitted = 0;
+    /** Signal deliveries scheduled but not yet fired (not digested —
+     *  purely a quiescence gate; always 0 at a checkpoint). */
+    std::uint64_t _signalsInFlight = 0;
 
     // ---- observability (tracer string ids; never digested) ----
     std::uint32_t _obsTrkLink = 0;

@@ -35,6 +35,9 @@
 namespace vip
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Rolling FNV-1a (64-bit) over typed state words. */
 class StateDigest
 {
@@ -294,6 +297,17 @@ class Auditor
     /** First record where @p a and @p b disagree. */
     static Divergence firstDivergence(const DigestStream &a,
                                       const DigestStream &b);
+
+    /** @{ checkpoint serialization (driven by the Simulation).
+     *
+     * The recorded digest stream and violation list are part of the
+     * run's output, so a restored run must carry the prefix recorded
+     * before the checkpoint; components must already be re-attached
+     * (in build order) on load — a name mismatch is a config skew.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
 
   private:
     AuditConfig _cfg;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "sim/snapshot.hh"
+
 namespace vip
 {
 
@@ -34,6 +36,12 @@ EventQueue::serviceOne()
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    return runUntil(limit, PreServiceHook{});
+}
+
+Tick
+EventQueue::runUntil(Tick limit, const PreServiceHook &hook)
+{
     while (!_heap.empty()) {
         // Purge dead entries at the top without advancing time.
         const Entry &top = _heap.front();
@@ -44,11 +52,42 @@ EventQueue::runUntil(Tick limit)
         }
         if (top.when > limit)
             break;
+        // The hook observes the queue between events (checkpointing):
+        // it must not schedule, cancel, or mutate simulated state.
+        if (hook)
+            hook(top.when);
         serviceOne();
     }
     if (_curTick < limit && limit != MaxTick)
         _curTick = limit;
     return _curTick;
+}
+
+Tick
+EventQueue::scheduledWhen(EventId id) const
+{
+    vip_assert(_live.contains(id),
+               "scheduledWhen() on a dead event id ", id);
+    for (const Entry &e : _heap) {
+        if (e.id == id)
+            return e.when;
+    }
+    panic("live event id ", id, " has no heap entry");
+}
+
+void
+EventQueue::restoreEvent(EventId id, Tick when, Callback cb,
+                         EventPriority prio)
+{
+    vip_assert(id != InvalidEventId && id < _nextId,
+               "restoreEvent id ", id, " outside issued range");
+    vip_assert(when >= _curTick, "restoreEvent in the past: when=",
+               when, " cur=", _curTick);
+    bool inserted = _live.insert(id);
+    vip_assert(inserted, "restoreEvent id ", id, " already live");
+    _heap.push_back(Entry{when, static_cast<int>(prio), id,
+                          std::move(cb)});
+    std::push_heap(_heap.begin(), _heap.end(), Later{});
 }
 
 void
@@ -90,6 +129,57 @@ EventQueue::auditInvariants(AuditContext &ctx) const
                       id != InvalidEventId && id < _nextId,
                       "live id outside issued range");
     });
+}
+
+void
+EventQueue::saveState(SnapshotWriter &w) const
+{
+    w.tick(_curTick);
+    w.u64(_nextId);
+    w.u64(_serviced);
+    w.u64(_tickServiced);
+    // The live-id set, sorted: ids identify which periodic events are
+    // pending.  Their (when, prio, callback) are re-created by the
+    // owning components; restore is verified against this exact set.
+    std::vector<EventId> ids;
+    ids.reserve(_live.size());
+    _live.forEach([&](EventId id) { ids.push_back(id); });
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (EventId id : ids)
+        w.u64(id);
+}
+
+void
+EventQueue::loadState(SnapshotReader &r)
+{
+    vip_assert(_live.empty() && _heap.empty(),
+               "restoring into a non-empty event queue");
+    _curTick = r.tick();
+    _nextId = r.u64();
+    _serviced = r.u64();
+    _tickServiced = r.u64();
+    std::uint64_t n = r.u64();
+    _restoreIds.clear();
+    _restoreIds.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        _restoreIds.push_back(r.u64());
+}
+
+void
+EventQueue::verifyRestore() const
+{
+    std::vector<EventId> ids;
+    ids.reserve(_live.size());
+    _live.forEach([&](EventId id) { ids.push_back(id); });
+    std::sort(ids.begin(), ids.end());
+    if (ids != _restoreIds) {
+        fatal("checkpoint restore re-armed ", ids.size(),
+              " pending events where the snapshot recorded ",
+              _restoreIds.size(),
+              " (or with different ids) -- a component failed to "
+              "re-create its pending events");
+    }
 }
 
 void

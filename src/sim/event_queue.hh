@@ -48,10 +48,16 @@ constexpr EventId InvalidEventId = 0;
  * set is exactly the pending events, and the heap is compacted
  * whenever dead entries outnumber live ones, so memory stays O(live).
  */
+class SnapshotWriter;
+class SnapshotReader;
+
 class EventQueue : public Auditable
 {
   public:
     using Callback = std::function<void()>;
+    /** Observer invoked before each serviced event (checkpointing);
+     *  receives the tick the next event will run at. */
+    using PreServiceHook = std::function<void(Tick)>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -117,8 +123,45 @@ class EventQueue : public Auditable
      */
     Tick runUntil(Tick limit);
 
+    /**
+     * As runUntil(Tick), with @p hook called before every serviced
+     * event.  The hook must be purely observational — checkpointing
+     * uses it to detect quiescent points without perturbing the run.
+     */
+    Tick runUntil(Tick limit, const PreServiceHook &hook);
+
     /** Run until the queue drains completely. */
     Tick run() { return runUntil(MaxTick); }
+
+    /** @{ Checkpoint/restore (quiescent-point snapshots).
+     *
+     * saveState() records the kernel counters and the sorted live-id
+     * set; loadState() restores the counters and remembers the ids.
+     * Each component then re-arms its own pending events with
+     * restoreEvent() using the id and scheduledWhen() it saved, and
+     * verifyRestore() checks that the re-armed set matches the
+     * snapshot exactly.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+
+    /** True when @p id is scheduled and not yet run or cancelled. */
+    bool isLive(EventId id) const { return _live.contains(id); }
+
+    /** The tick a live event will run at (save-time lookup). */
+    Tick scheduledWhen(EventId id) const;
+
+    /**
+     * Re-create a pending event with its original id.  Only valid
+     * between loadState() and verifyRestore(); ids must come from the
+     * snapshot (already issued, i.e. below the restored _nextId).
+     */
+    void restoreEvent(EventId id, Tick when, Callback cb,
+                      EventPriority prio = EventPriority::Default);
+
+    /** SimFatal unless re-armed events match the snapshot's id set. */
+    void verifyRestore() const;
+    /** @} */
 
     /** Total number of events ever serviced (for kernel stats). */
     std::uint64_t servicedEvents() const { return _serviced; }
@@ -181,6 +224,8 @@ class EventQueue : public Auditable
     std::vector<Entry> _heap;
     /** Ids scheduled and neither serviced nor cancelled. */
     FlatIdSet _live;
+    /** Sorted live ids from the snapshot (verifyRestore()). */
+    std::vector<EventId> _restoreIds;
 };
 
 } // namespace vip

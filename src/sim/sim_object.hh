@@ -14,6 +14,7 @@
 
 #include "sim/audit.hh"
 #include "sim/event_queue.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace vip
@@ -23,7 +24,7 @@ class StatRegistry;
 class System;
 
 /** Base class for all named simulation components. */
-class SimObject : public Auditable
+class SimObject : public Auditable, public Serializable
 {
   public:
     /**
@@ -77,6 +78,17 @@ class SimObject : public Auditable
     {
         (void)registry;
     }
+
+    /**
+     * @{ Serializable (checkpoint/restore; see sim/snapshot.hh).
+     * Stateless components inherit the no-ops; every stateful
+     * component overrides both.  loadState() runs against a freshly
+     * built platform at a quiescent tick and must also re-arm any
+     * pending events the component owns (EventQueue::restoreEvent).
+     */
+    void saveState(SnapshotWriter &w) const override { (void)w; }
+    void loadState(SnapshotReader &r) override { (void)r; }
+    /** @} */
 
   private:
     System &_system;

@@ -38,13 +38,19 @@ System::find(const std::string &name) const
 Tick
 System::run(Tick limit)
 {
+    return run(limit, EventQueue::PreServiceHook{});
+}
+
+Tick
+System::run(Tick limit, const EventQueue::PreServiceHook &hook)
+{
     if (!_started) {
         _started = true;
         // startup() may create new objects; iterate by index.
         for (std::size_t i = 0; i < _objects.size(); ++i)
             _objects[i]->startup();
     }
-    Tick t = _eventq.runUntil(limit);
+    Tick t = _eventq.runUntil(limit, hook);
     for (std::size_t i = 0; i < _objects.size(); ++i)
         _objects[i]->finalize();
     return t;

@@ -60,8 +60,19 @@ class System
      */
     Tick run(Tick limit);
 
+    /** As run(), threading a pre-service hook into the event loop
+     *  (see EventQueue::runUntil; used for checkpointing). */
+    Tick run(Tick limit, const EventQueue::PreServiceHook &hook);
+
     /** True once run() was called at least once. */
     bool started() const { return _started; }
+
+    /**
+     * Suppress the one-time startup() pass of the next run() call.
+     * Used when restoring a checkpoint: the snapshot already contains
+     * the events startup() would have scheduled.
+     */
+    void markStarted() { _started = true; }
 
     /**
      * @{ Observability hooks (see src/obs/).  Both are optional and

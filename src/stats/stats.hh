@@ -29,6 +29,10 @@
 
 namespace vip
 {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace stats
 {
 
@@ -52,6 +56,11 @@ class Stat
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
+
+    /** @{ Checkpoint/restore: bit-exact state round-trip. */
+    virtual void saveState(SnapshotWriter &w) const = 0;
+    virtual void loadState(SnapshotReader &r) = 0;
+    /** @} */
 
   private:
     std::string _name;
@@ -79,6 +88,12 @@ class Group
     /** Reset every registered stat. */
     void resetAll();
 
+    /** @{ Checkpoint/restore of every registered stat, in
+     *  registration order, each entry name-checked on load. */
+    void saveState(SnapshotWriter &w) const;
+    void loadState(SnapshotReader &r);
+    /** @} */
+
   private:
     std::string _name;
     std::vector<Stat *> _stats;
@@ -98,6 +113,9 @@ class Scalar : public Stat
 
     void print(std::ostream &os) const override;
     void reset() override { _value = 0.0; }
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     double _value = 0.0;
@@ -148,6 +166,9 @@ class TimeWeighted : public Stat
         // _current intentionally preserved: the signal still has its
         // physical value after a stats reset.
     }
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     void
@@ -220,6 +241,9 @@ class Accumulator : public Stat
         _sum = _meanRun = _m2 = _min = _max = 0.0;
     }
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     std::uint64_t _n = 0;
     double _sum = 0.0;
@@ -289,6 +313,9 @@ class Histogram : public Stat
         _total = 0;
     }
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     double _lo, _hi;
     std::vector<std::uint64_t> _bins;
@@ -315,6 +342,10 @@ class Formula : public Stat
 
     void print(std::ostream &os) const override;
     void reset() override {}
+
+    /** Formulas hold no state: derived from other stats at read time. */
+    void saveState(SnapshotWriter &) const override {}
+    void loadState(SnapshotReader &) override {}
 
   private:
     Fn _fn;

@@ -91,7 +91,25 @@ usage()
         "                               format vip_stats_diff reads)\n"
         "  --postmortem-dir <dir>       on a fatal error write a crash\n"
         "                               bundle (crash.json, stats.json,\n"
-        "                               trace-tail.json) there\n"
+        "                               trace-tail.json) there; also\n"
+        "                               keeps a checkpoint ring so the\n"
+        "                               run is resumable after a kill\n"
+        "  --checkpoint-out <file>      write a snapshot at the end of\n"
+        "                               the run (and at every cadence\n"
+        "                               boundary with the flag below;\n"
+        "                               the prior file rotates to\n"
+        "                               <file>.prev)\n"
+        "  --checkpoint-every-ms <ms>   checkpoint cadence in simulated\n"
+        "                               ms; each snapshot lands at the\n"
+        "                               first quiescent point after a\n"
+        "                               boundary (0 = end only)\n"
+        "  --restore <file>             resume from a snapshot; pass\n"
+        "                               the same workload/config/seed\n"
+        "                               flags as the original run (any\n"
+        "                               skew is a fatal error).  The\n"
+        "                               resumed run's digests and\n"
+        "                               stats are bit-identical to an\n"
+        "                               uninterrupted run\n"
         "  --list                       list workloads and exit\n");
 }
 
@@ -443,6 +461,22 @@ main(int argc, char **argv)
             cfg.postmortemDir = next();
         } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
             cfg.postmortemDir = arg.substr(17);
+        } else if (arg == "--checkpoint-out") {
+            cfg.checkpointOut = next();
+        } else if (arg.rfind("--checkpoint-out=", 0) == 0) {
+            cfg.checkpointOut = arg.substr(17);
+        } else if (arg == "--checkpoint-every-ms") {
+            const std::string v = next();
+            char *end = nullptr;
+            cfg.checkpointEveryMs = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                !(cfg.checkpointEveryMs > 0.0))
+                vip::fatal("--checkpoint-every-ms needs a "
+                           "positive period, got '", v, "'");
+        } else if (arg == "--restore") {
+            cfg.restorePath = next();
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            cfg.restorePath = arg.substr(10);
         } else if (arg == "--metrics-interval-ms") {
             const std::string v = next();
             cfg.metrics.intervalMs = std::atof(v.c_str());
@@ -468,6 +502,13 @@ main(int argc, char **argv)
         vip::Simulation sim(cfg, parseWorkload(workload));
         auto s = sim.run();
         report(s);
+        if (sim.checkpointsWritten() > 0) {
+            std::printf("checkpoints : %llu snapshot(s) written%s%s\n",
+                        static_cast<unsigned long long>(
+                            sim.checkpointsWritten()),
+                        cfg.checkpointOut.empty() ? "" : ", latest ",
+                        cfg.checkpointOut.c_str());
+        }
         if (cfg.audit.enabled()) {
             std::printf("audit       : %llu passes, %llu digest "
                         "records, %llu violations (%s), stream "

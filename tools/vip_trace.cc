@@ -62,6 +62,26 @@ ms(std::uint64_t ticks)
     return static_cast<double>(ticks) / 1e9;
 }
 
+/**
+ * Crash bundles stamp the display name from systemConfigName();
+ * map it back to the spelling vip_sim --config accepts.
+ */
+std::string
+cliConfigName(const std::string &display)
+{
+    if (display == "Baseline")
+        return "baseline";
+    if (display == "FrameBurst")
+        return "frameburst";
+    if (display == "IP-to-IP")
+        return "iptoip";
+    if (display == "IP-to-IP+FB")
+        return "iptoip-fb";
+    if (display == "VIP")
+        return "vip";
+    return display;
+}
+
 /** A reconstructed span: X events and matched B/E pairs. */
 struct Span
 {
@@ -239,11 +259,44 @@ printCrash(const std::string &path)
     const auto *csv = crash->find("metricsCsv");
     if (csv && !csv->str.empty())
         std::printf("metrics csv : %s\n", csv->str.c_str());
-    if (const auto *run = root.find("run")) {
+    const auto *run = root.find("run");
+    if (run) {
         std::printf("run         :");
         for (const auto &[k, v] : run->obj)
             std::printf(" %s=%s", k.c_str(), v.str.c_str());
         std::printf("\n");
+    }
+    // A bundle whose ring wrote at least one snapshot is resumable:
+    // name the checkpoint and spell out the resume command.
+    const auto *ckpt = crash->find("checkpoint");
+    if (ckpt && !ckpt->str.empty()) {
+        std::printf("checkpoint  : %s (tick %.0f, %.3f ms)\n",
+                    ckpt->str.c_str(),
+                    vip::json::numField(*crash, "checkpointTick"),
+                    vip::json::numField(*crash, "checkpointTick") /
+                        1e9);
+        std::printf("resume with : vip_sim");
+        if (run) {
+            auto field = [&](const char *key, const char *flag) {
+                const auto *v = run->find(key);
+                if (v && !v->str.empty()) {
+                    auto val = std::strcmp(key, "config") == 0
+                                   ? cliConfigName(v->str)
+                                   : v->str;
+                    std::printf(" %s %s", flag, val.c_str());
+                }
+            };
+            field("workload", "--workload");
+            field("config", "--config");
+            field("seconds", "--seconds");
+            field("seed", "--seed");
+        }
+        std::printf(" --restore %s\n", ckpt->str.c_str());
+        const auto *fp = crash->find("faultPlan");
+        if (fp && !fp->str.empty()) {
+            std::printf("              (plus the original --fault-* "
+                        "flags: %s)\n", fp->str.c_str());
+        }
     }
 }
 
