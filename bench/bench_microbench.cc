@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.hh"
 #include "core/simulation.hh"
 #include "ip/ip_core.hh"
 
@@ -134,6 +139,109 @@ BENCHMARK_CAPTURE(BM_FullPlatformVipRunTraced, FrameLifecycle,
                       | static_cast<std::uint32_t>(TraceCat::Fault))
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * --sim-throughput: the simulator-speed trajectory behind fleet
+ * capacity planning.  One W4 run per system configuration, reporting
+ * how fast the simulator itself executes — millions of simulated
+ * ticks (ps) per wall second, serviced events per wall second, and
+ * the headline "simulated ms per wall second" a sweep scheduler
+ * multiplies out to size a fleet.  Results land in a schemaVersion'd
+ * JSON (default BENCH_microbench.json) whose checked-in copy records
+ * the trajectory across PRs.
+ */
+int
+simThroughputReport(const char *outPath)
+{
+    const double seconds = bench::simSeconds(0.1);
+    const char *path = outPath ? outPath : "BENCH_microbench.json";
+
+    struct Row
+    {
+        const char *config;
+        double simMs = 0.0;
+        double wallMs = 0.0;
+        std::uint64_t events = 0;
+        std::uint64_t ticks = 0;
+    };
+    std::vector<Row> rows;
+    std::printf("%-10s %9s %9s %12s %12s %14s\n", "config", "sim-ms",
+                "wall-ms", "MTicks/s", "Mevents/s", "sim-ms/wall-s");
+    for (auto sc : kAllConfigs) {
+        Row r;
+        r.config = systemConfigName(sc);
+        SocConfig cfg;
+        cfg.system = sc;
+        cfg.simSeconds = seconds;
+        const auto t0 = std::chrono::steady_clock::now();
+        Simulation sim(cfg, WorkloadCatalog::byIndex(4));
+        sim.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count();
+        r.simMs = toMs(sim.system().curTick());
+        r.events = sim.system().eventq().servicedEvents();
+        r.ticks = sim.system().curTick();
+        const double wallS = r.wallMs / 1e3;
+        std::printf("%-10s %9.1f %9.1f %12.0f %12.2f %14.1f\n",
+                    r.config, r.simMs, r.wallMs,
+                    static_cast<double>(r.ticks) / wallS / 1e6,
+                    static_cast<double>(r.events) / wallS / 1e6,
+                    r.simMs / wallS);
+        rows.push_back(r);
+    }
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    os << "{\n  \"schemaVersion\": "
+       << bench::kBenchSchemaVersion << ",\n"
+       << "  \"kind\": \"vip-bench-microbench\",\n";
+    bench::writeProvenanceJson(os);
+    os << ",\n  \"workload\": \"W4\",\n  \"seconds\": " << seconds
+       << ",\n  \"throughput\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const double wallS = r.wallMs / 1e3;
+        char buf[360];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"config\": \"%s\", \"sim_ms\": %.3f, "
+            "\"wall_ms\": %.1f, \"events\": %llu, "
+            "\"mticks_per_s\": %.0f, \"mevents_per_s\": %.3f, "
+            "\"sim_ms_per_wall_s\": %.1f}",
+            r.config, r.simMs, r.wallMs,
+            static_cast<unsigned long long>(r.events),
+            static_cast<double>(r.ticks) / wallS / 1e6,
+            static_cast<double>(r.events) / wallS / 1e6,
+            r.simMs / wallS);
+        os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    std::printf("throughput report written to %s\n", path);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The throughput trajectory is a plain report, not a
+    // google-benchmark: a single pass per configuration is the
+    // figure fleet planning consumes.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sim-throughput") == 0) {
+            const char *out =
+                i + 1 < argc ? argv[i + 1] : nullptr;
+            return simThroughputReport(out);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

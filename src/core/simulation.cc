@@ -573,7 +573,10 @@ Simulation::run()
         writePostmortem(e.what(), "panic");
         throw;
     }
-    return collect(_cfg.simSeconds);
+    // An interrupted run's rates are judged over the time it actually
+    // simulated, not the time it was asked for.
+    return collect(_interrupted ? toSec(_sys.curTick())
+                                : _cfg.simSeconds);
 }
 
 void
@@ -602,7 +605,12 @@ Simulation::runEventLoop(Tick limit)
         _plans.push_back({path, firstBoundary(period), period});
     }
     bool probe = std::getenv("VIP_QUIESCENCE_PROBE") != nullptr;
-    if (_plans.empty() && !probe) {
+    auto pendingSignal = [this] {
+        return _cfg.interruptFlag
+                   ? _cfg.interruptFlag->load(std::memory_order_relaxed)
+                   : 0;
+    };
+    if (_plans.empty() && !probe && !_cfg.interruptFlag) {
         _sys.run(limit);
         return;
     }
@@ -610,6 +618,19 @@ Simulation::runEventLoop(Tick limit)
     std::uint64_t points = 0, quiet = 0;
     Tick lastQuiet = start, maxGap = 0;
     auto hook = [&](Tick next) {
+        // Graceful interrupt: stop at the first quiescent point,
+        // after writing a final checkpoint to every armed plan so the
+        // interrupted run leaves a resumable trail.  With no plans
+        // armed there is nothing to flush — stop immediately.
+        if (int sig = pendingSignal(); sig != 0 && !_interrupted &&
+                                       (_plans.empty() || quiescent())) {
+            for (CheckpointPlan &p : _plans)
+                saveCheckpoint(p.path);
+            _interrupted = true;
+            _interruptSig = sig;
+            _sys.eventq().requestStop();
+            return;
+        }
         ++points;
         bool due = probe;
         for (const CheckpointPlan &p : _plans)
@@ -632,6 +653,13 @@ Simulation::runEventLoop(Tick limit)
         }
     };
     _sys.run(limit, hook);
+    // A signal that never met a quiescent point (or landed after the
+    // last event) still marks the run interrupted: the caller must
+    // know the outputs cover less simulated time than asked for.
+    if (int sig = pendingSignal(); sig != 0 && !_interrupted) {
+        _interrupted = true;
+        _interruptSig = sig;
+    }
     if (probe) {
         maxGap = std::max(maxGap, _sys.curTick() - lastQuiet);
         // Explicitly requested via the environment, so bypass the

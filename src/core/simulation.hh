@@ -113,6 +113,21 @@ class Simulation
         return _checkpointsWritten;
     }
 
+    /** @{ Graceful interrupts (cfg.interruptFlag).
+     *
+     * interrupted() is true when the run stopped early because the
+     * flag fired; interruptSignal() is the stored signal number.  The
+     * newest checkpoint (written at the stopping quiescent point when
+     * any checkpoint plan was armed) is lastCheckpointPath(). */
+    bool interrupted() const { return _interrupted; }
+    int interruptSignal() const { return _interruptSig; }
+    const std::string &lastCheckpointPath() const
+    {
+        return _lastCheckpointPath;
+    }
+    Tick lastCheckpointTick() const { return _lastCheckpointTick; }
+    /** @} */
+
     /**
      * Dump every component's statistics (gem5 stats.txt style) plus
      * the energy ledger to @p os.  Call after run().
@@ -196,6 +211,8 @@ class Simulation
     std::vector<std::unique_ptr<FlowRuntime>> _flows;
     std::uint64_t _lastRetired = 0;
     bool _ran = false;
+    bool _interrupted = false;
+    int _interruptSig = 0;
 
     /** @{ checkpoint/restore bookkeeping */
     /** stopAppAt() intent: part of the run identity, and scheduled

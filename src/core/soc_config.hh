@@ -6,6 +6,7 @@
 #ifndef VIP_CORE_SOC_CONFIG_HH
 #define VIP_CORE_SOC_CONFIG_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 
@@ -155,6 +156,19 @@ struct SocConfig
     double checkpointEveryMs = 0.0;
     std::string restorePath;
     /** @} */
+
+    /**
+     * Graceful-interrupt flag: when non-null and it becomes nonzero
+     * (a signal number, stored by a SIGINT/SIGTERM handler or a fleet
+     * supervisor), the run stops early at the first quiescent point —
+     * after writing a final checkpoint to every armed checkpoint plan
+     * (the flight-recorder ring included), so interrupted runs always
+     * leave a resumable trail.  Simulation::interrupted() reports
+     * whether the run was cut short; streamed outputs (metrics CSV)
+     * are already flushed row-by-row and --stats-out is written by
+     * the driver afterwards as usual.
+     */
+    const std::atomic<int> *interruptFlag = nullptr;
 
     /**
      * Fault-injection plan.  All probabilities default to zero, so a

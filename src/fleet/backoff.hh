@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Retry/backoff arithmetic for the fleet supervisor, separated so the
+ * math is unit-testable without spawning anything.
+ */
+
+#ifndef VIP_FLEET_BACKOFF_HH
+#define VIP_FLEET_BACKOFF_HH
+
+#include "fleet/job_spec.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+/**
+ * Wall-clock delay before retrying a job that has failed
+ * @p failedAttempts times (>= 1): min(cap, base * 2^(failures-1)).
+ * Saturates at the cap — the shift is computed in floating point, so
+ * absurd failure counts cannot overflow.
+ */
+inline double
+backoffDelayMs(const FleetPolicy &p, int failedAttempts)
+{
+    if (failedAttempts < 1 || p.backoffBaseMs <= 0.0)
+        return 0.0;
+    // 2^53 dwarfs any real cap; stop doubling well before overflow.
+    double delay = p.backoffBaseMs;
+    for (int i = 1; i < failedAttempts && delay < p.backoffCapMs; ++i)
+        delay *= 2.0;
+    return delay < p.backoffCapMs ? delay : p.backoffCapMs;
+}
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_BACKOFF_HH

@@ -1,0 +1,134 @@
+#include "fleet/scheduler.hh"
+
+#include <limits>
+
+#include "fleet/backoff.hh"
+#include "sim/logging.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Pending: return "pending";
+      case JobState::Running: return "running";
+      case JobState::Backoff: return "backoff";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+FleetScheduler::FleetScheduler(std::vector<FleetJob> jobs,
+                               FleetPolicy policy)
+    : _policy(policy)
+{
+    _jobs.reserve(jobs.size());
+    for (auto &j : jobs) {
+        JobProgress p;
+        p.job = std::move(j);
+        _jobs.push_back(std::move(p));
+    }
+}
+
+std::size_t
+FleetScheduler::claimNext(double nowMs)
+{
+    std::size_t backoffPick = npos;
+    for (std::size_t i = 0; i < _jobs.size(); ++i) {
+        JobProgress &p = _jobs[i];
+        if (p.state == JobState::Pending) {
+            p.state = JobState::Running;
+            ++p.attempts;
+            return i;
+        }
+        if (p.state == JobState::Backoff && nowMs >= p.readyAtMs &&
+            backoffPick == npos) {
+            backoffPick = i;
+        }
+    }
+    if (backoffPick != npos) {
+        JobProgress &p = _jobs[backoffPick];
+        p.state = JobState::Running;
+        ++p.attempts;
+    }
+    return backoffPick;
+}
+
+void
+FleetScheduler::onSuccess(std::size_t idx, double elapsedMs)
+{
+    vip_assert(idx < _jobs.size(), "onSuccess: job ", idx);
+    JobProgress &p = _jobs[idx];
+    vip_assert(p.state == JobState::Running, "onSuccess on a job in "
+               "state ", jobStateName(p.state));
+    p.state = JobState::Done;
+    p.wallMs += elapsedMs;
+    if (p.resumeNext)
+        p.everResumed = true;
+    p.resumeNext = false;
+}
+
+void
+FleetScheduler::onFailure(std::size_t idx, double nowMs,
+                          double elapsedMs, const std::string &why,
+                          bool canResume)
+{
+    vip_assert(idx < _jobs.size(), "onFailure: job ", idx);
+    JobProgress &p = _jobs[idx];
+    vip_assert(p.state == JobState::Running, "onFailure on a job in "
+               "state ", jobStateName(p.state));
+    p.wallMs += elapsedMs;
+    if (p.resumeNext)
+        p.everResumed = true;
+    p.lastError = why;
+    p.history.push_back("attempt " + std::to_string(p.attempts) +
+                        ": " + why);
+    if (p.attempts >= _policy.maxAttempts) {
+        p.state = JobState::Failed;
+        p.resumeNext = false;
+        return;
+    }
+    p.state = JobState::Backoff;
+    p.readyAtMs = nowMs + backoffDelayMs(_policy, p.attempts);
+    p.resumeNext = _policy.resume && canResume;
+}
+
+bool
+FleetScheduler::allSettled() const
+{
+    for (const auto &p : _jobs) {
+        if (p.state == JobState::Pending ||
+            p.state == JobState::Running ||
+            p.state == JobState::Backoff)
+            return false;
+    }
+    return true;
+}
+
+double
+FleetScheduler::nextReadyMs() const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto &p : _jobs) {
+        if (p.state == JobState::Backoff && p.readyAtMs < next)
+            next = p.readyAtMs;
+    }
+    return next;
+}
+
+std::size_t
+FleetScheduler::count(JobState s) const
+{
+    std::size_t n = 0;
+    for (const auto &p : _jobs)
+        n += p.state == s ? 1 : 0;
+    return n;
+}
+
+} // namespace fleet
+} // namespace vip

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * FleetScheduler: the supervision state machine, pure of any process
+ * or thread handling so every transition is unit-testable with a fake
+ * clock.
+ *
+ * Per-job lifecycle:
+ *
+ *     Pending ──claim──> Running ──success──────────> Done
+ *        ^                  │
+ *        │                  ├─failure, attempts left─> Backoff
+ *        └──ready (clock)───┘        │
+ *                                    └─attempt cap───> Failed
+ *
+ * A failure carries whether the shard left a resumable checkpoint;
+ * when it did (and the policy allows), the next attempt is marked to
+ * resume from the ring instead of rerunning from tick 0.  Failed jobs
+ * are terminal but never abort the sweep: the fleet completes and
+ * reports them in the merged report's failed_jobs section.
+ */
+
+#ifndef VIP_FLEET_SCHEDULER_HH
+#define VIP_FLEET_SCHEDULER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/job_spec.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+enum class JobState
+{
+    Pending,  ///< waiting for a worker slot
+    Running,  ///< claimed by a worker
+    Backoff,  ///< failed, waiting out the retry delay
+    Done,     ///< completed successfully
+    Failed,   ///< attempt cap reached; terminal
+};
+
+const char *jobStateName(JobState s);
+
+/** Everything the supervisor tracks about one job. */
+struct JobProgress
+{
+    FleetJob job;
+    JobState state = JobState::Pending;
+    int attempts = 0;           ///< attempts started so far
+    double readyAtMs = 0.0;     ///< Backoff: eligible wall time
+    bool resumeNext = false;    ///< next attempt restores a checkpoint
+    bool everResumed = false;   ///< any attempt restored a checkpoint
+    std::string lastError;      ///< most recent failure reason
+    std::vector<std::string> history; ///< one line per failed attempt
+    double wallMs = 0.0;        ///< total wall time across attempts
+};
+
+class FleetScheduler
+{
+  public:
+    FleetScheduler(std::vector<FleetJob> jobs, FleetPolicy policy);
+
+    /**
+     * Claim the next job eligible to start at wall time @p nowMs:
+     * Pending jobs first (spec order), then Backoff jobs whose delay
+     * has elapsed.  Marks it Running and counts the attempt.
+     * @return the job index, or npos when nothing is eligible now.
+     */
+    std::size_t claimNext(double nowMs);
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** The claimed job finished cleanly. */
+    void onSuccess(std::size_t idx, double elapsedMs);
+
+    /**
+     * The claimed job died (nonzero exit, signal, hang-kill, or an
+     * in-process exception).  @p canResume is whether the shard left
+     * a loadable checkpoint behind; combined with the policy it
+     * decides whether the retry restores or restarts.
+     */
+    void onFailure(std::size_t idx, double nowMs, double elapsedMs,
+                   const std::string &why, bool canResume);
+
+    /** True when no job is Pending, Running, or in Backoff. */
+    bool allSettled() const;
+
+    /** Earliest Backoff deadline, or +inf when none are waiting
+     *  (lets the supervisor sleep exactly as long as it may). */
+    double nextReadyMs() const;
+
+    /** @{ outcome accounting */
+    std::size_t doneCount() const { return count(JobState::Done); }
+    std::size_t failedCount() const { return count(JobState::Failed); }
+    std::size_t runningCount() const { return count(JobState::Running); }
+    /** @} */
+
+    const std::vector<JobProgress> &jobs() const { return _jobs; }
+    const JobProgress &job(std::size_t idx) const { return _jobs[idx]; }
+    const FleetPolicy &policy() const { return _policy; }
+
+  private:
+    std::size_t count(JobState s) const;
+
+    std::vector<JobProgress> _jobs;
+    FleetPolicy _policy;
+};
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_SCHEDULER_HH

@@ -1,0 +1,723 @@
+#include "fleet/supervisor.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/simulation.hh"
+#include "fault/fault_plan.hh"
+#include "obs/provenance.hh"
+#include "obs/stats_io.hh"
+#include "obs/stats_merge.hh"
+#include "sim/audit.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace vip
+{
+namespace fleet
+{
+
+namespace
+{
+
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+/** Size of @p path in bytes, or -1 when it does not exist (yet). */
+long
+statSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<long>(st.st_size);
+}
+
+/**
+ * The shard's simulated progress: the tick_ms column (first field) of
+ * the newest non-comment row of its heartbeat CSV, or -1 before the
+ * first sample lands.  Heartbeat files are small (hundreds of rows),
+ * so rereading on growth is cheap.
+ */
+double
+readLastTickMs(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1.0;
+    std::string line, last;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const char c = line[0];
+        if ((c < '0' || c > '9') && c != '-' && c != '.')
+            continue; // the "tick_ms,..." header row
+        last = line;
+    }
+    if (last.empty())
+        return -1.0;
+    return std::strtod(last.c_str(), nullptr);
+}
+
+} // namespace
+
+const char *
+workerModeName(WorkerMode m)
+{
+    switch (m) {
+      case WorkerMode::Process: return "process";
+      case WorkerMode::Thread: return "thread";
+    }
+    return "?";
+}
+
+ShardPaths
+shardPaths(const std::string &outDir, const std::string &jobId)
+{
+    ShardPaths p;
+    p.dir = outDir + "/shards/" + jobId;
+    p.statsJson = p.dir + "/stats.json";
+    p.metricsCsv = p.dir + "/metrics.csv";
+    p.pmDir = p.dir + "/pm";
+    p.checkpoint = p.pmDir + "/checkpoint.vips";
+    p.digest = p.dir + "/digest.dig";
+    p.log = p.dir + "/log.txt";
+    return p;
+}
+
+std::vector<std::string>
+workerArgs(const JobSpec &spec, const FleetJob &job,
+           const ShardPaths &paths, bool resume)
+{
+    const FleetPolicy &pol = spec.fleet;
+    std::vector<std::string> a;
+    a.push_back("--workload");
+    a.push_back(job.workload);
+    a.push_back("--config");
+    a.push_back(job.config);
+    a.push_back("--seed");
+    a.push_back(std::to_string(job.seed));
+    a.push_back("--seconds");
+    a.push_back(fmtNum(spec.seconds));
+    if (!job.faultPlan.empty()) {
+        a.push_back("--fault-plan");
+        a.push_back(job.faultPlan);
+    }
+    if (!spec.audit.empty()) {
+        a.push_back("--audit");
+        a.push_back(spec.audit);
+    }
+    if (pol.digests) {
+        a.push_back("--digest-out");
+        a.push_back(paths.digest);
+    }
+    if (pol.heartbeatIntervalMs > 0.0) {
+        a.push_back("--metrics-out");
+        a.push_back(paths.metricsCsv);
+        a.push_back("--metrics-interval-ms");
+        a.push_back(fmtNum(pol.heartbeatIntervalMs));
+    }
+    a.push_back("--stats-out");
+    a.push_back(paths.statsJson);
+    a.push_back("--postmortem-dir");
+    a.push_back(paths.pmDir);
+    if (pol.checkpointEveryMs > 0.0) {
+        a.push_back("--checkpoint-every-ms");
+        a.push_back(fmtNum(pol.checkpointEveryMs));
+    }
+    if (resume) {
+        a.push_back("--restore");
+        a.push_back(paths.checkpoint);
+    }
+    for (const auto &x : spec.extraArgs)
+        a.push_back(x);
+    return a;
+}
+
+/**
+ * One in-process attempt's shared state.  The worker thread writes
+ * ok/error, then publishes with a release store of finished; the
+ * supervisor joins after an acquire load, so the plain fields are
+ * safely visible.
+ */
+struct ThreadTask
+{
+    std::thread thread;
+    std::atomic<int> cancel{0};    ///< the job's interrupt flag
+    std::atomic<bool> finished{false};
+    bool ok = false;
+    std::string error;
+};
+
+namespace
+{
+
+/** The thread-backend worker body: mirrors vip_sim's flag semantics
+ *  exactly (same outputs, same digest-visible side effects), so a
+ *  thread-mode shard is bit-identical to a process-mode one. */
+void
+runThreadAttempt(double seconds, std::string audit, FleetPolicy pol,
+                 FleetJob job, ShardPaths paths, bool resume,
+                 ThreadTask *task)
+{
+    try {
+        SocConfig cfg;
+        cfg.simSeconds = seconds;
+        cfg.seed = job.seed;
+        cfg.system = configByCliName(job.config);
+        if (!job.faultPlan.empty())
+            cfg.fault = FaultPlan::parse(job.faultPlan);
+        if (!audit.empty())
+            cfg.audit = AuditConfig::parse(audit);
+        if (pol.digests && !cfg.audit.enabled())
+            cfg.audit = AuditConfig::parse("periodic:1");
+        if (pol.heartbeatIntervalMs > 0.0) {
+            cfg.metrics.out = paths.metricsCsv;
+            cfg.metrics.intervalMs = pol.heartbeatIntervalMs;
+        }
+        cfg.statsOut = paths.statsJson;
+        cfg.postmortemDir = paths.pmDir;
+        if (pol.checkpointEveryMs > 0.0)
+            cfg.checkpointEveryMs = pol.checkpointEveryMs;
+        if (resume)
+            cfg.restorePath = paths.checkpoint;
+        cfg.interruptFlag = &task->cancel;
+
+        Simulation sim(cfg, workloadByName(job.workload));
+        RunStats s = sim.run();
+
+        {
+            std::ofstream out(paths.statsJson);
+            if (!out)
+                fatal("cannot write ", paths.statsJson);
+            sim.writeStatsJson(out);
+        }
+        if (pol.digests) {
+            std::ofstream out(paths.digest);
+            if (!out)
+                fatal("cannot write ", paths.digest);
+            std::vector<std::string> meta{
+                "workload=" + job.workload, "config=" + job.config,
+                "seed=" + std::to_string(cfg.seed)};
+            for (const auto &l : provenanceMetaLines())
+                meta.push_back(l);
+            sim.auditor().writeDigestStream(out, meta);
+        }
+
+        if (sim.interrupted()) {
+            task->error = "interrupted (graceful cancel, signal " +
+                          std::to_string(sim.interruptSignal()) + ")";
+        } else if (s.auditViolations > 0) {
+            task->error = "audit violations: " +
+                          std::to_string(s.auditViolations);
+        } else {
+            task->ok = true;
+        }
+    } catch (const std::exception &e) {
+        task->error = std::string("exception: ") + e.what();
+    } catch (...) {
+        task->error = "unknown exception";
+    }
+    task->finished.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+/** One worker seat: at most one running attempt. */
+struct FleetSupervisor::Slot
+{
+    bool active = false;
+    std::size_t jobIdx = FleetScheduler::npos;
+    double startMs = 0.0;
+
+    /** @{ heartbeat tracking */
+    long lastSize = -1;     ///< newest observed CSV size
+    double lastBeatMs = 0.0; ///< wall time the CSV last changed
+    /** @} */
+
+    bool chaosKilled = false;
+    bool hangKilled = false;
+
+    pid_t pid = -1;                   ///< process backend
+    std::unique_ptr<ThreadTask> task; ///< thread backend
+};
+
+FleetSupervisor::FleetSupervisor(JobSpec spec, FleetOptions opt)
+    : _spec(std::move(spec)), _opt(std::move(opt)),
+      _sched(_spec.jobs, _spec.fleet)
+{
+}
+
+FleetSupervisor::~FleetSupervisor() = default;
+
+void
+FleetSupervisor::note(const std::string &line) const
+{
+    if (_opt.verbose)
+        std::fprintf(stderr, "[fleet] %s\n", line.c_str());
+}
+
+void
+FleetSupervisor::launch(Slot &slot, std::size_t jobIdx, double nowMs)
+{
+    const JobProgress &p = _sched.job(jobIdx);
+    const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
+    const bool resume = p.resumeNext;
+
+    std::error_code ec;
+    fs::create_directories(paths.pmDir, ec);
+    if (ec)
+        fatal("cannot create shard directory ", paths.pmDir, ": ",
+              ec.message());
+
+    slot = Slot{};
+    slot.active = true;
+    slot.jobIdx = jobIdx;
+    slot.startMs = nowMs;
+    slot.lastSize = statSize(paths.metricsCsv);
+    slot.lastBeatMs = nowMs;
+
+    if (p.attempts > 1)
+        ++_retries;
+    if (resume)
+        ++_resumes;
+    note(p.job.id + ": attempt " + std::to_string(p.attempts) +
+         (resume ? " (resuming from " + paths.checkpoint + ")" : ""));
+
+    if (_opt.mode == WorkerMode::Thread) {
+        slot.task = std::make_unique<ThreadTask>();
+        ThreadTask *t = slot.task.get();
+        t->thread = std::thread(runThreadAttempt, _spec.seconds,
+                                _spec.audit, _spec.fleet, p.job,
+                                paths, resume, t);
+        return;
+    }
+
+    // Process backend: fork/exec vip_sim with stdout+stderr appended
+    // to the shard log (one stream across attempts).
+    std::vector<std::string> args = workerArgs(_spec, p.job, paths,
+                                               resume);
+    {
+        std::ofstream log(paths.log, std::ios::app);
+        log << "=== attempt " << p.attempts << " ===\n";
+    }
+    const int logFd = ::open(paths.log.c_str(),
+                             O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (logFd < 0)
+        fatal("cannot open ", paths.log, ": ",
+              std::strerror(errno));
+
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(_opt.vipSimPath.c_str()));
+    for (auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(logFd);
+        fatal("fork failed: ", std::strerror(errno));
+    }
+    if (pid == 0) {
+        ::dup2(logFd, 1);
+        ::dup2(logFd, 2);
+        ::close(logFd);
+        ::execv(argv[0], argv.data());
+        std::fprintf(stderr, "execv %s failed: %s\n", argv[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    ::close(logFd);
+    slot.pid = pid;
+}
+
+void
+FleetSupervisor::finish(Slot &slot, double nowMs, bool ok,
+                        const std::string &why)
+{
+    const std::size_t idx = slot.jobIdx;
+    const double elapsed = nowMs - slot.startMs;
+    const std::string id = _sched.job(idx).job.id;
+    if (ok) {
+        _sched.onSuccess(idx, elapsed);
+        note(id + ": done (" + fmtNum(elapsed) + " wall ms)");
+    } else {
+        const ShardPaths paths = shardPaths(_opt.outDir, id);
+        const bool canResume = fileExists(paths.checkpoint);
+        _sched.onFailure(idx, nowMs, elapsed, why, canResume);
+        const JobProgress &p = _sched.job(idx);
+        note(id + ": " + why + " -> " + jobStateName(p.state) +
+             (p.state == JobState::Backoff
+                  ? (p.resumeNext ? " (will resume)"
+                                  : " (will restart)")
+                  : ""));
+    }
+    slot = Slot{};
+}
+
+void
+FleetSupervisor::poll(Slot &slot, double nowMs)
+{
+    if (!slot.active)
+        return;
+    const FleetPolicy &pol = _spec.fleet;
+    const JobProgress &p = _sched.job(slot.jobIdx);
+    const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
+
+    // 1. Completion.
+    if (_opt.mode == WorkerMode::Process) {
+        int status = 0;
+        const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+        if (r == slot.pid) {
+            const bool ok =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            std::string why;
+            if (!ok) {
+                if (WIFSIGNALED(status)) {
+                    const int sig = WTERMSIG(status);
+                    why = slot.chaosKilled
+                              ? "chaos SIGKILL (injected)"
+                              : slot.hangKilled
+                                    ? "hung (no heartbeat), killed"
+                                    : "killed by signal " +
+                                          std::to_string(sig);
+                } else {
+                    why = "exit code " +
+                          std::to_string(WEXITSTATUS(status));
+                }
+            }
+            finish(slot, nowMs, ok, why);
+            return;
+        }
+    } else {
+        ThreadTask *t = slot.task.get();
+        if (t->finished.load(std::memory_order_acquire)) {
+            t->thread.join();
+            std::string why = t->error.empty() ? "failed" : t->error;
+            if (slot.hangKilled)
+                why = "hung (no heartbeat), cancelled: " + why;
+            finish(slot, nowMs, t->ok, why);
+            return;
+        }
+    }
+
+    // 2. Heartbeat: any change of the streamed CSV is a beat (a
+    //    fresh attempt truncates, a resumed one appends — both move
+    //    the size).
+    const long sz = statSize(paths.metricsCsv);
+    if (sz >= 0 && sz != slot.lastSize) {
+        slot.lastSize = sz;
+        slot.lastBeatMs = nowMs;
+
+        // Chaos injection keys on *simulated* progress so a ring
+        // checkpoint older than the kill point provably exists.
+        if (!_chaosFired && _opt.mode == WorkerMode::Process &&
+            !_opt.killJobId.empty() && p.job.id == _opt.killJobId &&
+            p.attempts == 1) {
+            const double tick = readLastTickMs(paths.metricsCsv);
+            if (tick >= _opt.killAtSimMs) {
+                _chaosFired = true;
+                slot.chaosKilled = true;
+                ::kill(slot.pid, SIGKILL);
+                note(p.job.id + ": chaos SIGKILL at " +
+                     fmtNum(tick) + " simulated ms");
+            }
+        }
+    }
+
+    // 3. Liveness watchdog.
+    if (pol.heartbeatDeadlineMs > 0.0 &&
+        pol.heartbeatIntervalMs > 0.0 && !slot.hangKilled &&
+        !slot.chaosKilled &&
+        nowMs - slot.lastBeatMs > pol.heartbeatDeadlineMs) {
+        slot.hangKilled = true;
+        ++_hangKills;
+        if (_opt.mode == WorkerMode::Process) {
+            ::kill(slot.pid, SIGKILL);
+        } else {
+            // No safe way to kill a thread: request a graceful stop
+            // and keep waiting (the simulator always reaches a
+            // quiescent point unless the process itself is wedged).
+            slot.task->cancel.store(SIGTERM,
+                                    std::memory_order_relaxed);
+        }
+        note(p.job.id + ": no heartbeat for " +
+             fmtNum(nowMs - slot.lastBeatMs) + " wall ms; killed as "
+             "hung");
+    }
+}
+
+void
+FleetSupervisor::interruptAll()
+{
+    for (Slot &slot : _slots) {
+        if (!slot.active)
+            continue;
+        if (_opt.mode == WorkerMode::Process)
+            ::kill(slot.pid, SIGTERM);
+        else
+            slot.task->cancel.store(SIGTERM,
+                                    std::memory_order_relaxed);
+    }
+}
+
+FleetOutcome
+FleetSupervisor::run()
+{
+    if (_opt.outDir.empty())
+        fatal("fleet: no output directory");
+    if (_opt.mode == WorkerMode::Process) {
+        if (_opt.vipSimPath.empty())
+            fatal("fleet: process mode needs the vip_sim path");
+        if (::access(_opt.vipSimPath.c_str(), X_OK) != 0)
+            fatal("fleet: worker binary ", _opt.vipSimPath,
+                  " is not executable: ", std::strerror(errno));
+    }
+    std::error_code ec;
+    fs::create_directories(_opt.outDir + "/shards", ec);
+    if (ec)
+        fatal("cannot create ", _opt.outDir, ": ", ec.message());
+
+    note("sweep '" + _spec.name + "': " +
+         std::to_string(_spec.jobs.size()) + " jobs on " +
+         std::to_string(_spec.fleet.workers) + " " +
+         workerModeName(_opt.mode) + " workers");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto nowMs = [&t0]() {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    _slots.clear();
+    _slots.resize(static_cast<std::size_t>(_spec.fleet.workers));
+
+    bool interrupted = false;
+    while (true) {
+        const double now = nowMs();
+        if (!interrupted && _opt.stopFlag &&
+            _opt.stopFlag->load(std::memory_order_relaxed) != 0) {
+            interrupted = true;
+            note("interrupted; draining workers");
+            interruptAll();
+        }
+        for (Slot &slot : _slots)
+            poll(slot, now);
+        if (!interrupted) {
+            for (Slot &slot : _slots) {
+                if (slot.active)
+                    continue;
+                const std::size_t idx = _sched.claimNext(now);
+                if (idx == FleetScheduler::npos)
+                    break;
+                launch(slot, idx, now);
+            }
+        }
+        const bool anyActive = [this]() {
+            for (const Slot &slot : _slots)
+                if (slot.active)
+                    return true;
+            return false;
+        }();
+        if ((_sched.allSettled() || interrupted) && !anyActive)
+            break;
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                    std::milli>(_opt.pollMs));
+    }
+
+    FleetOutcome out;
+    out.interrupted = interrupted;
+    out.done = _sched.doneCount();
+    out.failed = _sched.failedCount();
+    out.retries = _retries;
+    out.resumes = _resumes;
+    out.hangKills = _hangKills;
+    out.reportPath = _opt.outDir + "/report.json";
+    out.jobs = _sched.jobs();
+    writeReport(out);
+    note("sweep '" + _spec.name + "' " +
+         (interrupted ? "interrupted" : "complete") + ": " +
+         std::to_string(out.done) + " done, " +
+         std::to_string(out.failed) + " failed, " +
+         std::to_string(out.retries) + " retries (" +
+         std::to_string(out.resumes) + " resumed), report " +
+         out.reportPath);
+    return out;
+}
+
+void
+FleetSupervisor::writeReport(const FleetOutcome &out) const
+{
+    // Aggregate every completed shard's stats.json.
+    std::vector<StatsFile> parsed;
+    parsed.reserve(out.jobs.size());
+    std::vector<const StatsFile *> shards;
+    for (const JobProgress &p : out.jobs) {
+        if (p.state != JobState::Done)
+            continue;
+        const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
+        std::ifstream in(paths.statsJson);
+        if (!in) {
+            note(p.job.id + ": done but " + paths.statsJson +
+                 " is unreadable; excluded from the aggregate");
+            continue;
+        }
+        try {
+            parsed.push_back(parseStatsJson(in));
+        } catch (const std::exception &e) {
+            note(p.job.id + ": stats.json rejected (" + e.what() +
+                 "); excluded from the aggregate");
+        }
+    }
+    for (const StatsFile &f : parsed)
+        shards.push_back(&f);
+    const auto agg = aggregateStats(shards);
+
+    std::ofstream os(out.reportPath);
+    if (!os)
+        fatal("cannot write ", out.reportPath);
+    const FleetPolicy &pol = _spec.fleet;
+    os << "{\n"
+       << "  \"kind\": \"vip-fleet-report\",\n"
+       << "  \"schemaVersion\": 1,\n"
+       << "  \"name\": \"" << esc(_spec.name) << "\",\n"
+       << "  \"seconds\": " << fmtNum(_spec.seconds) << ",\n"
+       << "  \"mode\": \"" << workerModeName(_opt.mode) << "\",\n"
+       << "  \"interrupted\": "
+       << (out.interrupted ? "true" : "false") << ",\n";
+    os << "  \"policy\": {\n"
+       << "    \"workers\": " << pol.workers << ",\n"
+       << "    \"max_attempts\": " << pol.maxAttempts << ",\n"
+       << "    \"backoff_base_ms\": " << fmtNum(pol.backoffBaseMs)
+       << ",\n"
+       << "    \"backoff_cap_ms\": " << fmtNum(pol.backoffCapMs)
+       << ",\n"
+       << "    \"heartbeat_deadline_ms\": "
+       << fmtNum(pol.heartbeatDeadlineMs) << ",\n"
+       << "    \"heartbeat_interval_ms\": "
+       << fmtNum(pol.heartbeatIntervalMs) << ",\n"
+       << "    \"checkpoint_every_ms\": "
+       << fmtNum(pol.checkpointEveryMs) << ",\n"
+       << "    \"resume\": " << (pol.resume ? "true" : "false")
+       << "\n  },\n";
+    os << "  \"summary\": {\n"
+       << "    \"jobs\": " << out.jobs.size() << ",\n"
+       << "    \"done\": " << out.done << ",\n"
+       << "    \"failed\": " << out.failed << ",\n"
+       << "    \"retries\": " << out.retries << ",\n"
+       << "    \"resumes\": " << out.resumes << ",\n"
+       << "    \"hang_kills\": " << out.hangKills << ",\n"
+       << "    \"aggregated_shards\": " << shards.size()
+       << "\n  },\n";
+
+    auto jobJson = [&os](const JobProgress &p, bool failedOnly) {
+        os << "    {\n"
+           << "      \"id\": \"" << esc(p.job.id) << "\",\n"
+           << "      \"config\": \"" << esc(p.job.config) << "\",\n"
+           << "      \"workload\": \"" << esc(p.job.workload)
+           << "\",\n"
+           << "      \"seed\": " << p.job.seed << ",\n";
+        if (!p.job.faultPlan.empty())
+            os << "      \"fault_plan\": \"" << esc(p.job.faultPlan)
+               << "\",\n";
+        os << "      \"state\": \"" << jobStateName(p.state)
+           << "\",\n"
+           << "      \"attempts\": " << p.attempts << ",\n"
+           << "      \"resumed\": "
+           << (p.everResumed ? "true" : "false") << ",\n"
+           << "      \"wall_ms\": " << fmtNum(p.wallMs);
+        if (!failedOnly && p.state == JobState::Done)
+            os << ",\n      \"stats\": \"shards/" << esc(p.job.id)
+               << "/stats.json\"";
+        if (!p.lastError.empty())
+            os << ",\n      \"last_error\": \"" << esc(p.lastError)
+               << "\"";
+        if (!p.history.empty()) {
+            os << ",\n      \"history\": [";
+            for (std::size_t i = 0; i < p.history.size(); ++i)
+                os << (i ? ", " : "") << "\"" << esc(p.history[i])
+                   << "\"";
+            os << "]";
+        }
+        os << "\n    }";
+    };
+
+    os << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+        jobJson(out.jobs[i], false);
+        os << (i + 1 < out.jobs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+
+    os << "  \"failed_jobs\": [\n";
+    bool first = true;
+    for (const JobProgress &p : out.jobs) {
+        if (p.state != JobState::Failed)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        jobJson(p, true);
+    }
+    os << (first ? "" : "\n") << "  ],\n";
+
+    os << "  \"aggregate\": ";
+    writeAggregateJson(os, agg, "  ");
+    os << "\n}\n";
+}
+
+} // namespace fleet
+} // namespace vip

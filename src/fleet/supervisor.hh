@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FleetSupervisor: the crash-surviving sweep orchestrator behind
+ * `vip_fleet`.
+ *
+ * The supervisor expands a JobSpec across N workers, watches each
+ * worker's liveness, and drives the FleetScheduler's retry/backoff
+ * state machine:
+ *
+ *  - every worker streams a metrics CSV (its *heartbeat*): the last
+ *    row's tick_ms is the shard's simulated progress, and a file that
+ *    stops growing for heartbeatDeadlineMs of wall time means the
+ *    worker is hung and gets killed;
+ *  - a worker that exits nonzero or dies on a signal is a failure;
+ *    the shard retries after exponential backoff, resuming from the
+ *    newest flight-recorder ring checkpoint when one exists (the
+ *    supervisor threads --postmortem-dir and --checkpoint-every-ms
+ *    into every worker, so killed shards always leave one);
+ *  - jobs that exhaust their attempt cap land in the merged report's
+ *    failed_jobs section — the sweep completes regardless.
+ *
+ * Two worker backends share the loop: Process (fork/exec of vip_sim,
+ * the default — full crash isolation, SIGKILL-able) and Thread
+ * (in-process Simulation per worker, enabled by the library's
+ * run-state isolation; cancellation uses the graceful-interrupt flag
+ * instead of signals).  Chaos injection (--kill <job>@<sim-ms>)
+ * SIGKILLs a named job's first attempt once its heartbeat crosses a
+ * simulated-time threshold — deterministic enough for CI to assert
+ * that the recovered shard's stats are bit-identical to an
+ * uninterrupted run.
+ */
+
+#ifndef VIP_FLEET_SUPERVISOR_HH
+#define VIP_FLEET_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/job_spec.hh"
+#include "fleet/scheduler.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+enum class WorkerMode
+{
+    Process, ///< fork/exec vip_sim per attempt (crash isolation)
+    Thread,  ///< run Simulation on a thread per attempt (in-process)
+};
+
+const char *workerModeName(WorkerMode m);
+
+/** Where one job's artifacts live: <outDir>/shards/<jobId>/... */
+struct ShardPaths
+{
+    std::string dir;        ///< the shard directory
+    std::string statsJson;  ///< --stats-out dump
+    std::string metricsCsv; ///< heartbeat stream
+    std::string pmDir;      ///< --postmortem-dir (checkpoint ring)
+    std::string checkpoint; ///< <pmDir>/checkpoint.vips
+    std::string digest;     ///< --digest-out stream (policy.digests)
+    std::string log;        ///< worker stdout+stderr (process mode)
+};
+
+ShardPaths shardPaths(const std::string &outDir,
+                      const std::string &jobId);
+
+/** Everything run() needs beyond the spec itself. */
+struct FleetOptions
+{
+    std::string outDir;     ///< report + shard tree root
+    std::string vipSimPath; ///< worker binary (process mode)
+    WorkerMode mode = WorkerMode::Process;
+
+    /** @{ chaos injection: SIGKILL job killJobId's first attempt
+     *  once its heartbeat reaches killAtSimMs simulated ms.  The
+     *  threshold is simulated time, so a ring checkpoint (cadence
+     *  checkpointEveryMs < killAtSimMs) provably exists before the
+     *  kill — no wall-clock races.  Process mode only. */
+    std::string killJobId;
+    double killAtSimMs = 0.0;
+    /** @} */
+
+    /** Graceful fleet stop (vip_fleet's own SIGINT/SIGTERM flag):
+     *  workers are interrupted, the loop drains, the report still
+     *  gets written. */
+    const std::atomic<int> *stopFlag = nullptr;
+
+    /** Supervisor poll cadence, wall ms. */
+    double pollMs = 10.0;
+
+    bool verbose = true;
+};
+
+/** What a finished sweep looked like. */
+struct FleetOutcome
+{
+    bool interrupted = false;   ///< stopFlag fired mid-sweep
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t retries = 0;    ///< attempts beyond each job's first
+    std::size_t resumes = 0;    ///< attempts restored from a ring
+    std::size_t hangKills = 0;  ///< liveness-watchdog kills
+    std::string reportPath;     ///< merged report (<outDir>/report.json)
+    std::vector<JobProgress> jobs;
+
+    /** 0 all done; 1 completed with failed_jobs; 2 interrupted. */
+    int exitCode() const
+    {
+        if (interrupted)
+            return 2;
+        return failed == 0 ? 0 : 1;
+    }
+};
+
+/**
+ * The vip_sim argv (argv[0] excluded) for one attempt of @p job —
+ * identical flags on every attempt and on reference reruns, because
+ * checkpoint identity covers the metrics interval and audit spec.
+ * @p resume appends --restore <ring checkpoint>.  Exposed for tests.
+ */
+std::vector<std::string> workerArgs(const JobSpec &spec,
+                                    const FleetJob &job,
+                                    const ShardPaths &paths,
+                                    bool resume);
+
+class FleetSupervisor
+{
+  public:
+    FleetSupervisor(JobSpec spec, FleetOptions opt);
+    ~FleetSupervisor(); ///< out-of-line: Slot is complete in the .cc
+
+    /** Run the sweep to completion (or until stopFlag) and write the
+     *  merged report.  SimFatal only on setup errors (bad outDir,
+     *  missing worker binary) — job failures never throw. */
+    FleetOutcome run();
+
+  private:
+    struct Slot;
+
+    void launch(Slot &slot, std::size_t jobIdx, double nowMs);
+    void poll(Slot &slot, double nowMs);
+    void finish(Slot &slot, double nowMs, bool ok,
+                const std::string &why);
+    void interruptAll();
+    void writeReport(const FleetOutcome &out) const;
+    void note(const std::string &line) const;
+
+    JobSpec _spec;
+    FleetOptions _opt;
+    FleetScheduler _sched;
+    std::vector<Slot> _slots;
+    bool _chaosFired = false;
+    std::size_t _retries = 0;
+    std::size_t _resumes = 0;
+    std::size_t _hangKills = 0;
+};
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_SUPERVISOR_HH

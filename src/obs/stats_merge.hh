@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Merging per-shard stats.json dumps into an aggregate percentile
+ * view — the reduction step behind vip_fleet's merged report.
+ *
+ * Every completed shard of a sweep contributes one StatsFile (the
+ * --stats-out dump of its run).  The merge walks the union of stat
+ * paths and summarizes each path's value distribution across shards:
+ * count, min/max, mean, and nearest-rank percentiles.  Shards are
+ * heterogeneous on purpose (different configs build different IP
+ * sets), so a path absent from some shards simply aggregates over the
+ * shards that have it — the per-path count says how many that was.
+ */
+
+#ifndef VIP_OBS_STATS_MERGE_HH
+#define VIP_OBS_STATS_MERGE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/stats_io.hh"
+
+namespace vip
+{
+
+/** Distribution of one stat path across shards. */
+struct StatAggregate
+{
+    std::size_t count = 0; ///< shards contributing the path
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p25 = 0.0;
+    double p50 = 0.0;
+    double p75 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    std::string unit; ///< from the first contributing shard
+};
+
+/**
+ * Nearest-rank percentile of an ascending-sorted, non-empty vector;
+ * @p pct in [0, 100].  Exposed for tests.
+ */
+double percentileSorted(const std::vector<double> &sorted, double pct);
+
+/** Aggregate the union of stat paths across @p shards. */
+std::map<std::string, StatAggregate>
+aggregateStats(const std::vector<const StatsFile *> &shards);
+
+/**
+ * Write one aggregate map as a JSON object keyed by stat path.
+ * @p indent prefixes every line (report embedding).
+ */
+void writeAggregateJson(std::ostream &os,
+                        const std::map<std::string, StatAggregate> &agg,
+                        const char *indent = "  ");
+
+} // namespace vip
+
+#endif // VIP_OBS_STATS_MERGE_HH

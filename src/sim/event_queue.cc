@@ -42,7 +42,7 @@ EventQueue::runUntil(Tick limit)
 Tick
 EventQueue::runUntil(Tick limit, const PreServiceHook &hook)
 {
-    while (!_heap.empty()) {
+    while (!_heap.empty() && !_stopRequested) {
         // Purge dead entries at the top without advancing time.
         const Entry &top = _heap.front();
         if (!_live.contains(top.id)) {
@@ -56,10 +56,15 @@ EventQueue::runUntil(Tick limit, const PreServiceHook &hook)
         // it must not schedule, cancel, or mutate simulated state.
         if (hook)
             hook(top.when);
+        if (_stopRequested)
+            break;
         serviceOne();
     }
-    if (_curTick < limit && limit != MaxTick)
+    // A stopped run keeps its true last-serviced tick: the caller is
+    // abandoning the remaining simulated time, not skipping it.
+    if (!_stopRequested && _curTick < limit && limit != MaxTick)
         _curTick = limit;
+    _stopRequested = false;
     return _curTick;
 }
 

@@ -167,6 +167,17 @@ class EventQueue : public Auditable
     std::uint64_t servicedEvents() const { return _serviced; }
 
     /**
+     * Ask the current runUntil() to return between events, leaving
+     * simulated time at the last serviced tick instead of
+     * fast-forwarding to the limit.  One-shot: consumed when the run
+     * loop returns.  Used for graceful SIGINT/SIGTERM handling — a
+     * pre-service hook that has flushed its final checkpoint calls
+     * this to end the run early.
+     */
+    void requestStop() { _stopRequested = true; }
+    bool stopRequested() const { return _stopRequested; }
+
+    /**
      * Same-tick livelock guard: cap on events serviced without
      * simulated time advancing.  Zero-latency callback cycles
      * (signal ping-pong, retry storms) never advance the clock, so
@@ -220,6 +231,8 @@ class EventQueue : public Auditable
     std::uint64_t _maxPerTick = 5'000'000;
     std::uint64_t _tickServiced = 0;
     std::uint64_t _compactions = 0;
+    /** Transient graceful-stop request; never serialized. */
+    bool _stopRequested = false;
     /** Binary heap ordered by Later (std::push_heap/pop_heap). */
     std::vector<Entry> _heap;
     /** Ids scheduled and neither serviced nor cancelled. */

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace vip
@@ -9,19 +10,27 @@ namespace logging
 
 namespace
 {
-int gVerbosity = 1;
+/**
+ * The one deliberate process-global in src/: output verbosity is a
+ * property of the process (its terminal), not of a simulation run —
+ * every System/Simulation instance is otherwise fully isolated, so
+ * many can run concurrently in one process (see tests/
+ * test_isolation.cc).  Atomic so fleet worker threads may read it
+ * while a driver adjusts it.
+ */
+std::atomic<int> gVerbosity{1};
 } // namespace
 
 int
 verbosity()
 {
-    return gVerbosity;
+    return gVerbosity.load(std::memory_order_relaxed);
 }
 
 void
 setVerbosity(int level)
 {
-    gVerbosity = level;
+    gVerbosity.store(level, std::memory_order_relaxed);
 }
 
 void

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Fleet kill-resume smoke: run a small sweep under vip_fleet, SIGKILL
+# one worker mid-run via chaos injection, and gate on the recovered
+# shard being bit-identical (stats + digest stream) to an
+# uninterrupted vip_sim run with the same flags.
+#
+# Usage: tests/fleet_smoke.sh [build-dir] [work-dir]
+set -eu
+
+BUILD=${1:-build}
+WORK=${2:-fleet-smoke-out}
+VIP_SIM="$BUILD/tools/vip_sim"
+VIP_FLEET="$BUILD/tools/vip_fleet"
+STATS_DIFF="$BUILD/tools/vip_stats_diff"
+
+for bin in "$VIP_SIM" "$VIP_FLEET" "$STATS_DIFF"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 2; }
+done
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# A1 is quiescent every few ms (max dry gap ~36 ms), so a 20 ms ring
+# cadence guarantees a checkpoint exists well before the kill point.
+# W4-style streaming workloads are NOT suitable here: they can run
+# hundreds of ms without a quiescent point, leaving the ring empty.
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "name": "kill-resume-smoke",
+  "seconds": 0.5,
+  "configs": ["vip"],
+  "workloads": ["A1", "W1"],
+  "seeds": [1, 2],
+  "audit": "periodic:1",
+  "fleet": {
+    "workers": 2,
+    "max_attempts": 3,
+    "backoff_base_ms": 50,
+    "backoff_cap_ms": 1000,
+    "heartbeat_deadline_ms": 30000,
+    "heartbeat_interval_ms": 1.0,
+    "checkpoint_every_ms": 20,
+    "resume": true,
+    "digests": true
+  }
+}
+EOF
+
+# Chaos injection: SIGKILL vip-A1-s1's first attempt once its
+# heartbeat crosses 300 simulated ms.  Keyed on simulated time (the
+# metrics CSV), not wall time, so the kill always lands after a ring
+# snapshot was written -- no races on slow CI machines.
+echo "== fleet sweep with injected SIGKILL"
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/run" \
+    --vip-sim "$VIP_SIM" --kill vip-A1-s1@300
+
+REPORT="$WORK/run/report.json"
+test -s "$REPORT"
+
+echo "== report asserts"
+python3 - "$REPORT" <<'EOF'
+import json, sys
+
+r = json.load(open(sys.argv[1]))
+assert r["kind"] == "vip-fleet-report", r["kind"]
+s = r["summary"]
+assert s["jobs"] == 4 and s["done"] == 4, s
+assert s["failed"] == 0, s
+assert s["retries"] >= 1, s
+assert s["resumes"] >= 1, "killed shard restarted from scratch: %s" % s
+killed = next(j for j in r["jobs"] if j["id"] == "vip-A1-s1")
+assert killed["state"] == "done", killed
+assert killed["attempts"] >= 2, killed
+assert killed["resumed"] is True, killed
+assert any("chaos SIGKILL" in h for h in killed.get("history", [])), killed
+print("report: vip-A1-s1 killed, resumed from checkpoint, done")
+EOF
+
+# Uninterrupted reference run with IDENTICAL flags.  Checkpoint
+# identity covers config/workload/seed/seconds/audit/metrics
+# interval, so every knob the fleet threads into workers must be
+# repeated here for the comparison to be meaningful.
+echo "== uninterrupted reference run"
+REF="$WORK/ref"
+mkdir -p "$REF"
+"$VIP_SIM" --workload A1 --config vip --seed 1 --seconds 0.5 \
+    --audit periodic:1 --digest-out "$REF/digest.dig" \
+    --metrics-out "$REF/metrics.csv" --metrics-interval-ms 1 \
+    --stats-out "$REF/stats.json" --postmortem-dir "$REF/pm" \
+    --checkpoint-every-ms 20
+
+echo "== gate: recovered shard == uninterrupted reference"
+SHARD="$WORK/run/shards/vip-A1-s1"
+"$STATS_DIFF" "$REF/stats.json" "$SHARD/stats.json"
+cmp "$REF/digest.dig" "$SHARD/digest.dig"
+
+echo "fleet kill-resume smoke: PASS"

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Fleet supervision tests: the scheduler's retry/backoff state
+ * machine under a fake clock, worker argv construction, the stats
+ * merge, and whole-fleet runs with in-process thread workers —
+ * including graceful degradation (failed jobs never abort a sweep)
+ * and bit-identical thread-shard output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "fleet/supervisor.hh"
+#include "obs/stats_merge.hh"
+#include "sim/logging.hh"
+
+namespace vip
+{
+namespace fleet
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+FleetJob
+job(const std::string &config, const std::string &workload,
+    std::uint64_t seed)
+{
+    FleetJob j;
+    j.config = config;
+    j.workload = workload;
+    j.seed = seed;
+    j.id = config + "-" + workload + "-s" + std::to_string(seed);
+    return j;
+}
+
+/** Fresh scratch directory per test, removed on teardown. */
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = fs::temp_directory_path() /
+               ("vip-fleet-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(_dir);
+        fs::create_directories(_dir);
+    }
+
+    void TearDown() override { fs::remove_all(_dir); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (_dir / name).string();
+    }
+
+    fs::path _dir;
+};
+
+std::string
+readFile(const std::string &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Scheduler state machine (fake clock, no processes involved).
+// ---------------------------------------------------------------
+
+TEST(FleetScheduler, ClaimsPendingJobsInSpecOrder)
+{
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    FleetScheduler s({job("vip", "A1", 1), job("vip", "A1", 2)}, pol);
+    const std::size_t a = s.claimNext(0.0);
+    const std::size_t b = s.claimNext(0.0);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(s.claimNext(0.0), FleetScheduler::npos);
+    EXPECT_EQ(s.job(0).attempts, 1);
+    EXPECT_EQ(s.job(0).state, JobState::Running);
+    EXPECT_EQ(s.runningCount(), 2u);
+    EXPECT_FALSE(s.allSettled());
+}
+
+TEST(FleetScheduler, FailureBacksOffExponentiallyThenRetries)
+{
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseMs = 100.0;
+    pol.backoffCapMs = 1000.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    s.onFailure(0, 10.0, 10.0, "exit code 1", false);
+    EXPECT_EQ(s.job(0).state, JobState::Backoff);
+    EXPECT_DOUBLE_EQ(s.job(0).readyAtMs, 110.0); // 10 + 100*2^0
+    EXPECT_DOUBLE_EQ(s.nextReadyMs(), 110.0);
+
+    // Not eligible until the delay elapses.
+    EXPECT_EQ(s.claimNext(50.0), FleetScheduler::npos);
+    EXPECT_EQ(s.claimNext(109.9), FleetScheduler::npos);
+    ASSERT_EQ(s.claimNext(110.0), 0u);
+    EXPECT_EQ(s.job(0).attempts, 2);
+
+    // Second failure doubles the delay.
+    s.onFailure(0, 120.0, 10.0, "exit code 1", false);
+    EXPECT_DOUBLE_EQ(s.job(0).readyAtMs, 320.0); // 120 + 100*2^1
+    ASSERT_EQ(s.claimNext(320.0), 0u);
+
+    // Third failure hits the attempt cap: terminal, sweep settles.
+    s.onFailure(0, 330.0, 10.0, "exit code 1", false);
+    EXPECT_EQ(s.job(0).state, JobState::Failed);
+    EXPECT_EQ(s.failedCount(), 1u);
+    EXPECT_TRUE(s.allSettled());
+    EXPECT_EQ(s.claimNext(1e9), FleetScheduler::npos);
+    ASSERT_EQ(s.job(0).history.size(), 3u);
+    EXPECT_EQ(s.job(0).history[0], "attempt 1: exit code 1");
+}
+
+TEST(FleetScheduler, ResumableFailureMarksNextAttempt)
+{
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseMs = 0.0; // retry immediately
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    s.onFailure(0, 1.0, 1.0, "chaos SIGKILL", true);
+    EXPECT_TRUE(s.job(0).resumeNext);
+    ASSERT_EQ(s.claimNext(1.0), 0u);
+    s.onSuccess(0, 5.0);
+    EXPECT_EQ(s.job(0).state, JobState::Done);
+    EXPECT_TRUE(s.job(0).everResumed);
+    EXPECT_FALSE(s.job(0).resumeNext);
+    EXPECT_DOUBLE_EQ(s.job(0).wallMs, 6.0); // both attempts counted
+    EXPECT_TRUE(s.allSettled());
+}
+
+TEST(FleetScheduler, PolicyCanForbidResume)
+{
+    FleetPolicy pol;
+    pol.resume = false;
+    pol.backoffBaseMs = 0.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    s.onFailure(0, 1.0, 1.0, "killed by signal 9", true);
+    EXPECT_FALSE(s.job(0).resumeNext); // checkpoint exists, policy no
+}
+
+TEST(FleetScheduler, PendingJobsWinOverEligibleBackoffs)
+{
+    FleetPolicy pol;
+    pol.backoffBaseMs = 0.0;
+    FleetScheduler s({job("vip", "A1", 1), job("vip", "A1", 2)}, pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    s.onFailure(0, 1.0, 1.0, "x", false);
+    // Job 0 is eligible again, but fresh job 1 goes first.
+    EXPECT_EQ(s.claimNext(2.0), 1u);
+    EXPECT_EQ(s.claimNext(2.0), 0u);
+}
+
+// ---------------------------------------------------------------
+// Worker argv and shard layout.
+// ---------------------------------------------------------------
+
+TEST(FleetWorkerArgs, RetryArgsAreFirstAttemptArgsPlusRestore)
+{
+    // Checkpoint identity covers audit spec and metrics interval, so
+    // a retry MUST repeat the first attempt's flags exactly.
+    JobSpec spec;
+    spec.seconds = 0.25;
+    spec.audit = "periodic:1";
+    spec.fleet.digests = true;
+    spec.fleet.heartbeatIntervalMs = 2.0;
+    spec.fleet.checkpointEveryMs = 25.0;
+    FleetJob j = job("vip", "W4", 7);
+    j.faultPlan = "light";
+    const ShardPaths p = shardPaths("out", j.id);
+
+    const auto fresh = workerArgs(spec, j, p, false);
+    const auto retry = workerArgs(spec, j, p, true);
+    ASSERT_EQ(retry.size(), fresh.size() + 2u);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+        EXPECT_EQ(fresh[i], retry[i]) << "flag " << i;
+    EXPECT_EQ(retry[fresh.size()], "--restore");
+    EXPECT_EQ(retry[fresh.size() + 1], p.checkpoint);
+
+    auto has = [&fresh](const std::string &flag,
+                        const std::string &val) {
+        for (std::size_t i = 0; i + 1 < fresh.size(); ++i)
+            if (fresh[i] == flag && fresh[i + 1] == val)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("--workload", "W4"));
+    EXPECT_TRUE(has("--config", "vip"));
+    EXPECT_TRUE(has("--seed", "7"));
+    EXPECT_TRUE(has("--seconds", "0.25"));
+    EXPECT_TRUE(has("--fault-plan", "light"));
+    EXPECT_TRUE(has("--audit", "periodic:1"));
+    EXPECT_TRUE(has("--digest-out", p.digest));
+    EXPECT_TRUE(has("--metrics-out", p.metricsCsv));
+    EXPECT_TRUE(has("--metrics-interval-ms", "2"));
+    EXPECT_TRUE(has("--stats-out", p.statsJson));
+    EXPECT_TRUE(has("--postmortem-dir", p.pmDir));
+    EXPECT_TRUE(has("--checkpoint-every-ms", "25"));
+}
+
+TEST(FleetWorkerArgs, OptionalFlagsStayOffWhenUnconfigured)
+{
+    JobSpec spec;
+    spec.fleet.digests = false;
+    spec.fleet.heartbeatIntervalMs = 0.0;
+    const FleetJob j = job("baseline", "A1", 1);
+    const auto args =
+        workerArgs(spec, j, shardPaths("out", j.id), false);
+    for (const auto &a : args) {
+        EXPECT_NE(a, "--digest-out");
+        EXPECT_NE(a, "--metrics-out");
+        EXPECT_NE(a, "--audit");
+        EXPECT_NE(a, "--fault-plan");
+        EXPECT_NE(a, "--restore");
+    }
+}
+
+TEST(FleetWorkerArgs, ShardLayoutIsPerJob)
+{
+    const ShardPaths p = shardPaths("runs/x", "vip-A1-s1");
+    EXPECT_EQ(p.dir, "runs/x/shards/vip-A1-s1");
+    EXPECT_EQ(p.statsJson, "runs/x/shards/vip-A1-s1/stats.json");
+    EXPECT_EQ(p.checkpoint,
+              "runs/x/shards/vip-A1-s1/pm/checkpoint.vips");
+    EXPECT_NE(shardPaths("runs/x", "a").dir,
+              shardPaths("runs/x", "b").dir);
+}
+
+// ---------------------------------------------------------------
+// Stats merge.
+// ---------------------------------------------------------------
+
+TEST(StatsMerge, NearestRankPercentiles)
+{
+    const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 25.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 90.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 99.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({42.0}, 50.0), 42.0);
+}
+
+TEST(StatsMerge, AggregatesUnionOfHeterogeneousShards)
+{
+    StatsFile a, b, c;
+    a.stats.push_back({"sim.frames", 100.0, "frames", "exact", ""});
+    a.stats.push_back({"ip.gpu.util", 0.5, "ratio", "pct:5", ""});
+    b.stats.push_back({"sim.frames", 200.0, "frames", "exact", ""});
+    // Shard c lacks ip.gpu.util (different config builds fewer IPs).
+    c.stats.push_back({"sim.frames", 300.0, "frames", "exact", ""});
+
+    const auto agg = aggregateStats({&a, &b, &c});
+    ASSERT_EQ(agg.size(), 2u);
+    const StatAggregate &f = agg.at("sim.frames");
+    EXPECT_EQ(f.count, 3u);
+    EXPECT_DOUBLE_EQ(f.min, 100.0);
+    EXPECT_DOUBLE_EQ(f.max, 300.0);
+    EXPECT_DOUBLE_EQ(f.mean, 200.0);
+    EXPECT_DOUBLE_EQ(f.p50, 200.0);
+    EXPECT_EQ(f.unit, "frames");
+    // The sparse path aggregates over contributors only.
+    EXPECT_EQ(agg.at("ip.gpu.util").count, 1u);
+    EXPECT_DOUBLE_EQ(agg.at("ip.gpu.util").mean, 0.5);
+
+    EXPECT_TRUE(aggregateStats({}).empty());
+}
+
+TEST(StatsMerge, JsonWriterEmitsEveryPath)
+{
+    StatsFile a;
+    a.stats.push_back({"x.y", 1.0, "u", "exact", ""});
+    std::ostringstream os;
+    writeAggregateJson(os, aggregateStats({&a}));
+    EXPECT_NE(os.str().find("\"x.y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"count\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Whole-fleet runs (thread workers; process workers are exercised
+// by the CI smoke script, which needs the installed binaries).
+// ---------------------------------------------------------------
+
+JobSpec
+threadSpec(double seconds)
+{
+    JobSpec spec;
+    spec.name = "unit";
+    spec.seconds = seconds;
+    spec.audit = "periodic:1";
+    spec.fleet.workers = 2;
+    spec.fleet.maxAttempts = 2;
+    spec.fleet.backoffBaseMs = 1.0;
+    spec.fleet.backoffCapMs = 2.0;
+    spec.fleet.heartbeatDeadlineMs = 0.0; // no watchdog in units
+    spec.fleet.heartbeatIntervalMs = 1.0;
+    spec.fleet.checkpointEveryMs = 20.0;
+    return spec;
+}
+
+TEST_F(FleetTest, ThreadFleetShardMatchesDirectRunBitForBit)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1), job("baseline", "A1", 1)};
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.verbose = false;
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+    EXPECT_EQ(out.exitCode(), 0);
+    EXPECT_EQ(out.done, 2u);
+    EXPECT_EQ(out.failed, 0u);
+    EXPECT_TRUE(fs::exists(out.reportPath));
+
+    // Mirror the worker's exact configuration in this process; the
+    // shard's stats dump must be byte-identical.
+    SocConfig cfg;
+    cfg.simSeconds = 0.05;
+    cfg.seed = 1;
+    cfg.system = SystemConfig::VIP;
+    cfg.audit = AuditConfig::parse("periodic:1");
+    cfg.metrics.out = path("mirror.csv");
+    cfg.metrics.intervalMs = 1.0;
+    cfg.statsOut = path("mirror-stats.json");
+    cfg.postmortemDir = path("mirror-pm");
+    cfg.checkpointEveryMs = 20.0;
+    Simulation sim(cfg, WorkloadCatalog::single(1));
+    sim.run();
+    std::ostringstream want;
+    sim.writeStatsJson(want);
+
+    const std::string got = readFile(
+        shardPaths(opt.outDir, "vip-A1-s1").statsJson);
+    EXPECT_EQ(got, want.str());
+}
+
+TEST_F(FleetTest, FailingJobsDegradeGracefullyIntoTheReport)
+{
+    // /bin/false crashes every attempt: the sweep must still finish,
+    // exhaust the attempt cap, and report the failures -- never abort.
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1), job("vip", "A1", 2)};
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Process;
+    opt.vipSimPath = "/bin/false";
+    opt.verbose = false;
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+
+    EXPECT_EQ(out.exitCode(), 1); // completed *with* failures
+    EXPECT_EQ(out.done, 0u);
+    EXPECT_EQ(out.failed, 2u);
+    EXPECT_EQ(out.retries, 2u); // one retry each before the cap
+    ASSERT_EQ(out.jobs.size(), 2u);
+    for (const JobProgress &p : out.jobs) {
+        EXPECT_EQ(p.state, JobState::Failed);
+        EXPECT_EQ(p.attempts, 2);
+        EXPECT_EQ(p.lastError, "exit code 1");
+        ASSERT_EQ(p.history.size(), 2u);
+    }
+
+    const std::string report = readFile(out.reportPath);
+    EXPECT_NE(report.find("\"vip-fleet-report\""), std::string::npos);
+    EXPECT_NE(report.find("\"failed\": 2"), std::string::npos);
+    EXPECT_NE(report.find("\"exit code 1\""), std::string::npos);
+}
+
+TEST_F(FleetTest, StopFlagInterruptsTheSweepButStillWritesTheReport)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1)};
+
+    std::atomic<int> stop{2}; // as if SIGINT already arrived
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.stopFlag = &stop;
+    opt.verbose = false;
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+    EXPECT_TRUE(out.interrupted);
+    EXPECT_EQ(out.exitCode(), 2);
+    EXPECT_EQ(out.done, 0u);
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_EQ(out.jobs[0].state, JobState::Pending); // never started
+    EXPECT_TRUE(fs::exists(out.reportPath));
+    EXPECT_NE(readFile(out.reportPath).find("\"interrupted\": true"),
+              std::string::npos);
+}
+
+TEST_F(FleetTest, MissingWorkerBinaryIsASetupError)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1)};
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Process;
+    opt.vipSimPath = path("no-such-binary");
+    opt.verbose = false;
+    FleetSupervisor sup(spec, opt);
+    EXPECT_THROW(sup.run(), SimFatal);
+}
+
+} // namespace
+} // namespace fleet
+} // namespace vip

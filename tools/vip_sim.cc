@@ -14,6 +14,8 @@
  *   vip_sim --list
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +28,21 @@
 
 namespace
 {
+
+/**
+ * SIGINT/SIGTERM land here; the simulation polls the flag between
+ * events and stops gracefully at the first quiescent point — final
+ * checkpoint written, metrics rows already flushed, stats dumped on
+ * the way out — so an interrupted run (or a fleet-killed worker)
+ * always leaves a resumable trail.  main() exits 128+signal.
+ */
+std::atomic<int> gSignal{0};
+
+extern "C" void
+onSignal(int sig)
+{
+    gSignal.store(sig, std::memory_order_relaxed);
+}
 
 void
 usage()
@@ -499,9 +516,25 @@ main(int argc, char **argv)
         cfg.system = parseConfig(config);
         if (!digestFile.empty() && !cfg.audit.enabled())
             cfg.audit = vip::AuditConfig::parse("periodic:1");
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        cfg.interruptFlag = &gSignal;
         vip::Simulation sim(cfg, parseWorkload(workload));
         auto s = sim.run();
         report(s);
+        if (sim.interrupted()) {
+            std::fprintf(stderr,
+                         "interrupted : signal %d at %.3f simulated "
+                         "ms; outputs flushed%s%s\n",
+                         sim.interruptSignal(),
+                         vip::toMs(sim.system().curTick()),
+                         sim.checkpointsWritten() > 0
+                             ? ", resume with --restore "
+                             : " (no checkpoint ring armed)",
+                         sim.checkpointsWritten() > 0
+                             ? sim.lastCheckpointPath().c_str()
+                             : "");
+        }
         if (sim.checkpointsWritten() > 0) {
             std::printf("checkpoints : %llu snapshot(s) written%s%s\n",
                         static_cast<unsigned long long>(
@@ -557,6 +590,8 @@ main(int argc, char **argv)
                         digestFile.c_str(),
                         sim.auditor().stream().records.size());
         }
+        if (sim.interrupted())
+            return 128 + sim.interruptSignal();
         if (s.auditViolations > 0)
             return 1;
     } catch (const vip::SimFatal &e) {
