@@ -143,6 +143,20 @@ parsePolicy(const json::JsonValue &spec)
                                        p.heartbeatIntervalMs, 0.0, 1e6);
     p.checkpointEveryMs = checkedNum(*f, "checkpoint_every_ms",
                                      p.checkpointEveryMs, 0.0, 1e6);
+    p.backoffJitter = boolOr(*f, "backoff_jitter", p.backoffJitter);
+    p.leaseMs = checkedNum(*f, "lease_ms", p.leaseMs, 0.0, 1e9);
+    p.heartbeatGraceMs = checkedNum(*f, "heartbeat_grace_ms",
+                                    p.heartbeatGraceMs, 0.0, 1e9);
+    p.quarantineAfter = static_cast<int>(checkedNum(
+        *f, "quarantine_after", p.quarantineAfter, 1, 1000));
+    p.probeIntervalMs = checkedNum(*f, "probe_interval_ms",
+                                   p.probeIntervalMs, 1.0, 1e9);
+    p.maxProbes = static_cast<int>(
+        checkedNum(*f, "max_probes", p.maxProbes, 1, 1000));
+    p.maxQuarantines = static_cast<int>(
+        checkedNum(*f, "max_quarantines", p.maxQuarantines, 1, 1000));
+    p.fetchRetries = static_cast<int>(
+        checkedNum(*f, "fetch_retries", p.fetchRetries, 1, 100));
     p.resume = boolOr(*f, "resume", p.resume);
     p.digests = boolOr(*f, "digests", p.digests);
     if (p.heartbeatDeadlineMs > 0.0 && p.heartbeatIntervalMs <= 0.0)

@@ -1,7 +1,5 @@
 #include "fleet/scheduler.hh"
 
-#include <limits>
-
 #include "fleet/backoff.hh"
 #include "sim/logging.hh"
 
@@ -35,15 +33,28 @@ FleetScheduler::FleetScheduler(std::vector<FleetJob> jobs,
     }
 }
 
+void
+FleetScheduler::startAttempt(JobProgress &p, double nowMs,
+                             const std::string &host)
+{
+    p.state = JobState::Running;
+    ++p.attempts;
+    p.token = ++_nextToken;
+    p.host = host;
+    p.leaseUntilMs =
+        _policy.leaseMs > 0.0
+            ? nowMs + _policy.leaseMs
+            : std::numeric_limits<double>::infinity();
+}
+
 std::size_t
-FleetScheduler::claimNext(double nowMs)
+FleetScheduler::claimNext(double nowMs, const std::string &host)
 {
     std::size_t backoffPick = npos;
     for (std::size_t i = 0; i < _jobs.size(); ++i) {
         JobProgress &p = _jobs[i];
         if (p.state == JobState::Pending) {
-            p.state = JobState::Running;
-            ++p.attempts;
+            startAttempt(p, nowMs, host);
             return i;
         }
         if (p.state == JobState::Backoff && nowMs >= p.readyAtMs &&
@@ -51,12 +62,145 @@ FleetScheduler::claimNext(double nowMs)
             backoffPick = i;
         }
     }
-    if (backoffPick != npos) {
-        JobProgress &p = _jobs[backoffPick];
-        p.state = JobState::Running;
-        ++p.attempts;
-    }
+    if (backoffPick != npos)
+        startAttempt(_jobs[backoffPick], nowMs, host);
     return backoffPick;
+}
+
+void
+FleetScheduler::releaseClaim(std::size_t idx)
+{
+    vip_assert(idx < _jobs.size(), "releaseClaim: job ", idx);
+    JobProgress &p = _jobs[idx];
+    vip_assert(p.state == JobState::Running, "releaseClaim on a job "
+               "in state ", jobStateName(p.state));
+    // The worker never started: the attempt doesn't count, and the
+    // token can never surface in a result.
+    p.state = JobState::Pending;
+    --p.attempts;
+    p.host.clear();
+    p.leaseUntilMs = std::numeric_limits<double>::infinity();
+}
+
+void
+FleetScheduler::renewLease(std::size_t idx, double nowMs)
+{
+    vip_assert(idx < _jobs.size(), "renewLease: job ", idx);
+    JobProgress &p = _jobs[idx];
+    if (p.state == JobState::Running && _policy.leaseMs > 0.0)
+        p.leaseUntilMs = nowMs + _policy.leaseMs;
+}
+
+bool
+FleetScheduler::leaseExpired(std::size_t idx, double nowMs) const
+{
+    const JobProgress &p = _jobs[idx];
+    return p.state == JobState::Running && nowMs > p.leaseUntilMs;
+}
+
+void
+FleetScheduler::onLeaseExpired(std::size_t idx, double nowMs,
+                               double elapsedMs,
+                               const std::string &why, bool canResume)
+{
+    vip_assert(idx < _jobs.size(), "onLeaseExpired: job ", idx);
+    JobProgress &p = _jobs[idx];
+    vip_assert(p.state == JobState::Running, "onLeaseExpired on a "
+               "job in state ", jobStateName(p.state));
+    ++_leaseExpiries;
+    ++p.leaseExpiries;
+    p.wallMs += elapsedMs;
+    if (p.resumeNext)
+        p.everResumed = true;
+    p.lastError = why;
+    p.history.push_back("attempt " + std::to_string(p.attempts) +
+                        ": " + why);
+    // The token deliberately stays current: if the zombie finishes
+    // before a retry claims this job, its result is rescued.
+    if (p.attempts >= _policy.maxAttempts) {
+        p.state = JobState::Failed;
+        p.resumeNext = false;
+        return;
+    }
+    p.state = JobState::Backoff;
+    p.readyAtMs =
+        nowMs + retryDelayMs(_policy, p.job.id, p.attempts);
+    p.resumeNext = _policy.resume && canResume;
+}
+
+bool
+FleetScheduler::acceptSuccess(std::size_t idx, std::uint64_t token,
+                              double elapsedMs)
+{
+    vip_assert(idx < _jobs.size(), "acceptSuccess: job ", idx);
+    JobProgress &p = _jobs[idx];
+    if (token != p.token) {
+        // A newer attempt owns this job: the zombie lost the race.
+        ++_zombieRejects;
+        ++p.zombieRejects;
+        return false;
+    }
+    switch (p.state) {
+    case JobState::Running:
+        break;
+    case JobState::Backoff:
+    case JobState::Failed:
+        // The attempt outlived its lease, but no newer attempt was
+        // ever issued — its work is valid.  Rescue it.
+        ++_zombieRescues;
+        p.rescued = true;
+        break;
+    case JobState::Done:
+    case JobState::Pending:
+        // Done: this attempt already committed once — a duplicate
+        // delivery must not merge twice.  Pending: a released claim
+        // cannot produce results (no worker ever ran).
+        ++_zombieRejects;
+        ++p.zombieRejects;
+        return false;
+    }
+    p.state = JobState::Done;
+    p.wallMs += elapsedMs;
+    if (p.resumeNext)
+        p.everResumed = true;
+    p.resumeNext = false;
+    p.leaseUntilMs = std::numeric_limits<double>::infinity();
+    return true;
+}
+
+bool
+FleetScheduler::acceptFailure(std::size_t idx, std::uint64_t token,
+                              double nowMs, double elapsedMs,
+                              const std::string &why, bool canResume)
+{
+    vip_assert(idx < _jobs.size(), "acceptFailure: job ", idx);
+    JobProgress &p = _jobs[idx];
+    if (token != p.token || p.state != JobState::Running) {
+        // Stale token, or an attempt already written off by lease
+        // expiry — either way this failure is already accounted.
+        if (token != p.token) {
+            ++_zombieRejects;
+            ++p.zombieRejects;
+        }
+        return false;
+    }
+    p.wallMs += elapsedMs;
+    if (p.resumeNext)
+        p.everResumed = true;
+    p.lastError = why;
+    p.history.push_back("attempt " + std::to_string(p.attempts) +
+                        ": " + why);
+    p.leaseUntilMs = std::numeric_limits<double>::infinity();
+    if (p.attempts >= _policy.maxAttempts) {
+        p.state = JobState::Failed;
+        p.resumeNext = false;
+        return true;
+    }
+    p.state = JobState::Backoff;
+    p.readyAtMs =
+        nowMs + retryDelayMs(_policy, p.job.id, p.attempts);
+    p.resumeNext = _policy.resume && canResume;
+    return true;
 }
 
 void
@@ -66,11 +210,8 @@ FleetScheduler::onSuccess(std::size_t idx, double elapsedMs)
     JobProgress &p = _jobs[idx];
     vip_assert(p.state == JobState::Running, "onSuccess on a job in "
                "state ", jobStateName(p.state));
-    p.state = JobState::Done;
-    p.wallMs += elapsedMs;
-    if (p.resumeNext)
-        p.everResumed = true;
-    p.resumeNext = false;
+    const bool ok = acceptSuccess(idx, p.token, elapsedMs);
+    vip_assert(ok, "onSuccess rejected for job ", idx);
 }
 
 void
@@ -82,20 +223,25 @@ FleetScheduler::onFailure(std::size_t idx, double nowMs,
     JobProgress &p = _jobs[idx];
     vip_assert(p.state == JobState::Running, "onFailure on a job in "
                "state ", jobStateName(p.state));
-    p.wallMs += elapsedMs;
-    if (p.resumeNext)
-        p.everResumed = true;
-    p.lastError = why;
-    p.history.push_back("attempt " + std::to_string(p.attempts) +
-                        ": " + why);
-    if (p.attempts >= _policy.maxAttempts) {
+    const bool acted =
+        acceptFailure(idx, p.token, nowMs, elapsedMs, why, canResume);
+    vip_assert(acted, "onFailure ignored for job ", idx);
+}
+
+std::size_t
+FleetScheduler::failAllUnsettled(const std::string &why)
+{
+    std::size_t n = 0;
+    for (auto &p : _jobs) {
+        if (p.state == JobState::Done || p.state == JobState::Failed)
+            continue;
         p.state = JobState::Failed;
+        p.lastError = why;
+        p.history.push_back("abandoned: " + why);
         p.resumeNext = false;
-        return;
+        ++n;
     }
-    p.state = JobState::Backoff;
-    p.readyAtMs = nowMs + backoffDelayMs(_policy, p.attempts);
-    p.resumeNext = _policy.resume && canResume;
+    return n;
 }
 
 bool

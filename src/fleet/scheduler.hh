@@ -6,23 +6,41 @@
  *
  * Per-job lifecycle:
  *
- *     Pending ──claim──> Running ──success──────────> Done
- *        ^                  │
- *        │                  ├─failure, attempts left─> Backoff
- *        └──ready (clock)───┘        │
- *                                    └─attempt cap───> Failed
+ *     Pending ──claim──> Running ──accepted success──────> Done
+ *        ^                  │  │
+ *        │     launch failed│  ├─failure, attempts left──> Backoff
+ *        │  (claim released)│  │        │
+ *        ├──────────────────┘  ├─lease expired───────────> Backoff
+ *        └──ready (clock)──────┘        │
+ *                                       └─attempt cap────> Failed
+ *
+ * Ownership is lease-fenced.  Every claim issues a monotonically
+ * increasing fencing token and a lease deadline; the lease renews on
+ * any evidence the attempt is alive (a Running poll, heartbeat
+ * progress).  When a lease expires — partitioned host, wedged
+ * transport — the job is released for another worker under a larger
+ * token.  Results are *accepted*, not just reported: an artifact
+ * set carrying a stale token (a zombie attempt from an expired lease
+ * that finished anyway) is rejected and counted, never merged; with
+ * the current token it is accepted even from Backoff/Failed (a
+ * zombie rescue: the attempt outlived its lease but no newer attempt
+ * was ever issued), and a Done job never accepts twice.  Exactly
+ * once, no matter how late the network delivers.
  *
  * A failure carries whether the shard left a resumable checkpoint;
  * when it did (and the policy allows), the next attempt is marked to
  * resume from the ring instead of rerunning from tick 0.  Failed jobs
  * are terminal but never abort the sweep: the fleet completes and
- * reports them in the merged report's failed_jobs section.
+ * reports them in the merged report's failed_jobs section — except
+ * failAllUnsettled(), the every-host-dead terminal path.
  */
 
 #ifndef VIP_FLEET_SCHEDULER_HH
 #define VIP_FLEET_SCHEDULER_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -36,8 +54,8 @@ namespace fleet
 enum class JobState
 {
     Pending,  ///< waiting for a worker slot
-    Running,  ///< claimed by a worker
-    Backoff,  ///< failed, waiting out the retry delay
+    Running,  ///< claimed by a worker, lease live
+    Backoff,  ///< failed or lease-expired, waiting out the delay
     Done,     ///< completed successfully
     Failed,   ///< attempt cap reached; terminal
 };
@@ -56,6 +74,16 @@ struct JobProgress
     std::string lastError;      ///< most recent failure reason
     std::vector<std::string> history; ///< one line per failed attempt
     double wallMs = 0.0;        ///< total wall time across attempts
+
+    /** @{ lease-fenced ownership */
+    std::uint64_t token = 0;    ///< newest fencing token issued
+    double leaseUntilMs =
+        std::numeric_limits<double>::infinity();
+    std::string host;           ///< owner of the newest attempt
+    int leaseExpiries = 0;      ///< attempts lost to expired leases
+    int zombieRejects = 0;      ///< stale-token results refused
+    bool rescued = false;       ///< done via a post-expiry zombie
+    /** @} */
 };
 
 class FleetScheduler
@@ -64,25 +92,72 @@ class FleetScheduler
     FleetScheduler(std::vector<FleetJob> jobs, FleetPolicy policy);
 
     /**
-     * Claim the next job eligible to start at wall time @p nowMs:
-     * Pending jobs first (spec order), then Backoff jobs whose delay
-     * has elapsed.  Marks it Running and counts the attempt.
+     * Claim the next job eligible to start at wall time @p nowMs for
+     * @p host: Pending jobs first (spec order), then Backoff jobs
+     * whose delay has elapsed.  Marks it Running, counts the
+     * attempt, and issues a fresh fencing token with a lease of
+     * policy.leaseMs (0 = unleased, never expires).
      * @return the job index, or npos when nothing is eligible now.
      */
-    std::size_t claimNext(double nowMs);
+    std::size_t claimNext(double nowMs,
+                          const std::string &host = "local");
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    /** The claimed job finished cleanly. */
-    void onSuccess(std::size_t idx, double elapsedMs);
+    /**
+     * The launch itself failed (a transport error: the worker never
+     * existed, so no zombie is possible).  Returns the job to
+     * Pending without burning the attempt; another host picks it up.
+     */
+    void releaseClaim(std::size_t idx);
+
+    /** Evidence the attempt is alive: push the lease out. */
+    void renewLease(std::size_t idx, double nowMs);
+
+    /** Running with an expired lease at @p nowMs. */
+    bool leaseExpired(std::size_t idx, double nowMs) const;
 
     /**
-     * The claimed job died (nonzero exit, signal, hang-kill, or an
-     * in-process exception).  @p canResume is whether the shard left
-     * a loadable checkpoint behind; combined with the policy it
-     * decides whether the retry restores or restarts.
+     * Give up on a Running attempt whose lease lapsed.  Burns the
+     * attempt (Backoff or Failed at the cap) but keeps the token:
+     * should the zombie still finish before a retry claims the job,
+     * its result is rescued rather than wasted.
      */
+    void onLeaseExpired(std::size_t idx, double nowMs,
+                        double elapsedMs, const std::string &why,
+                        bool canResume);
+
+    /**
+     * Offer a successful result under @p token.  Accepted (true)
+     * when the token is current and the job has not completed some
+     * other way; rejected (false, counted) for stale tokens and
+     * duplicates.  Only accepted offers may be merged.
+     */
+    bool acceptSuccess(std::size_t idx, std::uint64_t token,
+                       double elapsedMs);
+
+    /**
+     * Offer a failure under @p token.  Acted on (true) only for the
+     * current token of a still-Running job; stale and post-expiry
+     * reports are ignored (false) — their attempt was already
+     * accounted.
+     */
+    bool acceptFailure(std::size_t idx, std::uint64_t token,
+                       double nowMs, double elapsedMs,
+                       const std::string &why, bool canResume);
+
+    /** @{ Unfenced convenience for the current token (fake-clock
+     *  unit tests of the plain retry ladder). */
+    void onSuccess(std::size_t idx, double elapsedMs);
     void onFailure(std::size_t idx, double nowMs, double elapsedMs,
                    const std::string &why, bool canResume);
+    /** @} */
+
+    /**
+     * Terminal degradation (every host dead): everything not yet
+     * Done or Failed becomes Failed with @p why on its record.
+     * Returns how many jobs were abandoned.
+     */
+    std::size_t failAllUnsettled(const std::string &why);
 
     /** True when no job is Pending, Running, or in Backoff. */
     bool allSettled() const;
@@ -95,6 +170,9 @@ class FleetScheduler
     std::size_t doneCount() const { return count(JobState::Done); }
     std::size_t failedCount() const { return count(JobState::Failed); }
     std::size_t runningCount() const { return count(JobState::Running); }
+    long leaseExpiries() const { return _leaseExpiries; }
+    long zombieRejects() const { return _zombieRejects; }
+    long zombieRescues() const { return _zombieRescues; }
     /** @} */
 
     const std::vector<JobProgress> &jobs() const { return _jobs; }
@@ -103,9 +181,15 @@ class FleetScheduler
 
   private:
     std::size_t count(JobState s) const;
+    void startAttempt(JobProgress &p, double nowMs,
+                      const std::string &host);
 
     std::vector<JobProgress> _jobs;
     FleetPolicy _policy;
+    std::uint64_t _nextToken = 0;
+    long _leaseExpiries = 0;
+    long _zombieRejects = 0;
+    long _zombieRescues = 0;
 };
 
 } // namespace fleet

@@ -1,29 +1,21 @@
 #include "fleet/supervisor.hh"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <thread>
 #include <utility>
 
-#include "core/simulation.hh"
-#include "fault/fault_plan.hh"
-#include "obs/provenance.hh"
+#include "fleet/transport/faulty_transport.hh"
 #include "obs/stats_io.hh"
 #include "obs/stats_merge.hh"
-#include "sim/audit.hh"
 #include "sim/logging.hh"
 
 namespace fs = std::filesystem;
@@ -75,42 +67,6 @@ fileExists(const std::string &path)
     return ::access(path.c_str(), F_OK) == 0;
 }
 
-/** Size of @p path in bytes, or -1 when it does not exist (yet). */
-long
-statSize(const std::string &path)
-{
-    struct stat st;
-    if (::stat(path.c_str(), &st) != 0)
-        return -1;
-    return static_cast<long>(st.st_size);
-}
-
-/**
- * The shard's simulated progress: the tick_ms column (first field) of
- * the newest non-comment row of its heartbeat CSV, or -1 before the
- * first sample lands.  Heartbeat files are small (hundreds of rows),
- * so rereading on growth is cheap.
- */
-double
-readLastTickMs(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        return -1.0;
-    std::string line, last;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        const char c = line[0];
-        if ((c < '0' || c > '9') && c != '-' && c != '.')
-            continue; // the "tick_ms,..." header row
-        last = line;
-    }
-    if (last.empty())
-        return -1.0;
-    return std::strtod(last.c_str(), nullptr);
-}
-
 } // namespace
 
 const char *
@@ -137,9 +93,16 @@ shardPaths(const std::string &outDir, const std::string &jobId)
     return p;
 }
 
+std::string
+attemptDir(const std::string &outDir, const std::string &jobId,
+           std::uint64_t token)
+{
+    return outDir + "/shards/" + jobId + "/a" +
+           std::to_string(token);
+}
+
 std::vector<std::string>
-workerArgs(const JobSpec &spec, const FleetJob &job,
-           const ShardPaths &paths, bool resume)
+workerArgs(const JobSpec &spec, const FleetJob &job)
 {
     const FleetPolicy &pol = spec.fleet;
     std::vector<std::string> a;
@@ -161,137 +124,73 @@ workerArgs(const JobSpec &spec, const FleetJob &job,
     }
     if (pol.digests) {
         a.push_back("--digest-out");
-        a.push_back(paths.digest);
+        a.push_back(attempt_files::kDigest);
     }
     if (pol.heartbeatIntervalMs > 0.0) {
         a.push_back("--metrics-out");
-        a.push_back(paths.metricsCsv);
+        a.push_back(attempt_files::kMetrics);
         a.push_back("--metrics-interval-ms");
         a.push_back(fmtNum(pol.heartbeatIntervalMs));
     }
     a.push_back("--stats-out");
-    a.push_back(paths.statsJson);
+    a.push_back(attempt_files::kStats);
     a.push_back("--postmortem-dir");
-    a.push_back(paths.pmDir);
+    a.push_back(attempt_files::kPmDir);
     if (pol.checkpointEveryMs > 0.0) {
         a.push_back("--checkpoint-every-ms");
         a.push_back(fmtNum(pol.checkpointEveryMs));
-    }
-    if (resume) {
-        a.push_back("--restore");
-        a.push_back(paths.checkpoint);
     }
     for (const auto &x : spec.extraArgs)
         a.push_back(x);
     return a;
 }
 
-/**
- * One in-process attempt's shared state.  The worker thread writes
- * ok/error, then publishes with a release store of finished; the
- * supervisor joins after an acquire load, so the plain fields are
- * safely visible.
- */
-struct ThreadTask
+/** One live worker backend plus its health record. */
+struct FleetSupervisor::HostRuntime
 {
-    std::thread thread;
-    std::atomic<int> cancel{0};    ///< the job's interrupt flag
-    std::atomic<bool> finished{false};
-    bool ok = false;
-    std::string error;
-};
+    HostSpec spec;
+    std::unique_ptr<WorkerTransport> transport;
+    HostHealth health;
+    FaultyTransport *faulty = nullptr; ///< non-owning, when wrapped
+    std::size_t jobsDone = 0;
 
-namespace
-{
-
-/** The thread-backend worker body: mirrors vip_sim's flag semantics
- *  exactly (same outputs, same digest-visible side effects), so a
- *  thread-mode shard is bit-identical to a process-mode one. */
-void
-runThreadAttempt(double seconds, std::string audit, FleetPolicy pol,
-                 FleetJob job, ShardPaths paths, bool resume,
-                 ThreadTask *task)
-{
-    try {
-        SocConfig cfg;
-        cfg.simSeconds = seconds;
-        cfg.seed = job.seed;
-        cfg.system = configByCliName(job.config);
-        if (!job.faultPlan.empty())
-            cfg.fault = FaultPlan::parse(job.faultPlan);
-        if (!audit.empty())
-            cfg.audit = AuditConfig::parse(audit);
-        if (pol.digests && !cfg.audit.enabled())
-            cfg.audit = AuditConfig::parse("periodic:1");
-        if (pol.heartbeatIntervalMs > 0.0) {
-            cfg.metrics.out = paths.metricsCsv;
-            cfg.metrics.intervalMs = pol.heartbeatIntervalMs;
-        }
-        cfg.statsOut = paths.statsJson;
-        cfg.postmortemDir = paths.pmDir;
-        if (pol.checkpointEveryMs > 0.0)
-            cfg.checkpointEveryMs = pol.checkpointEveryMs;
-        if (resume)
-            cfg.restorePath = paths.checkpoint;
-        cfg.interruptFlag = &task->cancel;
-
-        Simulation sim(cfg, workloadByName(job.workload));
-        RunStats s = sim.run();
-
-        {
-            std::ofstream out(paths.statsJson);
-            if (!out)
-                fatal("cannot write ", paths.statsJson);
-            sim.writeStatsJson(out);
-        }
-        if (pol.digests) {
-            std::ofstream out(paths.digest);
-            if (!out)
-                fatal("cannot write ", paths.digest);
-            std::vector<std::string> meta{
-                "workload=" + job.workload, "config=" + job.config,
-                "seed=" + std::to_string(cfg.seed)};
-            for (const auto &l : provenanceMetaLines())
-                meta.push_back(l);
-            sim.auditor().writeDigestStream(out, meta);
-        }
-
-        if (sim.interrupted()) {
-            task->error = "interrupted (graceful cancel, signal " +
-                          std::to_string(sim.interruptSignal()) + ")";
-        } else if (s.auditViolations > 0) {
-            task->error = "audit violations: " +
-                          std::to_string(s.auditViolations);
-        } else {
-            task->ok = true;
-        }
-    } catch (const std::exception &e) {
-        task->error = std::string("exception: ") + e.what();
-    } catch (...) {
-        task->error = "unknown exception";
+    HostRuntime(HostSpec s, std::unique_ptr<WorkerTransport> t,
+                HealthPolicy hp)
+        : spec(std::move(s)), transport(std::move(t)), health(hp)
+    {
     }
-    task->finished.store(true, std::memory_order_release);
-}
-
-} // namespace
+};
 
 /** One worker seat: at most one running attempt. */
 struct FleetSupervisor::Slot
 {
     bool active = false;
+    std::size_t hostIdx = 0;
     std::size_t jobIdx = FleetScheduler::npos;
+    std::uint64_t token = 0;
+    std::string aDir;
     double startMs = 0.0;
 
     /** @{ heartbeat tracking */
-    long lastSize = -1;     ///< newest observed CSV size
+    long lastSize = -1;      ///< newest observed CSV size
     double lastBeatMs = 0.0; ///< wall time the CSV last changed
     /** @} */
 
     bool chaosKilled = false;
     bool hangKilled = false;
 
-    pid_t pid = -1;                   ///< process backend
-    std::unique_ptr<ThreadTask> task; ///< thread backend
+    bool exited = false;     ///< worker done; fetching artifacts
+    PollResult exitResult;
+    int fetchAttempts = 0;
+
+    std::unique_ptr<WorkerHandle> handle;
+};
+
+/** An attempt whose lease expired: detached from the scheduler's
+ *  accounting but still worth watching — its result is fence-checked
+ *  and either rescued or rejected when it finally lands. */
+struct FleetSupervisor::Zombie : FleetSupervisor::Slot
+{
 };
 
 FleetSupervisor::FleetSupervisor(JobSpec spec, FleetOptions opt)
@@ -310,207 +209,548 @@ FleetSupervisor::note(const std::string &line) const
 }
 
 void
+FleetSupervisor::buildHosts()
+{
+    std::vector<HostSpec> roster = _opt.hosts;
+    if (roster.empty()) {
+        HostSpec local;
+        local.name = "local";
+        local.transport = _opt.mode == WorkerMode::Thread
+                              ? "thread"
+                              : "process";
+        local.slots = _spec.fleet.workers;
+        roster.push_back(std::move(local));
+    }
+
+    HealthPolicy hp;
+    hp.quarantineAfter = _spec.fleet.quarantineAfter;
+    hp.probeIntervalMs = _spec.fleet.probeIntervalMs;
+    hp.maxProbes = _spec.fleet.maxProbes;
+    hp.maxQuarantines = _spec.fleet.maxQuarantines;
+
+    for (HostSpec &hs : roster) {
+        if (hs.transport == "process" || hs.transport == "ssh") {
+            if (_opt.vipSimPath.empty())
+                fatal("fleet: host ", hs.name, " (", hs.transport,
+                      ") needs the vip_sim path");
+        }
+        if (hs.transport == "process" &&
+            ::access(_opt.vipSimPath.c_str(), X_OK) != 0)
+            fatal("fleet: worker binary ", _opt.vipSimPath,
+                  " is not executable: ", std::strerror(errno));
+        std::string err;
+        auto t = makeTransport(hs, _opt.vipSimPath, _opt.faultSpec,
+                               &err);
+        if (!t)
+            fatal("fleet: host ", hs.name, ": ", err);
+        _hosts.emplace_back(hs, std::move(t), hp);
+        _hosts.back().faulty =
+            dynamic_cast<FaultyTransport *>(
+                _hosts.back().transport.get());
+        for (int k = 0; k < hs.slots; ++k) {
+            Slot s;
+            s.hostIdx = _hosts.size() - 1;
+            _slots.push_back(std::move(s));
+        }
+    }
+}
+
+bool
+FleetSupervisor::hostUsable(std::size_t hostIdx) const
+{
+    return _hosts[hostIdx].health.usable();
+}
+
+void
+FleetSupervisor::hostOpFailure(std::size_t hostIdx, double nowMs,
+                               const std::string &detail)
+{
+    HostRuntime &h = _hosts[hostIdx];
+    if (!h.health.onOpFailure(nowMs, detail))
+        return;
+    ++_quarantineEvents;
+    if (h.health.state() == HostState::Dead)
+        note("host " + h.spec.name + ": dead (flapped through " +
+             std::to_string(h.health.quarantines() - 1) +
+             " quarantines): " + detail);
+    else
+        note("host " + h.spec.name + ": quarantined after " +
+             std::to_string(_spec.fleet.quarantineAfter) +
+             " consecutive transport failures: " + detail);
+}
+
+void
+FleetSupervisor::probeQuarantined(double nowMs)
+{
+    for (HostRuntime &h : _hosts) {
+        if (!h.health.probeDue(nowMs))
+            continue;
+        std::string err;
+        if (h.transport->probe(&err)) {
+            h.health.onProbeSuccess();
+            note("host " + h.spec.name +
+                 ": probe answered; re-admitted");
+        } else if (h.health.onProbeFailure(nowMs, err)) {
+            note("host " + h.spec.name + ": dead (" +
+                 std::to_string(_spec.fleet.maxProbes) +
+                 " re-admission probes failed): " + err);
+        } else {
+            note("host " + h.spec.name + ": probe failed (" + err +
+                 "); still quarantined");
+        }
+    }
+}
+
+void
 FleetSupervisor::launch(Slot &slot, std::size_t jobIdx, double nowMs)
 {
     const JobProgress &p = _sched.job(jobIdx);
+    HostRuntime &h = _hosts[slot.hostIdx];
     const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
     const bool resume = p.resumeNext;
 
-    std::error_code ec;
-    fs::create_directories(paths.pmDir, ec);
-    if (ec)
-        fatal("cannot create shard directory ", paths.pmDir, ": ",
-              ec.message());
+    LaunchRequest req;
+    req.jobId = p.job.id;
+    req.token = p.token;
+    req.attemptDir = attemptDir(_opt.outDir, p.job.id, p.token);
+    req.args = workerArgs(_spec, p.job);
+    req.restoreFrom = resume ? paths.checkpoint : "";
+    req.spec = &_spec;
+    req.job = &p.job;
 
+    std::string err;
+    auto handle = h.transport->launch(req, &err);
+    if (!handle) {
+        // The worker never started: hand the claim back untouched
+        // (no attempt burned, no zombie possible) and score the
+        // host.
+        _sched.releaseClaim(jobIdx);
+        hostOpFailure(slot.hostIdx, nowMs,
+                      "launch " + p.job.id + ": " + err);
+        return;
+    }
+    h.health.onOpSuccess();
+
+    const std::size_t hostIdx = slot.hostIdx;
     slot = Slot{};
+    slot.hostIdx = hostIdx;
     slot.active = true;
     slot.jobIdx = jobIdx;
+    slot.token = p.token;
+    slot.aDir = req.attemptDir;
     slot.startMs = nowMs;
-    slot.lastSize = statSize(paths.metricsCsv);
     slot.lastBeatMs = nowMs;
+    slot.handle = std::move(handle);
 
     if (p.attempts > 1)
         ++_retries;
     if (resume)
         ++_resumes;
     note(p.job.id + ": attempt " + std::to_string(p.attempts) +
+         " on " + h.spec.name +
          (resume ? " (resuming from " + paths.checkpoint + ")" : ""));
+}
 
-    if (_opt.mode == WorkerMode::Thread) {
-        slot.task = std::make_unique<ThreadTask>();
-        ThreadTask *t = slot.task.get();
-        t->thread = std::thread(runThreadAttempt, _spec.seconds,
-                                _spec.audit, _spec.fleet, p.job,
-                                paths, resume, t);
-        return;
+bool
+FleetSupervisor::commitArtifacts(const std::string &jobId,
+                                 const std::string &aDir,
+                                 const ArtifactManifest &m,
+                                 bool success, int attempt,
+                                 std::string *err)
+{
+    const ShardPaths paths = shardPaths(_opt.outDir, jobId);
+    std::error_code ec;
+    fs::create_directories(paths.pmDir, ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create " + paths.pmDir + ": " +
+                   ec.message();
+        return false;
     }
 
-    // Process backend: fork/exec vip_sim with stdout+stderr appended
-    // to the shard log (one stream across attempts).
-    std::vector<std::string> args = workerArgs(_spec, p.job, paths,
-                                               resume);
-    {
-        std::ofstream log(paths.log, std::ios::app);
-        log << "=== attempt " << p.attempts << " ===\n";
-    }
-    const int logFd = ::open(paths.log.c_str(),
-                             O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (logFd < 0)
-        fatal("cannot open ", paths.log, ": ",
-              std::strerror(errno));
+    auto commit = [&](const char *name, const std::string &dst) {
+        const Artifact *a = findArtifact(m, name);
+        if (!a || !a->present)
+            return true;
+        return copyFileAtomicVerified(a->localPath, dst, a->fnv,
+                                      err);
+    };
 
-    std::vector<char *> argv;
-    argv.push_back(const_cast<char *>(_opt.vipSimPath.c_str()));
-    for (auto &a : args)
-        argv.push_back(const_cast<char *>(a.c_str()));
-    argv.push_back(nullptr);
+    // The checkpoint commits on success *and* failure: a crashed
+    // attempt's ring is exactly what the retry resumes from,
+    // possibly on a different host.
+    if (!commit(attempt_files::kCheckpoint, paths.checkpoint))
+        return false;
+    if (success) {
+        if (!commit(attempt_files::kStats, paths.statsJson) ||
+            !commit(attempt_files::kMetrics, paths.metricsCsv) ||
+            !commit(attempt_files::kDigest, paths.digest))
+            return false;
+    }
 
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(logFd);
-        fatal("fork failed: ", std::strerror(errno));
+    // Append this attempt's worker output to the one canonical log
+    // stream (informational; not checksum-gated).
+    const Artifact *lg = findArtifact(m, attempt_files::kLog);
+    std::ofstream log(paths.log, std::ios::app);
+    if (log) {
+        log << "=== attempt " << attempt << " ===\n";
+        if (lg && lg->present) {
+            std::ifstream in(lg->localPath, std::ios::binary);
+            log << in.rdbuf();
+        }
     }
-    if (pid == 0) {
-        ::dup2(logFd, 1);
-        ::dup2(logFd, 2);
-        ::close(logFd);
-        ::execv(argv[0], argv.data());
-        std::fprintf(stderr, "execv %s failed: %s\n", argv[0],
-                     std::strerror(errno));
-        ::_exit(127);
-    }
-    ::close(logFd);
-    slot.pid = pid;
+    return true;
 }
 
 void
-FleetSupervisor::finish(Slot &slot, double nowMs, bool ok,
-                        const std::string &why)
+FleetSupervisor::settleAttempt(Slot &slot, double nowMs,
+                               const ArtifactManifest &m)
 {
     const std::size_t idx = slot.jobIdx;
     const double elapsed = nowMs - slot.startMs;
-    const std::string id = _sched.job(idx).job.id;
-    if (ok) {
-        _sched.onSuccess(idx, elapsed);
-        note(id + ": done (" + fmtNum(elapsed) + " wall ms)");
+    HostRuntime &h = _hosts[slot.hostIdx];
+    const JobProgress &p = _sched.job(idx);
+    const std::string id = p.job.id;
+    const FleetPolicy &pol = _spec.fleet;
+
+    const Artifact *stats = findArtifact(m, attempt_files::kStats);
+    const Artifact *digest = findArtifact(m, attempt_files::kDigest);
+    const Artifact *ckpt =
+        findArtifact(m, attempt_files::kCheckpoint);
+    const bool produced =
+        stats && stats->present &&
+        (!pol.digests || (digest && digest->present));
+    const int attempt = p.attempts;
+
+    if (slot.exitResult.ok && produced) {
+        if (_sched.acceptSuccess(idx, slot.token, elapsed)) {
+            std::string err;
+            if (!commitArtifacts(id, slot.aDir, m, true, attempt,
+                                 &err))
+                fatal("fleet: cannot commit accepted artifacts of ",
+                      id, ": ", err);
+            ++h.jobsDone;
+            note(id + ": done (" + fmtNum(elapsed) + " wall ms)");
+        } else {
+            note(id + ": result rejected (stale fencing token); "
+                 "not merged");
+        }
     } else {
-        const ShardPaths paths = shardPaths(_opt.outDir, id);
-        const bool canResume = fileExists(paths.checkpoint);
-        _sched.onFailure(idx, nowMs, elapsed, why, canResume);
-        const JobProgress &p = _sched.job(idx);
-        note(id + ": " + why + " -> " + jobStateName(p.state) +
-             (p.state == JobState::Backoff
-                  ? (p.resumeNext ? " (will resume)"
-                                  : " (will restart)")
-                  : ""));
+        std::string why;
+        if (slot.chaosKilled && slot.exitResult.termSignal != 0)
+            why = "chaos SIGKILL (injected)";
+        else if (slot.hangKilled)
+            why = h.spec.transport == "thread"
+                      ? "hung (no heartbeat), cancelled: " +
+                            (slot.exitResult.error.empty()
+                                 ? std::string("failed")
+                                 : slot.exitResult.error)
+                      : "hung (no heartbeat), killed";
+        else if (slot.exitResult.ok && !produced)
+            why = std::string("worker succeeded but ") +
+                  (stats && stats->present
+                       ? attempt_files::kDigest
+                       : attempt_files::kStats) +
+                  " was not produced";
+        else
+            why = slot.exitResult.error.empty()
+                      ? "failed"
+                      : slot.exitResult.error;
+        const bool canResume = ckpt && ckpt->present;
+        if (_sched.acceptFailure(idx, slot.token, nowMs, elapsed,
+                                 why, canResume)) {
+            std::string err;
+            if (!commitArtifacts(id, slot.aDir, m, false, attempt,
+                                 &err))
+                note(id + ": checkpoint commit failed: " + err);
+            const JobProgress &q = _sched.job(idx);
+            note(id + ": " + why + " -> " + jobStateName(q.state) +
+                 (q.state == JobState::Backoff
+                      ? (q.resumeNext ? " (will resume)"
+                                      : " (will restart)")
+                      : ""));
+        }
     }
-    slot = Slot{};
 }
 
 void
-FleetSupervisor::poll(Slot &slot, double nowMs)
+FleetSupervisor::tryFetch(Slot &slot, double nowMs)
+{
+    HostRuntime &h = _hosts[slot.hostIdx];
+    const std::size_t idx = slot.jobIdx;
+    const std::string id = _sched.job(idx).job.id;
+
+    ArtifactManifest m;
+    std::string err;
+    bool ok = h.transport->fetch(*slot.handle, &m, &err);
+    if (ok) {
+        // Verify the local bytes against the source manifest before
+        // anything is accepted or committed: a corrupted or torn
+        // fetch must read as a fetch failure, not a result.
+        for (const Artifact &a : m) {
+            if (!a.present)
+                continue;
+            bool readable = false;
+            const std::uint64_t got =
+                fnv1aFile(a.localPath, &readable);
+            if (!readable || got != a.fnv) {
+                ok = false;
+                err = "artifact " + a.name +
+                      " failed checksum verification";
+                break;
+            }
+        }
+    }
+    if (!ok) {
+        hostOpFailure(slot.hostIdx, nowMs,
+                      "fetch " + id + ": " + err);
+        if (++slot.fetchAttempts >=
+            _spec.fleet.fetchRetries) {
+            const double elapsed = nowMs - slot.startMs;
+            const std::string why =
+                "artifact fetch failed after " +
+                std::to_string(slot.fetchAttempts) +
+                " attempts: " + err;
+            if (_sched.acceptFailure(idx, slot.token, nowMs,
+                                     elapsed, why, false))
+                note(id + ": " + why);
+            const std::size_t hostIdx = slot.hostIdx;
+            slot = Slot{};
+            slot.hostIdx = hostIdx;
+        }
+        return;
+    }
+    h.health.onOpSuccess();
+    _sched.renewLease(idx, nowMs);
+    settleAttempt(slot, nowMs, m);
+    const std::size_t hostIdx = slot.hostIdx;
+    slot = Slot{};
+    slot.hostIdx = hostIdx;
+}
+
+void
+FleetSupervisor::pollSlot(Slot &slot, double nowMs)
 {
     if (!slot.active)
         return;
+    HostRuntime &h = _hosts[slot.hostIdx];
     const FleetPolicy &pol = _spec.fleet;
     const JobProgress &p = _sched.job(slot.jobIdx);
-    const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
 
-    // 1. Completion.
-    if (_opt.mode == WorkerMode::Process) {
-        int status = 0;
-        const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
-        if (r == slot.pid) {
-            const bool ok =
-                WIFEXITED(status) && WEXITSTATUS(status) == 0;
-            std::string why;
-            if (!ok) {
-                if (WIFSIGNALED(status)) {
-                    const int sig = WTERMSIG(status);
-                    why = slot.chaosKilled
-                              ? "chaos SIGKILL (injected)"
-                              : slot.hangKilled
-                                    ? "hung (no heartbeat), killed"
-                                    : "killed by signal " +
-                                          std::to_string(sig);
-                } else {
-                    why = "exit code " +
-                          std::to_string(WEXITSTATUS(status));
+    if (!slot.exited) {
+        const PollResult pr = h.transport->poll(*slot.handle);
+        if (pr.state == WorkerState::Unreachable) {
+            hostOpFailure(slot.hostIdx, nowMs,
+                          "poll " + p.job.id + ": " + pr.error);
+            return; // no lease renewal: expiry reassigns the job
+        }
+        h.health.onOpSuccess();
+        if (pr.state == WorkerState::Running) {
+            _sched.renewLease(slot.jobIdx, nowMs);
+
+            HeartbeatInfo hb;
+            std::string err;
+            if (!h.transport->heartbeat(*slot.handle, &hb, &err)) {
+                hostOpFailure(slot.hostIdx, nowMs,
+                              "heartbeat " + p.job.id + ": " + err);
+            } else {
+                h.health.onOpSuccess();
+                if (hb.size >= 0 && hb.size != slot.lastSize) {
+                    slot.lastSize = hb.size;
+                    slot.lastBeatMs = nowMs;
+                    _sched.renewLease(slot.jobIdx, nowMs);
+
+                    // Chaos injection keys on *simulated* progress
+                    // so a ring checkpoint older than the kill point
+                    // provably exists.
+                    if (!_chaosFired && !_opt.killJobId.empty() &&
+                        p.job.id == _opt.killJobId &&
+                        p.attempts == 1 &&
+                        h.spec.transport != "thread" &&
+                        hb.tickMs >= _opt.killAtSimMs) {
+                        _chaosFired = true;
+                        slot.chaosKilled = true;
+                        h.transport->forceKill(*slot.handle);
+                        note(p.job.id + ": chaos SIGKILL at " +
+                             fmtNum(hb.tickMs) + " simulated ms");
+                    }
                 }
             }
-            finish(slot, nowMs, ok, why);
+
+            const double grace =
+                _opt.heartbeatGraceMsOverride >= 0.0
+                    ? _opt.heartbeatGraceMsOverride
+                    : pol.heartbeatGraceMs;
+            if (pol.heartbeatDeadlineMs > 0.0 &&
+                pol.heartbeatIntervalMs > 0.0 && !slot.hangKilled &&
+                !slot.chaosKilled &&
+                nowMs - slot.startMs > grace &&
+                nowMs - slot.lastBeatMs > pol.heartbeatDeadlineMs) {
+                slot.hangKilled = true;
+                ++_hangKills;
+                h.transport->forceKill(*slot.handle);
+                note(p.job.id + ": no heartbeat for " +
+                     fmtNum(nowMs - slot.lastBeatMs) +
+                     " wall ms; killed as hung");
+            }
             return;
         }
-    } else {
-        ThreadTask *t = slot.task.get();
-        if (t->finished.load(std::memory_order_acquire)) {
-            t->thread.join();
-            std::string why = t->error.empty() ? "failed" : t->error;
-            if (slot.hangKilled)
-                why = "hung (no heartbeat), cancelled: " + why;
-            finish(slot, nowMs, t->ok, why);
-            return;
-        }
+        // Exited: remember the verdict and move to the fetch phase.
+        slot.exited = true;
+        slot.exitResult = pr;
+        _sched.renewLease(slot.jobIdx, nowMs);
     }
+    tryFetch(slot, nowMs);
+}
 
-    // 2. Heartbeat: any change of the streamed CSV is a beat (a
-    //    fresh attempt truncates, a resumed one appends — both move
-    //    the size).
-    const long sz = statSize(paths.metricsCsv);
-    if (sz >= 0 && sz != slot.lastSize) {
-        slot.lastSize = sz;
-        slot.lastBeatMs = nowMs;
+void
+FleetSupervisor::expireLease(Slot &slot, double nowMs)
+{
+    const std::size_t idx = slot.jobIdx;
+    HostRuntime &h = _hosts[slot.hostIdx];
+    const JobProgress &p = _sched.job(idx);
+    const ShardPaths paths = shardPaths(_opt.outDir, p.job.id);
+    const std::string why =
+        "lease expired after " + fmtNum(_spec.fleet.leaseMs) +
+        " ms on host " + h.spec.name +
+        (h.health.lastError().empty()
+             ? ""
+             : " (" + h.health.lastError() + ")");
+    // Resume eligibility comes from the canonical checkpoint (a
+    // previously committed attempt): the zombie's own ring is out of
+    // reach until — unless — it is fetched and rescued later.
+    const bool canResume = fileExists(paths.checkpoint);
+    _sched.onLeaseExpired(idx, nowMs, nowMs - slot.startMs, why,
+                          canResume);
+    note(p.job.id + ": " + why + "; reassigning (attempt's fencing "
+         "token " + std::to_string(slot.token) + " retired to "
+         "zombie)");
 
-        // Chaos injection keys on *simulated* progress so a ring
-        // checkpoint older than the kill point provably exists.
-        if (!_chaosFired && _opt.mode == WorkerMode::Process &&
-            !_opt.killJobId.empty() && p.job.id == _opt.killJobId &&
-            p.attempts == 1) {
-            const double tick = readLastTickMs(paths.metricsCsv);
-            if (tick >= _opt.killAtSimMs) {
-                _chaosFired = true;
-                slot.chaosKilled = true;
-                ::kill(slot.pid, SIGKILL);
-                note(p.job.id + ": chaos SIGKILL at " +
-                     fmtNum(tick) + " simulated ms");
+    Zombie z;
+    static_cast<Slot &>(z) = std::move(slot);
+    _zombies.push_back(std::move(z));
+
+    const std::size_t hostIdx = _zombies.back().hostIdx;
+    slot = Slot{};
+    slot.hostIdx = hostIdx;
+}
+
+void
+FleetSupervisor::pollZombies(double nowMs)
+{
+    for (std::size_t zi = 0; zi < _zombies.size();) {
+        Zombie &z = _zombies[zi];
+        HostRuntime &h = _hosts[z.hostIdx];
+        const std::string id = _sched.job(z.jobIdx).job.id;
+        bool drop = false;
+
+        if (!z.exited) {
+            const PollResult pr = h.transport->poll(*z.handle);
+            if (pr.state == WorkerState::Running) {
+                ++zi;
+                continue;
+            }
+            if (pr.state == WorkerState::Unreachable) {
+                // Still partitioned; keep waiting (bounded by the
+                // drain grace once the sweep settles).
+                ++zi;
+                continue;
+            }
+            z.exited = true;
+            z.exitResult = pr;
+        }
+
+        ArtifactManifest m;
+        std::string err;
+        bool ok = h.transport->fetch(*z.handle, &m, &err);
+        if (ok) {
+            for (const Artifact &a : m) {
+                if (!a.present)
+                    continue;
+                bool readable = false;
+                if (fnv1aFile(a.localPath, &readable) != a.fnv ||
+                    !readable) {
+                    ok = false;
+                    err = "artifact " + a.name +
+                          " failed checksum verification";
+                    break;
+                }
             }
         }
-    }
-
-    // 3. Liveness watchdog.
-    if (pol.heartbeatDeadlineMs > 0.0 &&
-        pol.heartbeatIntervalMs > 0.0 && !slot.hangKilled &&
-        !slot.chaosKilled &&
-        nowMs - slot.lastBeatMs > pol.heartbeatDeadlineMs) {
-        slot.hangKilled = true;
-        ++_hangKills;
-        if (_opt.mode == WorkerMode::Process) {
-            ::kill(slot.pid, SIGKILL);
+        if (!ok) {
+            if (++z.fetchAttempts >= _spec.fleet.fetchRetries) {
+                note(id + ": zombie artifacts unfetchable (" + err +
+                     "); discarded");
+                drop = true;
+            }
         } else {
-            // No safe way to kill a thread: request a graceful stop
-            // and keep waiting (the simulator always reaches a
-            // quiescent point unless the process itself is wedged).
-            slot.task->cancel.store(SIGTERM,
-                                    std::memory_order_relaxed);
+            const Artifact *stats =
+                findArtifact(m, attempt_files::kStats);
+            const Artifact *digest =
+                findArtifact(m, attempt_files::kDigest);
+            const bool produced =
+                stats && stats->present &&
+                (!_spec.fleet.digests ||
+                 (digest && digest->present));
+            if (z.exitResult.ok && produced) {
+                if (_sched.acceptSuccess(z.jobIdx, z.token,
+                                         nowMs - z.startMs)) {
+                    std::string cerr2;
+                    if (!commitArtifacts(id, z.aDir, m, true, 0,
+                                         &cerr2))
+                        fatal("fleet: cannot commit rescued "
+                              "artifacts of ", id, ": ", cerr2);
+                    ++h.jobsDone;
+                    note(id + ": zombie attempt (token " +
+                         std::to_string(z.token) +
+                         ") finished and was rescued");
+                } else {
+                    note(id + ": zombie result (token " +
+                         std::to_string(z.token) +
+                         ") rejected by fencing; not merged");
+                }
+            } else {
+                // A zombie's failure adds nothing: its attempt was
+                // written off at lease expiry.  Offer it anyway so
+                // stale tokens are counted uniformly.
+                (void)_sched.acceptFailure(
+                    z.jobIdx, z.token, nowMs, nowMs - z.startMs,
+                    "zombie attempt failed", false);
+                note(id + ": zombie attempt (token " +
+                     std::to_string(z.token) + ") failed; discarded");
+            }
+            drop = true;
         }
-        note(p.job.id + ": no heartbeat for " +
-             fmtNum(nowMs - slot.lastBeatMs) + " wall ms; killed as "
-             "hung");
+
+        if (drop)
+            _zombies.erase(_zombies.begin() +
+                           static_cast<long>(zi));
+        else
+            ++zi;
     }
+}
+
+void
+FleetSupervisor::killZombies()
+{
+    for (Zombie &z : _zombies) {
+        HostRuntime &h = _hosts[z.hostIdx];
+        note(_sched.job(z.jobIdx).job.id +
+             ": zombie attempt (token " + std::to_string(z.token) +
+             ") force-killed at drain");
+        h.transport->forceKill(*z.handle);
+    }
+    _zombies.clear(); // handle destructors reap what remains
 }
 
 void
 FleetSupervisor::interruptAll()
 {
-    for (Slot &slot : _slots) {
-        if (!slot.active)
-            continue;
-        if (_opt.mode == WorkerMode::Process)
-            ::kill(slot.pid, SIGTERM);
-        else
-            slot.task->cancel.store(SIGTERM,
-                                    std::memory_order_relaxed);
-    }
+    for (Slot &slot : _slots)
+        if (slot.active)
+            _hosts[slot.hostIdx].transport->interrupt(*slot.handle);
+    for (Zombie &z : _zombies)
+        _hosts[z.hostIdx].transport->interrupt(*z.handle);
 }
 
 FleetOutcome
@@ -518,22 +758,20 @@ FleetSupervisor::run()
 {
     if (_opt.outDir.empty())
         fatal("fleet: no output directory");
-    if (_opt.mode == WorkerMode::Process) {
-        if (_opt.vipSimPath.empty())
-            fatal("fleet: process mode needs the vip_sim path");
-        if (::access(_opt.vipSimPath.c_str(), X_OK) != 0)
-            fatal("fleet: worker binary ", _opt.vipSimPath,
-                  " is not executable: ", std::strerror(errno));
-    }
     std::error_code ec;
     fs::create_directories(_opt.outDir + "/shards", ec);
     if (ec)
         fatal("cannot create ", _opt.outDir, ": ", ec.message());
 
+    buildHosts();
+
+    std::size_t totalSlots = 0;
+    for (const HostRuntime &h : _hosts)
+        totalSlots += static_cast<std::size_t>(h.spec.slots);
     note("sweep '" + _spec.name + "': " +
          std::to_string(_spec.jobs.size()) + " jobs on " +
-         std::to_string(_spec.fleet.workers) + " " +
-         workerModeName(_opt.mode) + " workers");
+         std::to_string(totalSlots) + " workers across " +
+         std::to_string(_hosts.size()) + " host(s)");
 
     const auto t0 = std::chrono::steady_clock::now();
     auto nowMs = [&t0]() {
@@ -542,10 +780,8 @@ FleetSupervisor::run()
             .count();
     };
 
-    _slots.clear();
-    _slots.resize(static_cast<std::size_t>(_spec.fleet.workers));
-
     bool interrupted = false;
+    double drainStartMs = -1.0;
     while (true) {
         const double now = nowMs();
         if (!interrupted && _opt.stopFlag &&
@@ -554,54 +790,137 @@ FleetSupervisor::run()
             note("interrupted; draining workers");
             interruptAll();
         }
+
+        probeQuarantined(now);
         for (Slot &slot : _slots)
-            poll(slot, now);
+            pollSlot(slot, now);
         if (!interrupted) {
+            for (Slot &slot : _slots)
+                if (slot.active &&
+                    _sched.leaseExpired(slot.jobIdx, now))
+                    expireLease(slot, now);
+        }
+        pollZombies(now);
+
+        // Terminal degradation: no host left to run anything.
+        if (_fatal.empty() && !interrupted) {
+            bool allDead = true;
+            for (const HostRuntime &h : _hosts)
+                if (h.health.state() != HostState::Dead) {
+                    allDead = false;
+                    break;
+                }
+            if (allDead) {
+                const std::size_t n = _sched.failAllUnsettled(
+                    "all hosts dead; job abandoned");
+                _fatal = "all " + std::to_string(_hosts.size()) +
+                         " host(s) dead; " + std::to_string(n) +
+                         " unsettled job(s) abandoned";
+                note("FATAL: " + _fatal);
+                killZombies();
+                for (Slot &slot : _slots) {
+                    if (!slot.active)
+                        continue;
+                    _hosts[slot.hostIdx].transport->forceKill(
+                        *slot.handle);
+                    const std::size_t hostIdx = slot.hostIdx;
+                    slot = Slot{};
+                    slot.hostIdx = hostIdx;
+                }
+            }
+        }
+
+        if (!interrupted && _fatal.empty()) {
             for (Slot &slot : _slots) {
-                if (slot.active)
+                if (slot.active || !hostUsable(slot.hostIdx))
                     continue;
-                const std::size_t idx = _sched.claimNext(now);
+                const std::size_t idx = _sched.claimNext(
+                    now, _hosts[slot.hostIdx].spec.name);
                 if (idx == FleetScheduler::npos)
                     break;
                 launch(slot, idx, now);
             }
         }
-        const bool anyActive = [this]() {
-            for (const Slot &slot : _slots)
-                if (slot.active)
-                    return true;
-            return false;
-        }();
-        if ((_sched.allSettled() || interrupted) && !anyActive)
-            break;
+
+        bool anyActive = false;
+        for (const Slot &slot : _slots)
+            if (slot.active)
+                anyActive = true;
+        const bool settled =
+            _sched.allSettled() || interrupted || !_fatal.empty();
+        if (settled && !anyActive) {
+            if (_zombies.empty())
+                break;
+            if (drainStartMs < 0.0) {
+                drainStartMs = now;
+                for (Zombie &z : _zombies)
+                    _hosts[z.hostIdx].transport->interrupt(
+                        *z.handle);
+            } else if (now - drainStartMs > _opt.zombieGraceMs) {
+                killZombies();
+                break;
+            }
+        } else {
+            drainStartMs = -1.0;
+        }
         std::this_thread::sleep_for(std::chrono::duration<double,
                                     std::milli>(_opt.pollMs));
     }
 
     FleetOutcome out;
     out.interrupted = interrupted;
+    out.fatal = _fatal;
     out.done = _sched.doneCount();
     out.failed = _sched.failedCount();
     out.retries = _retries;
     out.resumes = _resumes;
     out.hangKills = _hangKills;
+    out.leaseExpiries = _sched.leaseExpiries();
+    out.zombieRejects = _sched.zombieRejects();
+    out.zombieRescues = _sched.zombieRescues();
+    out.hostsQuarantined = _quarantineEvents;
     out.reportPath = _opt.outDir + "/report.json";
     out.jobs = _sched.jobs();
+    for (const HostRuntime &h : _hosts) {
+        HostReport hr;
+        hr.name = h.spec.name;
+        hr.transport = h.spec.transport;
+        hr.slots = h.spec.slots;
+        hr.state = h.health.stateName();
+        hr.quarantines = h.health.quarantines();
+        hr.opFailures = h.health.opFailures();
+        hr.jobsDone = h.jobsDone;
+        hr.lastError = h.health.lastError();
+        if (h.faulty) {
+            hr.faulty = true;
+            const FaultCounters &fc = h.faulty->counters();
+            hr.faultsInjected = fc.drops + fc.delays + fc.dups +
+                                fc.corrupts + fc.partitioned +
+                                (fc.died ? 1 : 0);
+        }
+        if (h.health.state() == HostState::Dead)
+            ++out.hostsDead;
+        out.hosts.push_back(std::move(hr));
+    }
     writeReport(out);
     note("sweep '" + _spec.name + "' " +
-         (interrupted ? "interrupted" : "complete") + ": " +
-         std::to_string(out.done) + " done, " +
+         (!out.fatal.empty()
+              ? "aborted"
+              : interrupted ? "interrupted" : "complete") +
+         ": " + std::to_string(out.done) + " done, " +
          std::to_string(out.failed) + " failed, " +
          std::to_string(out.retries) + " retries (" +
-         std::to_string(out.resumes) + " resumed), report " +
-         out.reportPath);
+         std::to_string(out.resumes) + " resumed), " +
+         std::to_string(out.leaseExpiries) + " lease expiries, " +
+         std::to_string(out.zombieRejects) + " zombie rejects, "
+         "report " + out.reportPath);
     return out;
 }
 
 void
 FleetSupervisor::writeReport(const FleetOutcome &out) const
 {
-    // Aggregate every completed shard's stats.json.
+    // Aggregate every completed shard's committed stats.json.
     std::vector<StatsFile> parsed;
     parsed.reserve(out.jobs.size());
     std::vector<const StatsFile *> shards;
@@ -626,18 +945,18 @@ FleetSupervisor::writeReport(const FleetOutcome &out) const
         shards.push_back(&f);
     const auto agg = aggregateStats(shards);
 
-    std::ofstream os(out.reportPath);
-    if (!os)
-        fatal("cannot write ", out.reportPath);
+    std::ostringstream os;
     const FleetPolicy &pol = _spec.fleet;
     os << "{\n"
        << "  \"kind\": \"vip-fleet-report\",\n"
-       << "  \"schemaVersion\": 1,\n"
+       << "  \"schemaVersion\": 2,\n"
        << "  \"name\": \"" << esc(_spec.name) << "\",\n"
        << "  \"seconds\": " << fmtNum(_spec.seconds) << ",\n"
        << "  \"mode\": \"" << workerModeName(_opt.mode) << "\",\n"
        << "  \"interrupted\": "
        << (out.interrupted ? "true" : "false") << ",\n";
+    if (!out.fatal.empty())
+        os << "  \"fatal\": \"" << esc(out.fatal) << "\",\n";
     os << "  \"policy\": {\n"
        << "    \"workers\": " << pol.workers << ",\n"
        << "    \"max_attempts\": " << pol.maxAttempts << ",\n"
@@ -645,10 +964,23 @@ FleetSupervisor::writeReport(const FleetOutcome &out) const
        << ",\n"
        << "    \"backoff_cap_ms\": " << fmtNum(pol.backoffCapMs)
        << ",\n"
+       << "    \"backoff_jitter\": "
+       << (pol.backoffJitter ? "true" : "false") << ",\n"
+       << "    \"lease_ms\": " << fmtNum(pol.leaseMs) << ",\n"
        << "    \"heartbeat_deadline_ms\": "
        << fmtNum(pol.heartbeatDeadlineMs) << ",\n"
        << "    \"heartbeat_interval_ms\": "
        << fmtNum(pol.heartbeatIntervalMs) << ",\n"
+       << "    \"heartbeat_grace_ms\": "
+       << fmtNum(_opt.heartbeatGraceMsOverride >= 0.0
+                     ? _opt.heartbeatGraceMsOverride
+                     : pol.heartbeatGraceMs)
+       << ",\n"
+       << "    \"quarantine_after\": " << pol.quarantineAfter
+       << ",\n"
+       << "    \"probe_interval_ms\": "
+       << fmtNum(pol.probeIntervalMs) << ",\n"
+       << "    \"fetch_retries\": " << pol.fetchRetries << ",\n"
        << "    \"checkpoint_every_ms\": "
        << fmtNum(pol.checkpointEveryMs) << ",\n"
        << "    \"resume\": " << (pol.resume ? "true" : "false")
@@ -660,8 +992,63 @@ FleetSupervisor::writeReport(const FleetOutcome &out) const
        << "    \"retries\": " << out.retries << ",\n"
        << "    \"resumes\": " << out.resumes << ",\n"
        << "    \"hang_kills\": " << out.hangKills << ",\n"
+       << "    \"lease_expiries\": " << out.leaseExpiries << ",\n"
+       << "    \"zombie_rejects\": " << out.zombieRejects << ",\n"
+       << "    \"zombie_rescues\": " << out.zombieRescues << ",\n"
+       << "    \"hosts_quarantined\": " << out.hostsQuarantined
+       << ",\n"
+       << "    \"hosts_dead\": " << out.hostsDead << ",\n"
        << "    \"aggregated_shards\": " << shards.size()
        << "\n  },\n";
+
+    os << "  \"hosts\": [\n";
+    for (std::size_t i = 0; i < out.hosts.size(); ++i) {
+        const HostReport &h = out.hosts[i];
+        os << "    {\n"
+           << "      \"name\": \"" << esc(h.name) << "\",\n"
+           << "      \"transport\": \"" << esc(h.transport)
+           << "\",\n"
+           << "      \"slots\": " << h.slots << ",\n"
+           << "      \"state\": \"" << esc(h.state) << "\",\n"
+           << "      \"quarantines\": " << h.quarantines << ",\n"
+           << "      \"op_failures\": " << h.opFailures << ",\n"
+           << "      \"jobs_done\": " << h.jobsDone;
+        if (h.faulty)
+            os << ",\n      \"faults_injected\": "
+               << h.faultsInjected;
+        if (!h.lastError.empty())
+            os << ",\n      \"last_error\": \"" << esc(h.lastError)
+               << "\"";
+        os << "\n    }" << (i + 1 < out.hosts.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+
+    // Explicit enumerations of reassigned and quarantined work, so
+    // degradation is auditable without walking every job record.
+    os << "  \"reassigned_jobs\": [";
+    {
+        bool first = true;
+        for (const JobProgress &p : out.jobs) {
+            if (p.leaseExpiries == 0)
+                continue;
+            os << (first ? "" : ", ") << "\"" << esc(p.job.id)
+               << "\"";
+            first = false;
+        }
+    }
+    os << "],\n";
+    os << "  \"quarantined_hosts\": [";
+    {
+        bool first = true;
+        for (const HostReport &h : out.hosts) {
+            if (h.quarantines == 0)
+                continue;
+            os << (first ? "" : ", ") << "\"" << esc(h.name)
+               << "\"";
+            first = false;
+        }
+    }
+    os << "],\n";
 
     auto jobJson = [&os](const JobProgress &p, bool failedOnly) {
         os << "    {\n"
@@ -677,8 +1064,18 @@ FleetSupervisor::writeReport(const FleetOutcome &out) const
            << "\",\n"
            << "      \"attempts\": " << p.attempts << ",\n"
            << "      \"resumed\": "
-           << (p.everResumed ? "true" : "false") << ",\n"
-           << "      \"wall_ms\": " << fmtNum(p.wallMs);
+           << (p.everResumed ? "true" : "false") << ",\n";
+        if (!p.host.empty())
+            os << "      \"host\": \"" << esc(p.host) << "\",\n";
+        if (p.leaseExpiries > 0)
+            os << "      \"lease_expiries\": " << p.leaseExpiries
+               << ",\n";
+        if (p.zombieRejects > 0)
+            os << "      \"zombie_rejects\": " << p.zombieRejects
+               << ",\n";
+        if (p.rescued)
+            os << "      \"rescued\": true,\n";
+        os << "      \"wall_ms\": " << fmtNum(p.wallMs);
         if (!failedOnly && p.state == JobState::Done)
             os << ",\n      \"stats\": \"shards/" << esc(p.job.id)
                << "/stats.json\"";
@@ -717,6 +1114,17 @@ FleetSupervisor::writeReport(const FleetOutcome &out) const
     os << "  \"aggregate\": ";
     writeAggregateJson(os, agg, "  ");
     os << "\n}\n";
+
+    std::string err;
+    if (!writeFileAtomic(out.reportPath, os.str(), &err))
+        fatal("cannot write ", out.reportPath, ": ", err);
+
+    std::ostringstream as;
+    writeAggregateDocument(as, agg, shards.size(), _spec.name);
+    if (!writeFileAtomic(_opt.outDir + "/aggregate.json", as.str(),
+                         &err))
+        fatal("cannot write ", _opt.outDir, "/aggregate.json: ",
+              err);
 }
 
 } // namespace fleet

@@ -1,33 +1,49 @@
 /**
  * @file
- * FleetSupervisor: the crash-surviving sweep orchestrator behind
- * `vip_fleet`.
+ * FleetSupervisor: the crash-surviving, partition-tolerant sweep
+ * orchestrator behind `vip_fleet`.
  *
- * The supervisor expands a JobSpec across N workers, watches each
- * worker's liveness, and drives the FleetScheduler's retry/backoff
- * state machine:
+ * The supervisor expands a JobSpec across a roster of hosts (local
+ * by default; a --hosts file adds remote ssh workers), watches every
+ * attempt's liveness, and drives the FleetScheduler's lease-fenced
+ * retry state machine.  It never touches a process, thread, or
+ * socket directly — all of that lives behind WorkerTransport
+ * (src/fleet/transport/), which is also where deterministic fault
+ * injection plugs in for chaos testing.
  *
- *  - every worker streams a metrics CSV (its *heartbeat*): the last
- *    row's tick_ms is the shard's simulated progress, and a file that
- *    stops growing for heartbeatDeadlineMs of wall time means the
- *    worker is hung and gets killed;
- *  - a worker that exits nonzero or dies on a signal is a failure;
- *    the shard retries after exponential backoff, resuming from the
- *    newest flight-recorder ring checkpoint when one exists (the
- *    supervisor threads --postmortem-dir and --checkpoint-every-ms
- *    into every worker, so killed shards always leave one);
- *  - jobs that exhaust their attempt cap land in the merged report's
+ *  - every attempt runs in its own attempt directory
+ *    (<outDir>/shards/<job>/a<token>/) and streams a metrics CSV
+ *    (its *heartbeat*): the newest row's tick_ms is the shard's
+ *    simulated progress, and a stream that stops growing for
+ *    heartbeatDeadlineMs of wall time — after a heartbeatGraceMs
+ *    startup grace — means the worker is hung and gets killed;
+ *  - ownership is leased: a claimed job carries a monotonic fencing
+ *    token, renewed by evidence of life.  An expired lease (host
+ *    partitioned or wedged) sends the job to another worker under a
+ *    newer token; the orphaned attempt becomes a *zombie* whose late
+ *    artifacts are fence-checked — rejected when a newer attempt
+ *    owns the job, rescued when none was ever issued.  Either way
+ *    nothing merges twice;
+ *  - artifacts travel by checksum: a finished attempt's outputs are
+ *    fetched with an FNV-1a manifest, verified locally, and only
+ *    then committed to the canonical shard paths with atomic
+ *    tmp+rename copies.  A corrupted or torn fetch retries; it can
+ *    never half-publish;
+ *  - transport failures (not worker failures) score against the
+ *    host: enough consecutive failures quarantine it, re-admission
+ *    probes (widening intervals) bring it back, and a host that
+ *    keeps flapping is declared dead, its work reassigned to the
+ *    survivors.  Every host dead is the one terminal error;
+ *  - a worker that exits nonzero or dies on a signal is a job
+ *    failure; the shard retries after decorrelated-jitter backoff,
+ *    resuming from the newest fetched ring checkpoint when one
+ *    exists.  Jobs that exhaust their attempts land in the report's
  *    failed_jobs section — the sweep completes regardless.
  *
- * Two worker backends share the loop: Process (fork/exec of vip_sim,
- * the default — full crash isolation, SIGKILL-able) and Thread
- * (in-process Simulation per worker, enabled by the library's
- * run-state isolation; cancellation uses the graceful-interrupt flag
- * instead of signals).  Chaos injection (--kill <job>@<sim-ms>)
- * SIGKILLs a named job's first attempt once its heartbeat crosses a
- * simulated-time threshold — deterministic enough for CI to assert
- * that the recovered shard's stats are bit-identical to an
- * uninterrupted run.
+ * Chaos injection (--kill <job>@<sim-ms>) force-kills a named job's
+ * first attempt once its heartbeat crosses a simulated-time
+ * threshold — deterministic enough for CI to assert that the
+ * recovered shard's stats are bit-identical to an uninterrupted run.
  */
 
 #ifndef VIP_FLEET_SUPERVISOR_HH
@@ -35,11 +51,15 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "fleet/health.hh"
+#include "fleet/hosts.hh"
 #include "fleet/job_spec.hh"
 #include "fleet/scheduler.hh"
+#include "fleet/transport/transport.hh"
 
 namespace vip
 {
@@ -54,33 +74,56 @@ enum class WorkerMode
 
 const char *workerModeName(WorkerMode m);
 
-/** Where one job's artifacts live: <outDir>/shards/<jobId>/... */
+/** Where one job's *canonical* (accepted, committed) artifacts
+ *  live: <outDir>/shards/<jobId>/...  Attempts stage under
+ *  <dir>/a<token>/ and only fence-checked results land here. */
 struct ShardPaths
 {
     std::string dir;        ///< the shard directory
-    std::string statsJson;  ///< --stats-out dump
-    std::string metricsCsv; ///< heartbeat stream
-    std::string pmDir;      ///< --postmortem-dir (checkpoint ring)
+    std::string statsJson;  ///< committed stats dump
+    std::string metricsCsv; ///< committed heartbeat stream
+    std::string pmDir;      ///< checkpoint home
     std::string checkpoint; ///< <pmDir>/checkpoint.vips
-    std::string digest;     ///< --digest-out stream (policy.digests)
-    std::string log;        ///< worker stdout+stderr (process mode)
+    std::string digest;     ///< committed digest stream
+    std::string log;        ///< worker stdout+stderr, all attempts
 };
 
 ShardPaths shardPaths(const std::string &outDir,
                       const std::string &jobId);
 
+/** Attempt staging directory for one (job, token) pair. */
+std::string attemptDir(const std::string &outDir,
+                       const std::string &jobId, std::uint64_t token);
+
 /** Everything run() needs beyond the spec itself. */
 struct FleetOptions
 {
     std::string outDir;     ///< report + shard tree root
-    std::string vipSimPath; ///< worker binary (process mode)
+    std::string vipSimPath; ///< worker binary (process/ssh hosts)
     WorkerMode mode = WorkerMode::Process;
 
-    /** @{ chaos injection: SIGKILL job killJobId's first attempt
+    /** Host roster (--hosts).  Empty = one implicit local host named
+     *  "local" running policy.workers slots in `mode`. */
+    std::vector<HostSpec> hosts;
+
+    /** Fault-injection spec (--fault) applied to every host without
+     *  its own "fault" entry.  "" = none. */
+    std::string faultSpec;
+
+    /** --heartbeat-grace-ms override; < 0 = use the policy value. */
+    double heartbeatGraceMsOverride = -1.0;
+
+    /** How long after the sweep settles to keep waiting for zombie
+     *  attempts to finish (their results are fence-checked, then
+     *  rescued or rejected) before force-killing them. */
+    double zombieGraceMs = 250.0;
+
+    /** @{ chaos injection: force-kill job killJobId's first attempt
      *  once its heartbeat reaches killAtSimMs simulated ms.  The
      *  threshold is simulated time, so a ring checkpoint (cadence
      *  checkpointEveryMs < killAtSimMs) provably exists before the
-     *  kill — no wall-clock races.  Process mode only. */
+     *  kill — no wall-clock races.  Needs a kill-capable transport
+     *  (process or ssh). */
     std::string killJobId;
     double killAtSimMs = 0.0;
     /** @} */
@@ -96,37 +139,62 @@ struct FleetOptions
     bool verbose = true;
 };
 
+/** Per-host rollup for the report. */
+struct HostReport
+{
+    std::string name;
+    std::string transport;
+    int slots = 0;
+    std::string state; ///< healthy | quarantined | dead
+    int quarantines = 0;
+    long opFailures = 0;
+    std::size_t jobsDone = 0;
+    std::string lastError;
+    bool faulty = false; ///< fault injection was active
+    long faultsInjected = 0;
+};
+
 /** What a finished sweep looked like. */
 struct FleetOutcome
 {
     bool interrupted = false;   ///< stopFlag fired mid-sweep
+    std::string fatal;          ///< terminal error ("" = none)
     std::size_t done = 0;
     std::size_t failed = 0;
     std::size_t retries = 0;    ///< attempts beyond each job's first
     std::size_t resumes = 0;    ///< attempts restored from a ring
     std::size_t hangKills = 0;  ///< liveness-watchdog kills
+    long leaseExpiries = 0;     ///< attempts reassigned off dead leases
+    long zombieRejects = 0;     ///< stale-token artifact sets refused
+    long zombieRescues = 0;     ///< post-expiry results still accepted
+    int hostsQuarantined = 0;   ///< quarantine entries over the sweep
+    int hostsDead = 0;
     std::string reportPath;     ///< merged report (<outDir>/report.json)
     std::vector<JobProgress> jobs;
+    std::vector<HostReport> hosts;
 
-    /** 0 all done; 1 completed with failed_jobs; 2 interrupted. */
+    /** 0 all done; 1 completed with failed_jobs; 2 interrupted or
+     *  terminal (every host lost). */
     int exitCode() const
     {
-        if (interrupted)
+        if (interrupted || !fatal.empty())
             return 2;
         return failed == 0 ? 0 : 1;
     }
 };
 
 /**
- * The vip_sim argv (argv[0] excluded) for one attempt of @p job —
- * identical flags on every attempt and on reference reruns, because
- * checkpoint identity covers the metrics interval and audit spec.
- * @p resume appends --restore <ring checkpoint>.  Exposed for tests.
+ * The vip_sim argv (argv[0] excluded) for one attempt of @p job.
+ * All artifact paths are *attempt-relative* (stats.json, metrics.csv,
+ * digest.dig, pm/) — the transport decides the working directory, so
+ * the same argv runs locally or on any remote host.  Identical flags
+ * on every attempt and on reference reruns, because checkpoint
+ * identity covers the metrics interval and audit spec.  Restore is
+ * appended by the transport (it stages the checkpoint).  Exposed for
+ * tests.
  */
 std::vector<std::string> workerArgs(const JobSpec &spec,
-                                    const FleetJob &job,
-                                    const ShardPaths &paths,
-                                    bool resume);
+                                    const FleetJob &job);
 
 class FleetSupervisor
 {
@@ -134,18 +202,34 @@ class FleetSupervisor
     FleetSupervisor(JobSpec spec, FleetOptions opt);
     ~FleetSupervisor(); ///< out-of-line: Slot is complete in the .cc
 
-    /** Run the sweep to completion (or until stopFlag) and write the
-     *  merged report.  SimFatal only on setup errors (bad outDir,
-     *  missing worker binary) — job failures never throw. */
+    /** Run the sweep to completion (or until stopFlag, or until the
+     *  last host dies) and write the merged report.  SimFatal only
+     *  on setup errors (bad outDir, missing worker binary, bad hosts
+     *  file) — job failures and lost hosts never throw. */
     FleetOutcome run();
 
   private:
+    struct HostRuntime;
     struct Slot;
+    struct Zombie;
 
+    void buildHosts();
+    bool hostUsable(std::size_t hostIdx) const;
+    void hostOpFailure(std::size_t hostIdx, double nowMs,
+                       const std::string &detail);
+    void probeQuarantined(double nowMs);
     void launch(Slot &slot, std::size_t jobIdx, double nowMs);
-    void poll(Slot &slot, double nowMs);
-    void finish(Slot &slot, double nowMs, bool ok,
-                const std::string &why);
+    void pollSlot(Slot &slot, double nowMs);
+    void expireLease(Slot &slot, double nowMs);
+    void tryFetch(Slot &slot, double nowMs);
+    void settleAttempt(Slot &slot, double nowMs,
+                       const ArtifactManifest &m);
+    bool commitArtifacts(const std::string &jobId,
+                         const std::string &aDir,
+                         const ArtifactManifest &m, bool success,
+                         int attempt, std::string *err);
+    void pollZombies(double nowMs);
+    void killZombies();
     void interruptAll();
     void writeReport(const FleetOutcome &out) const;
     void note(const std::string &line) const;
@@ -153,11 +237,15 @@ class FleetSupervisor
     JobSpec _spec;
     FleetOptions _opt;
     FleetScheduler _sched;
+    std::vector<HostRuntime> _hosts;
     std::vector<Slot> _slots;
+    std::vector<Zombie> _zombies;
     bool _chaosFired = false;
     std::size_t _retries = 0;
     std::size_t _resumes = 0;
     std::size_t _hangKills = 0;
+    int _quarantineEvents = 0;
+    std::string _fatal;
 };
 
 } // namespace fleet

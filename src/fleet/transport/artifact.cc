@@ -1,0 +1,172 @@
+#include "fleet/transport/artifact.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+namespace vip
+{
+namespace fleet
+{
+
+std::uint64_t
+fnv1aAccum(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1aBytes(const void *data, std::size_t n)
+{
+    return fnv1aAccum(kFnvOffsetBasis, data, n);
+}
+
+std::uint64_t
+fnv1aFile(const std::string &path, bool *ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (ok)
+            *ok = false;
+        return kFnvOffsetBasis;
+    }
+    std::uint64_t h = kFnvOffsetBasis;
+    char buf[1 << 16];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+        h = fnv1aAccum(h, buf, static_cast<std::size_t>(in.gcount()));
+    if (ok)
+        *ok = !in.bad();
+    return h;
+}
+
+std::string
+fnvHex(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+parseFnvHex(const std::string &s, std::uint64_t *out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t h = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = c - 'A' + 10;
+        else
+            return false;
+        h = (h << 4) | static_cast<std::uint64_t>(d);
+    }
+    *out = h;
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *err)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            if (err)
+                *err = "cannot open " + tmp;
+            return false;
+        }
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        os.flush();
+        if (!os) {
+            if (err)
+                *err = "short write on " + tmp;
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        if (err)
+            *err = "rename " + tmp + " -> " + path + ": " +
+                   ec.message();
+        return false;
+    }
+    return true;
+}
+
+bool
+copyFileAtomicVerified(const std::string &src, const std::string &dst,
+                       std::uint64_t expectFnv, std::string *err)
+{
+    std::ifstream in(src, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot read " + src;
+        return false;
+    }
+    const std::string tmp = dst + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            if (err)
+                *err = "cannot open " + tmp;
+            return false;
+        }
+        std::uint64_t h = kFnvOffsetBasis;
+        char buf[1 << 16];
+        while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+            const auto n = static_cast<std::size_t>(in.gcount());
+            h = fnv1aAccum(h, buf, n);
+            os.write(buf, static_cast<std::streamsize>(n));
+        }
+        os.flush();
+        if (in.bad() || !os) {
+            if (err)
+                *err = "I/O error copying " + src + " -> " + tmp;
+            return false;
+        }
+        if (h != expectFnv) {
+            if (err)
+                *err = "checksum mismatch on " + src + ": manifest " +
+                       fnvHex(expectFnv) + ", got " + fnvHex(h);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, dst, ec);
+    if (ec) {
+        if (err)
+            *err = "rename " + tmp + " -> " + dst + ": " +
+                   ec.message();
+        return false;
+    }
+    return true;
+}
+
+const Artifact *
+findArtifact(const ArtifactManifest &m, const std::string &name)
+{
+    for (const Artifact &a : m)
+        if (a.name == name)
+            return &a;
+    return nullptr;
+}
+
+} // namespace fleet
+} // namespace vip

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Artifact integrity and atomic-publication helpers shared by every
+ * fleet transport: FNV-1a file checksums (same constants as the audit
+ * digest stream and the snapshot trailer), tmp+rename atomic writes
+ * (the `sim/snapshot` pattern), and checksum-verified atomic copies.
+ *
+ * The rule the fleet lives by: an artifact is either absent or whole.
+ * Workers write into per-attempt staging directories; only an
+ * accepted (fence-checked) attempt's artifacts are copied to the
+ * canonical shard paths, and every copy is verified against the
+ * manifest checksum and published with rename(2) so a killed
+ * `vip_fleet` never leaves a torn report or half-copied shard behind.
+ */
+
+#ifndef VIP_FLEET_TRANSPORT_ARTIFACT_HH
+#define VIP_FLEET_TRANSPORT_ARTIFACT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vip
+{
+namespace fleet
+{
+
+/** FNV-1a (64-bit) over a byte range; offset basis when n == 0. */
+std::uint64_t fnv1aBytes(const void *data, std::size_t n);
+
+/** Incremental FNV-1a, for streamed hashing. */
+std::uint64_t fnv1aAccum(std::uint64_t h, const void *data,
+                         std::size_t n);
+
+/** FNV-1a offset basis (the empty-input hash). */
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/**
+ * FNV-1a of a whole file.  @p ok (when non-null) reports whether the
+ * file was readable; an unreadable file hashes to the offset basis
+ * with *ok = false.
+ */
+std::uint64_t fnv1aFile(const std::string &path, bool *ok = nullptr);
+
+/** 16-hex-digit lowercase rendering of a 64-bit checksum. */
+std::string fnvHex(std::uint64_t h);
+
+/** Parse a 16-hex-digit checksum; false on malformed input. */
+bool parseFnvHex(const std::string &s, std::uint64_t *out);
+
+/**
+ * Write @p content to @p path atomically: write to "<path>.tmp",
+ * flush, then rename over the target.  Returns false (with *err set)
+ * on any I/O failure; the target is never left torn.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content, std::string *err);
+
+/**
+ * Copy @p src to @p dst atomically, verifying the source bytes hash
+ * to @p expectFnv while streaming (tmp+rename publication).  Detects
+ * both corruption-in-transit (source no longer matches the manifest)
+ * and torn local writes.
+ */
+bool copyFileAtomicVerified(const std::string &src,
+                            const std::string &dst,
+                            std::uint64_t expectFnv, std::string *err);
+
+/** One named artifact of a worker attempt, checksummed at fetch. */
+struct Artifact
+{
+    std::string name;      ///< attempt-relative ("stats.json", ...)
+    std::string localPath; ///< where the fetched bytes live locally
+    std::uint64_t fnv = 0; ///< checksum computed at the source
+    bool present = false;  ///< the attempt produced this artifact
+};
+
+using ArtifactManifest = std::vector<Artifact>;
+
+/** Manifest entry by name, or nullptr. */
+const Artifact *findArtifact(const ArtifactManifest &m,
+                             const std::string &name);
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_TRANSPORT_ARTIFACT_HH

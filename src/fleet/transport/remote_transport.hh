@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RemoteTransport: vip_sim on a remote host over ssh exec.
+ *
+ * One attempt = one remote attempt directory under the host's
+ * configured remote root.  The transport stages the restore
+ * checkpoint out (stdin pipe + FNV-1a verification against the local
+ * checksum), launches `vip_sim` with `cd <dir> && exec ...` so argv
+ * stays attempt-relative, and fetches artifacts back by asking the
+ * remote `vip_sim --fnv1a <file>` for a source checksum, streaming
+ * the bytes over `cat`, and verifying locally before an atomic
+ * tmp+rename publication into the local attempt directory.
+ *
+ * Every network op is bounded (timeout + SIGKILL of the ssh child)
+ * and retried with capped exponential backoff; an op that exhausts
+ * its retries reports a transport failure, which feeds the host
+ * health scorer — never a hang, never a silently torn artifact.
+ *
+ * The ssh command is configurable per host, which is also the
+ * hermetic-test seam: pointing it at tests/fake_ssh.sh (drops the
+ * host argument, runs the command locally) exercises the full
+ * stage/launch/fetch/verify path with no network at all.
+ */
+
+#ifndef VIP_FLEET_TRANSPORT_REMOTE_TRANSPORT_HH
+#define VIP_FLEET_TRANSPORT_REMOTE_TRANSPORT_HH
+
+#include "fleet/transport/transport.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+struct RemoteHostOptions
+{
+    std::string name;               ///< report/display name
+    std::vector<std::string> sshCmd; ///< e.g. {"ssh","-oBatchMode=yes","node7"}
+    std::string remoteDir;          ///< remote attempt-tree root
+    std::string vipSim;             ///< remote worker binary path
+    double opTimeoutMs = 30000.0;   ///< per network op
+    int opRetries = 3;              ///< attempts per network op
+    double retryBaseMs = 100.0;     ///< op retry backoff base
+    double retryCapMs = 2000.0;     ///< op retry backoff cap
+    double heartbeatRefreshMs = 250.0; ///< heartbeat probe throttle
+};
+
+class RemoteTransport : public WorkerTransport
+{
+  public:
+    explicit RemoteTransport(RemoteHostOptions opt);
+
+    const char *kind() const override { return "ssh"; }
+    std::unique_ptr<WorkerHandle> launch(const LaunchRequest &req,
+                                         std::string *err) override;
+    PollResult poll(WorkerHandle &h) override;
+    bool heartbeat(WorkerHandle &h, HeartbeatInfo *info,
+                   std::string *err) override;
+    void interrupt(WorkerHandle &h) override;
+    void forceKill(WorkerHandle &h) override;
+    bool fetch(WorkerHandle &h, ArtifactManifest *out,
+               std::string *err) override;
+    bool probe(std::string *err) override;
+
+  private:
+    struct Op; ///< one bounded, retried remote command
+
+    RemoteHostOptions _opt;
+};
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_TRANSPORT_REMOTE_TRANSPORT_HH

@@ -1,0 +1,148 @@
+#include "fleet/transport/subprocess.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace vip
+{
+namespace fleet
+{
+
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out.push_back(c);
+    }
+    out += "'";
+    return out;
+}
+
+RunResult
+runCapture(const std::vector<std::string> &argv,
+           const std::string &stdinFile, double timeoutMs,
+           std::size_t maxOutBytes)
+{
+    RunResult r;
+    if (argv.empty()) {
+        r.error = "empty argv";
+        return r;
+    }
+
+    int outPipe[2];
+    if (::pipe(outPipe) != 0) {
+        r.error = std::string("pipe: ") + std::strerror(errno);
+        return r;
+    }
+    const int inFd =
+        ::open(stdinFile.empty() ? "/dev/null" : stdinFile.c_str(),
+               O_RDONLY);
+    if (inFd < 0) {
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        r.error = "cannot open stdin file " + stdinFile + ": " +
+                  std::strerror(errno);
+        return r;
+    }
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::close(inFd);
+        r.error = std::string("fork: ") + std::strerror(errno);
+        return r;
+    }
+    if (pid == 0) {
+        ::dup2(inFd, 0);
+        ::dup2(outPipe[1], 1);
+        ::dup2(outPipe[1], 2);
+        ::close(inFd);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127);
+    }
+    ::close(outPipe[1]);
+    ::close(inFd);
+    r.started = true;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto leftMs = [&]() {
+        const double spent =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return timeoutMs - spent;
+    };
+
+    char buf[1 << 14];
+    bool open = true;
+    while (open) {
+        const double left = leftMs();
+        if (left <= 0.0) {
+            r.timedOut = true;
+            ::kill(pid, SIGKILL);
+            break;
+        }
+        struct pollfd pfd = {outPipe[0], POLLIN, 0};
+        const int pr = ::poll(
+            &pfd, 1,
+            static_cast<int>(left < 100.0 ? (left < 1 ? 1 : left)
+                                          : 100.0));
+        if (pr < 0 && errno != EINTR) {
+            r.error = std::string("poll: ") + std::strerror(errno);
+            ::kill(pid, SIGKILL);
+            break;
+        }
+        if (pr <= 0)
+            continue;
+        const ssize_t n = ::read(outPipe[0], buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            r.error = std::string("read: ") + std::strerror(errno);
+            ::kill(pid, SIGKILL);
+            break;
+        }
+        if (n == 0) {
+            open = false;
+            break;
+        }
+        if (r.out.size() < maxOutBytes)
+            r.out.append(buf,
+                         buf + std::min<std::size_t>(
+                                   static_cast<std::size_t>(n),
+                                   maxOutBytes - r.out.size()));
+    }
+    ::close(outPipe[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFSIGNALED(status))
+        r.termSignal = WTERMSIG(status);
+    else if (WIFEXITED(status))
+        r.exitCode = WEXITSTATUS(status);
+    return r;
+}
+
+} // namespace fleet
+} // namespace vip

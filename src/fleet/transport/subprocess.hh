@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bounded subprocess execution for transports: run a command, feed
+ * it a file on stdin, capture stdout(+stderr), and SIGKILL it on
+ * timeout.  Every remote-transport network op goes through this, so
+ * a wedged ssh can never hang the supervisor loop forever.
+ */
+
+#ifndef VIP_FLEET_TRANSPORT_SUBPROCESS_HH
+#define VIP_FLEET_TRANSPORT_SUBPROCESS_HH
+
+#include <string>
+#include <vector>
+
+namespace vip
+{
+namespace fleet
+{
+
+struct RunResult
+{
+    bool started = false; ///< fork/exec reached the child
+    bool timedOut = false;
+    int exitCode = -1;  ///< when exited normally
+    int termSignal = 0; ///< when signaled (timeout => SIGKILL)
+    std::string out;    ///< captured stdout+stderr (bounded)
+    std::string error;  ///< launch-level failure detail
+
+    bool ok() const
+    {
+        return started && !timedOut && termSignal == 0 &&
+               exitCode == 0;
+    }
+};
+
+/**
+ * Run @p argv to completion (or @p timeoutMs of wall time, then
+ * SIGKILL).  @p stdinFile ("" = /dev/null) is fed to the child's
+ * stdin; stdout and stderr are captured into RunResult::out, capped
+ * at @p maxOutBytes (excess is discarded, never blocking the child).
+ */
+RunResult runCapture(const std::vector<std::string> &argv,
+                     const std::string &stdinFile, double timeoutMs,
+                     std::size_t maxOutBytes = 16u << 20);
+
+/** Single-quote @p s for a POSIX shell (remote command assembly). */
+std::string shellQuote(const std::string &s);
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_TRANSPORT_SUBPROCESS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ThreadTransport: one in-process Simulation per attempt, enabled by
+ * the library's run-state isolation (tests/test_isolation.cc proves
+ * concurrent in-process runs are bit-identical to solo runs).  The
+ * worker body mirrors vip_sim's flag semantics exactly — same
+ * outputs, same digest-visible side effects — so a thread-mode shard
+ * is byte-identical to a process-mode one.  Cancellation uses the
+ * graceful-interrupt flag: there is no safe way to kill a thread, so
+ * forceKill degrades to a graceful cancel.
+ */
+
+#ifndef VIP_FLEET_TRANSPORT_THREAD_TRANSPORT_HH
+#define VIP_FLEET_TRANSPORT_THREAD_TRANSPORT_HH
+
+#include "fleet/transport/transport.hh"
+
+namespace vip
+{
+namespace fleet
+{
+
+class ThreadTransport : public WorkerTransport
+{
+  public:
+    const char *kind() const override { return "thread"; }
+    std::unique_ptr<WorkerHandle> launch(const LaunchRequest &req,
+                                         std::string *err) override;
+    PollResult poll(WorkerHandle &h) override;
+    bool heartbeat(WorkerHandle &h, HeartbeatInfo *info,
+                   std::string *err) override;
+    void interrupt(WorkerHandle &h) override;
+    void forceKill(WorkerHandle &h) override;
+    bool fetch(WorkerHandle &h, ArtifactManifest *out,
+               std::string *err) override;
+    bool probe(std::string *err) override;
+};
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_TRANSPORT_THREAD_TRANSPORT_HH

@@ -104,4 +104,20 @@ writeAggregateJson(std::ostream &os,
     os << "\n" << indent << "}";
 }
 
+void
+writeAggregateDocument(std::ostream &os,
+                       const std::map<std::string, StatAggregate> &agg,
+                       std::size_t shardCount,
+                       const std::string &sweepName)
+{
+    os << "{\n"
+       << "  \"kind\": \"vip-fleet-aggregate\",\n"
+       << "  \"schemaVersion\": 1,\n"
+       << "  \"name\": " << json::quoted(sweepName) << ",\n"
+       << "  \"shards\": " << shardCount << ",\n"
+       << "  \"aggregate\": ";
+    writeAggregateJson(os, agg, "  ");
+    os << "\n}\n";
+}
+
 } // namespace vip

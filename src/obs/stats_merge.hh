@@ -59,6 +59,16 @@ void writeAggregateJson(std::ostream &os,
                         const std::map<std::string, StatAggregate> &agg,
                         const char *indent = "  ");
 
+/**
+ * Write a complete standalone aggregate document (the fleet's
+ * aggregate.json): a self-describing wrapper around the aggregate
+ * map, so downstream tooling can consume the cross-shard view
+ * without parsing the full report.
+ */
+void writeAggregateDocument(
+    std::ostream &os, const std::map<std::string, StatAggregate> &agg,
+    std::size_t shardCount, const std::string &sweepName);
+
 } // namespace vip
 
 #endif // VIP_OBS_STATS_MERGE_HH

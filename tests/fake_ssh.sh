@@ -1,0 +1,11 @@
+#!/bin/sh
+# Hermetic ssh stand-in for RemoteTransport tests: behaves like
+# `ssh [options] <host> <command>` but ignores everything except the
+# final argument (the remote command) and runs it locally through
+# /bin/sh.  stdin/stdout/stderr and the exit code pass through, which
+# is all the transport relies on -- so the full stage-out / launch /
+# fetch-back / checksum-verify path is exercisable with no network,
+# no keys, and no sshd.
+for arg in "$@"; do cmd="$arg"; done
+[ -n "$cmd" ] || exit 255
+exec /bin/sh -c "$cmd"

@@ -1,0 +1,149 @@
+#!/bin/sh
+# Fleet chaos matrix: run the same small sweep under deterministic
+# transport fault injection -- dropped/delayed/duplicated ops, lying
+# fetch checksums, a partition long enough to expire leases and
+# reassign work, a mid-sweep host death with a surviving host, and a
+# full ssh-transport round trip through the fake_ssh stub -- and gate
+# every scenario on the merged outputs being bit-identical to an
+# uninjected run.  Faults may cost retries and reassignments; they
+# must never change a byte of the results.
+#
+# Usage: tests/fleet_chaos.sh [build-dir] [work-dir]
+set -eu
+
+BUILD=${1:-build}
+WORK=${2:-fleet-chaos-out}
+VIP_SIM="$BUILD/tools/vip_sim"
+VIP_FLEET="$BUILD/tools/vip_fleet"
+STATS_DIFF="$BUILD/tools/vip_stats_diff"
+SRCDIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+FAKE_SSH="$SRCDIR/fake_ssh.sh"
+
+for bin in "$VIP_SIM" "$VIP_FLEET" "$STATS_DIFF"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 2; }
+done
+[ -x "$FAKE_SSH" ] || { echo "missing $FAKE_SSH" >&2; exit 2; }
+
+# Absolute paths: ssh-transport attempt dirs are resolved remotely.
+case "$VIP_SIM" in /*) ;; *) VIP_SIM="$(pwd)/$VIP_SIM";; esac
+case "$WORK" in /*) ;; *) WORK="$(pwd)/$WORK";; esac
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# quarantine_after is high on purpose: the probability scenarios
+# inject failures continuously, and this matrix gates *result
+# integrity* under flakiness, not the quarantine path (the host-death
+# scenario and the unit tests cover that).  fetch_retries absorbs
+# corrupt-checksum streaks; lease_ms is short enough that a partition
+# provably expires a lease.
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "name": "chaos-matrix",
+  "seconds": 0.3,
+  "configs": ["vip"],
+  "workloads": ["A1", "W1"],
+  "seeds": [1, 2],
+  "audit": "periodic:1",
+  "fleet": {
+    "workers": 2,
+    "max_attempts": 4,
+    "backoff_base_ms": 20,
+    "backoff_cap_ms": 200,
+    "heartbeat_deadline_ms": 30000,
+    "heartbeat_interval_ms": 1.0,
+    "checkpoint_every_ms": 20,
+    "resume": true,
+    "digests": true,
+    "lease_ms": 600,
+    "quarantine_after": 1000,
+    "fetch_retries": 6
+  }
+}
+EOF
+
+JOBS="vip-A1-s1 vip-A1-s2 vip-W1-s1 vip-W1-s2"
+
+# gate <run-dir> : every job done, nothing failed, and every shard's
+# stats + digest stream (and the merged aggregate) bit-identical to
+# the clean run.
+gate() {
+    run=$1
+    python3 - "$run/report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+s = r["summary"]
+assert s["jobs"] == 4 and s["done"] == 4, s
+assert s["failed"] == 0, s
+assert not r.get("fatal"), r.get("fatal")
+print("report: 4/4 done (retries=%d lease_expiries=%d "
+      "zombie_rejects=%d zombie_rescues=%d)"
+      % (s["retries"], s["lease_expiries"], s["zombie_rejects"],
+         s["zombie_rescues"]))
+EOF
+    for j in $JOBS; do
+        "$STATS_DIFF" "$WORK/clean/shards/$j/stats.json" \
+            "$run/shards/$j/stats.json"
+        cmp "$WORK/clean/shards/$j/digest.dig" \
+            "$run/shards/$j/digest.dig"
+    done
+    cmp "$WORK/clean/aggregate.json" "$run/aggregate.json"
+}
+
+echo "== clean reference sweep"
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/clean" \
+    --vip-sim "$VIP_SIM" --heartbeat-grace-ms 500 --quiet
+test -s "$WORK/clean/report.json"
+test -s "$WORK/clean/aggregate.json"
+
+echo "== chaos: dropped + delayed + duplicated ops"
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/flaky" \
+    --vip-sim "$VIP_SIM" --fault 'seed=7,drop=0.2,delay=0.2,dup=0.2' \
+    --quiet
+gate "$WORK/flaky"
+
+echo "== chaos: corrupted fetch checksums"
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/corrupt" \
+    --vip-sim "$VIP_SIM" --fault 'seed=11,corrupt=0.25' --quiet
+gate "$WORK/corrupt"
+
+echo "== chaos: partition expires a lease and reassigns the job"
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/partition" \
+    --vip-sim "$VIP_SIM" --fault 'partition@1+250' --quiet
+gate "$WORK/partition"
+python3 - "$WORK/partition/report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+s = r["summary"]
+assert s["lease_expiries"] >= 1, s
+assert r["reassigned_jobs"], "no reassigned work enumerated"
+assert s["zombie_rejects"] + s["zombie_rescues"] >= 0
+print("partition: lease_expiries=%d reassigned=%s"
+      % (s["lease_expiries"], ",".join(r["reassigned_jobs"])))
+EOF
+
+echo "== chaos: one host dies mid-sweep, the survivor finishes"
+cat > "$WORK/die-hosts.json" <<'EOF'
+{ "hosts": [
+    { "name": "mortal", "transport": "process", "slots": 1,
+      "fault": "dieMs=350" },
+    { "name": "survivor", "transport": "process", "slots": 1 } ] }
+EOF
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/die" \
+    --vip-sim "$VIP_SIM" --hosts "$WORK/die-hosts.json" --quiet
+gate "$WORK/die"
+
+echo "== ssh transport round trip (fake_ssh, no network)"
+cat > "$WORK/ssh-hosts.json" <<EOF
+{ "hosts": [
+    { "name": "pseudo-remote", "transport": "ssh", "slots": 2,
+      "ssh": ["$FAKE_SSH", "pseudo-remote"],
+      "remote_dir": "$WORK/ssh-remote",
+      "vip_sim": "$VIP_SIM",
+      "op_timeout_ms": 60000, "op_retries": 3 } ] }
+EOF
+"$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/ssh" \
+    --vip-sim "$VIP_SIM" --hosts "$WORK/ssh-hosts.json" --quiet
+gate "$WORK/ssh"
+
+echo "fleet chaos matrix: PASS"

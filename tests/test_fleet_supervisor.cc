@@ -1,10 +1,14 @@
 /**
  * @file
- * Fleet supervision tests: the scheduler's retry/backoff state
- * machine under a fake clock, worker argv construction, the stats
- * merge, and whole-fleet runs with in-process thread workers —
- * including graceful degradation (failed jobs never abort a sweep)
- * and bit-identical thread-shard output.
+ * Fleet supervision tests: the scheduler's lease-fenced retry state
+ * machine under a fake clock (expiry, zombie rejection and rescue,
+ * duplicate suppression), decorrelated-jitter backoff, worker argv
+ * construction, the stats merge, and whole-fleet runs with in-process
+ * thread workers — including graceful degradation (failed jobs never
+ * abort a sweep), host quarantine and recovery under injected
+ * transport faults, lease-expiry reassignment across hosts, the
+ * all-hosts-dead terminal error, and bit-identical thread-shard
+ * output.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +21,8 @@
 #include <vector>
 
 #include "core/simulation.hh"
+#include "fleet/backoff.hh"
+#include "fleet/hosts.hh"
 #include "fleet/supervisor.hh"
 #include "obs/stats_merge.hh"
 #include "sim/logging.hh"
@@ -104,6 +110,7 @@ TEST(FleetScheduler, FailureBacksOffExponentiallyThenRetries)
     pol.maxAttempts = 3;
     pol.backoffBaseMs = 100.0;
     pol.backoffCapMs = 1000.0;
+    pol.backoffJitter = false; // exact ladder, no jitter
     FleetScheduler s({job("vip", "A1", 1)}, pol);
 
     ASSERT_EQ(s.claimNext(0.0), 0u);
@@ -176,13 +183,228 @@ TEST(FleetScheduler, PendingJobsWinOverEligibleBackoffs)
 }
 
 // ---------------------------------------------------------------
+// Lease-fenced ownership: expiry, zombies, duplicate suppression.
+// ---------------------------------------------------------------
+
+TEST(FleetLease, ExpiryReassignsUnderANewerFencingToken)
+{
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseMs = 0.0;
+    pol.leaseMs = 100.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+
+    ASSERT_EQ(s.claimNext(0.0, "h1"), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    EXPECT_FALSE(s.leaseExpired(0, 99.0));
+    s.renewLease(0, 99.0);
+    EXPECT_FALSE(s.leaseExpired(0, 150.0)); // renewed to 199
+    EXPECT_TRUE(s.leaseExpired(0, 199.1));
+
+    // Mid-Running expiry: the attempt is written off, the job goes
+    // back into rotation, and its history records why.
+    s.onLeaseExpired(0, 200.0, 200.0, "lease expired on h1", true);
+    EXPECT_EQ(s.job(0).state, JobState::Backoff);
+    EXPECT_TRUE(s.job(0).resumeNext);
+    EXPECT_EQ(s.job(0).leaseExpiries, 1);
+    EXPECT_EQ(s.leaseExpiries(), 1);
+    EXPECT_NE(s.job(0).history.back().find("lease expired"),
+              std::string::npos);
+
+    // The retry runs under a strictly newer token on another host.
+    ASSERT_EQ(s.claimNext(200.0, "h2"), 0u);
+    const std::uint64_t t2 = s.job(0).token;
+    EXPECT_GT(t2, t1);
+    EXPECT_EQ(s.job(0).host, "h2");
+
+    // The zombie's late success carries the stale token: rejected,
+    // counted, never merged.
+    EXPECT_FALSE(s.acceptSuccess(0, t1, 500.0));
+    EXPECT_EQ(s.job(0).state, JobState::Running);
+    EXPECT_EQ(s.zombieRejects(), 1);
+    EXPECT_EQ(s.job(0).zombieRejects, 1);
+
+    // The live attempt's success under the current token lands.
+    EXPECT_TRUE(s.acceptSuccess(0, t2, 50.0));
+    EXPECT_EQ(s.job(0).state, JobState::Done);
+    EXPECT_FALSE(s.job(0).rescued);
+}
+
+TEST(FleetLease, ZombieIsRescuedWhenNoNewerAttemptWasIssued)
+{
+    FleetPolicy pol;
+    pol.backoffBaseMs = 1000.0; // retry not yet eligible
+    pol.backoffJitter = false;
+    pol.leaseMs = 100.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+
+    ASSERT_EQ(s.claimNext(0.0, "h1"), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    s.onLeaseExpired(0, 101.0, 101.0, "lease expired", false);
+    EXPECT_EQ(s.job(0).state, JobState::Backoff);
+
+    // The attempt outlived its lease but nothing re-claimed the job:
+    // its (fence-current) result is still good.  Rescue it.
+    EXPECT_TRUE(s.acceptSuccess(0, t1, 150.0));
+    EXPECT_EQ(s.job(0).state, JobState::Done);
+    EXPECT_TRUE(s.job(0).rescued);
+    EXPECT_EQ(s.zombieRescues(), 1);
+    EXPECT_TRUE(s.allSettled());
+    EXPECT_EQ(s.claimNext(1e9), FleetScheduler::npos);
+}
+
+TEST(FleetLease, DuplicateDeliveryNeverMergesTwice)
+{
+    FleetPolicy pol;
+    pol.leaseMs = 100.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    EXPECT_TRUE(s.acceptSuccess(0, t1, 10.0));
+    // Same token, redelivered (duplicated fetch): refused.
+    EXPECT_FALSE(s.acceptSuccess(0, t1, 10.0));
+    EXPECT_EQ(s.zombieRejects(), 1);
+    EXPECT_DOUBLE_EQ(s.job(0).wallMs, 10.0); // counted once
+}
+
+TEST(FleetLease, StaleFailureReportsAreIgnored)
+{
+    FleetPolicy pol;
+    pol.backoffBaseMs = 0.0;
+    pol.leaseMs = 100.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0, "h1"), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    s.onLeaseExpired(0, 101.0, 101.0, "lease expired", false);
+    ASSERT_EQ(s.claimNext(101.0, "h2"), 0u);
+
+    // The zombie dies late: its failure is already accounted by the
+    // expiry, and must not burn the live attempt.
+    EXPECT_FALSE(s.acceptFailure(0, t1, 150.0, 150.0, "late crash",
+                                 false));
+    EXPECT_EQ(s.job(0).state, JobState::Running);
+    EXPECT_EQ(s.job(0).attempts, 2);
+}
+
+TEST(FleetLease, ReleasedClaimBurnsNothingAndAcceptsNothing)
+{
+    FleetPolicy pol;
+    pol.leaseMs = 100.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0, "h1"), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    // Launch failed: the worker never existed.
+    s.releaseClaim(0);
+    EXPECT_EQ(s.job(0).state, JobState::Pending);
+    EXPECT_EQ(s.job(0).attempts, 0);
+    // A result under the released token is impossible in practice;
+    // the fence still refuses it (Pending accepts nothing).
+    EXPECT_FALSE(s.acceptSuccess(0, t1, 1.0));
+    // The next claim issues a fresh token and attempt 1 again.
+    ASSERT_EQ(s.claimNext(1.0, "h2"), 0u);
+    EXPECT_EQ(s.job(0).attempts, 1);
+    EXPECT_GT(s.job(0).token, t1);
+}
+
+TEST(FleetLease, ExpiryAtTheAttemptCapIsTerminal)
+{
+    FleetPolicy pol;
+    pol.maxAttempts = 1;
+    pol.leaseMs = 50.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    const std::uint64_t t1 = s.job(0).token;
+    s.onLeaseExpired(0, 51.0, 51.0, "lease expired", false);
+    EXPECT_EQ(s.job(0).state, JobState::Failed);
+    EXPECT_EQ(s.failedCount(), 1u);
+    // ... but a late zombie success under the still-current token
+    // can still rescue the job from the Failed column.
+    EXPECT_TRUE(s.acceptSuccess(0, t1, 80.0));
+    EXPECT_EQ(s.job(0).state, JobState::Done);
+    EXPECT_TRUE(s.job(0).rescued);
+}
+
+TEST(FleetLease, FailAllUnsettledIsTheTerminalPath)
+{
+    FleetPolicy pol;
+    pol.leaseMs = 0.0; // unleased
+    FleetScheduler s({job("vip", "A1", 1), job("vip", "A1", 2),
+                      job("vip", "A1", 3)},
+                     pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    s.onSuccess(0, 1.0);
+    ASSERT_EQ(s.claimNext(1.0), 1u);
+    EXPECT_EQ(s.failAllUnsettled("all hosts dead"), 2u);
+    EXPECT_EQ(s.doneCount(), 1u); // completed work survives
+    EXPECT_EQ(s.failedCount(), 2u);
+    EXPECT_TRUE(s.allSettled());
+    EXPECT_EQ(s.job(1).history.back(), "abandoned: all hosts dead");
+}
+
+TEST(FleetLease, ZeroLeaseNeverExpires)
+{
+    FleetPolicy pol;
+    pol.leaseMs = 0.0;
+    FleetScheduler s({job("vip", "A1", 1)}, pol);
+    ASSERT_EQ(s.claimNext(0.0), 0u);
+    EXPECT_FALSE(s.leaseExpired(0, 1e12));
+}
+
+// ---------------------------------------------------------------
+// Decorrelated-jitter backoff.
+// ---------------------------------------------------------------
+
+TEST(FleetBackoff, JitterIsDeterministicBoundedAndDecorrelated)
+{
+    FleetPolicy pol;
+    pol.backoffBaseMs = 100.0;
+    pol.backoffCapMs = 1000.0;
+    for (int k = 1; k <= 8; ++k) {
+        const double d = retryDelayMs(pol, "vip-A1-s1", k);
+        EXPECT_EQ(d, retryDelayMs(pol, "vip-A1-s1", k)); // pure
+        EXPECT_GE(d, pol.backoffBaseMs);
+        EXPECT_LE(d, pol.backoffCapMs);
+    }
+    // Different jobs failing on the same attempt spread out rather
+    // than retrying in lockstep.
+    bool differs = false;
+    for (std::uint64_t seed = 1; seed <= 8 && !differs; ++seed)
+        differs = retryDelayMs(pol, "vip-A1-s" + std::to_string(seed),
+                               2) !=
+                  retryDelayMs(pol, "vip-A1-s" +
+                               std::to_string(seed + 1), 2);
+    EXPECT_TRUE(differs);
+    // Unit draws live in [0, 1).
+    for (int k = 1; k <= 64; ++k) {
+        const double u = backoffUnitDraw("j", k);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(FleetBackoff, JitterOffReproducesTheLegacyLadderExactly)
+{
+    FleetPolicy pol;
+    pol.backoffBaseMs = 100.0;
+    pol.backoffCapMs = 1000.0;
+    pol.backoffJitter = false;
+    for (int k = 1; k <= 8; ++k)
+        EXPECT_DOUBLE_EQ(retryDelayMs(pol, "any", k),
+                         backoffDelayMs(pol, k));
+}
+
+// ---------------------------------------------------------------
 // Worker argv and shard layout.
 // ---------------------------------------------------------------
 
-TEST(FleetWorkerArgs, RetryArgsAreFirstAttemptArgsPlusRestore)
+TEST(FleetWorkerArgs, ArgsAreAttemptRelativeAndHostIndependent)
 {
-    // Checkpoint identity covers audit spec and metrics interval, so
-    // a retry MUST repeat the first attempt's flags exactly.
+    // Artifact paths in the argv are attempt-relative names: the
+    // transport picks the working directory, so the same argv runs
+    // locally, on a thread, or on any ssh host.  Checkpoint identity
+    // covers audit spec and metrics interval, so every attempt (and
+    // any reference rerun) MUST repeat the same flags; --restore is
+    // appended by the transport after it stages the checkpoint.
     JobSpec spec;
     spec.seconds = 0.25;
     spec.audit = "periodic:1";
@@ -191,20 +413,12 @@ TEST(FleetWorkerArgs, RetryArgsAreFirstAttemptArgsPlusRestore)
     spec.fleet.checkpointEveryMs = 25.0;
     FleetJob j = job("vip", "W4", 7);
     j.faultPlan = "light";
-    const ShardPaths p = shardPaths("out", j.id);
 
-    const auto fresh = workerArgs(spec, j, p, false);
-    const auto retry = workerArgs(spec, j, p, true);
-    ASSERT_EQ(retry.size(), fresh.size() + 2u);
-    for (std::size_t i = 0; i < fresh.size(); ++i)
-        EXPECT_EQ(fresh[i], retry[i]) << "flag " << i;
-    EXPECT_EQ(retry[fresh.size()], "--restore");
-    EXPECT_EQ(retry[fresh.size() + 1], p.checkpoint);
-
-    auto has = [&fresh](const std::string &flag,
-                        const std::string &val) {
-        for (std::size_t i = 0; i + 1 < fresh.size(); ++i)
-            if (fresh[i] == flag && fresh[i + 1] == val)
+    const auto args = workerArgs(spec, j);
+    auto has = [&args](const std::string &flag,
+                       const std::string &val) {
+        for (std::size_t i = 0; i + 1 < args.size(); ++i)
+            if (args[i] == flag && args[i + 1] == val)
                 return true;
         return false;
     };
@@ -214,12 +428,17 @@ TEST(FleetWorkerArgs, RetryArgsAreFirstAttemptArgsPlusRestore)
     EXPECT_TRUE(has("--seconds", "0.25"));
     EXPECT_TRUE(has("--fault-plan", "light"));
     EXPECT_TRUE(has("--audit", "periodic:1"));
-    EXPECT_TRUE(has("--digest-out", p.digest));
-    EXPECT_TRUE(has("--metrics-out", p.metricsCsv));
+    EXPECT_TRUE(has("--digest-out", attempt_files::kDigest));
+    EXPECT_TRUE(has("--metrics-out", attempt_files::kMetrics));
     EXPECT_TRUE(has("--metrics-interval-ms", "2"));
-    EXPECT_TRUE(has("--stats-out", p.statsJson));
-    EXPECT_TRUE(has("--postmortem-dir", p.pmDir));
+    EXPECT_TRUE(has("--stats-out", attempt_files::kStats));
+    EXPECT_TRUE(has("--postmortem-dir", attempt_files::kPmDir));
     EXPECT_TRUE(has("--checkpoint-every-ms", "25"));
+    for (const auto &a : args) {
+        EXPECT_NE(a, "--restore"); // the transport's job
+        EXPECT_EQ(a.find('/'), std::string::npos)
+            << "host-dependent path in argv: " << a;
+    }
 }
 
 TEST(FleetWorkerArgs, OptionalFlagsStayOffWhenUnconfigured)
@@ -228,8 +447,7 @@ TEST(FleetWorkerArgs, OptionalFlagsStayOffWhenUnconfigured)
     spec.fleet.digests = false;
     spec.fleet.heartbeatIntervalMs = 0.0;
     const FleetJob j = job("baseline", "A1", 1);
-    const auto args =
-        workerArgs(spec, j, shardPaths("out", j.id), false);
+    const auto args = workerArgs(spec, j);
     for (const auto &a : args) {
         EXPECT_NE(a, "--digest-out");
         EXPECT_NE(a, "--metrics-out");
@@ -248,6 +466,12 @@ TEST(FleetWorkerArgs, ShardLayoutIsPerJob)
               "runs/x/shards/vip-A1-s1/pm/checkpoint.vips");
     EXPECT_NE(shardPaths("runs/x", "a").dir,
               shardPaths("runs/x", "b").dir);
+    // Attempts stage under the shard, keyed by fencing token, so two
+    // attempts of one job can never collide.
+    EXPECT_EQ(attemptDir("runs/x", "vip-A1-s1", 7),
+              "runs/x/shards/vip-A1-s1/a7");
+    EXPECT_NE(attemptDir("runs/x", "j", 1),
+              attemptDir("runs/x", "j", 2));
 }
 
 // ---------------------------------------------------------------
@@ -428,6 +652,170 @@ TEST_F(FleetTest, MissingWorkerBinaryIsASetupError)
     opt.verbose = false;
     FleetSupervisor sup(spec, opt);
     EXPECT_THROW(sup.run(), SimFatal);
+}
+
+// ---------------------------------------------------------------
+// Whole-fleet robustness: quarantine, reassignment, terminal death
+// (thread transports under deterministic fault injection — no
+// processes, no network).
+// ---------------------------------------------------------------
+
+HostSpec
+threadHost(const std::string &name, int slots,
+           const std::string &fault)
+{
+    HostSpec h;
+    h.name = name;
+    h.transport = "thread";
+    h.slots = slots;
+    h.faultSpec = fault;
+    return h;
+}
+
+TEST_F(FleetTest, QuarantinedHostRecoversThroughAProbe)
+{
+    JobSpec spec = threadSpec(0.05);
+    // Two jobs, one slot: the second job can only start after the
+    // quarantined host is probed back to health, so the sweep cannot
+    // finish unless quarantine -> probe -> re-admission works.
+    spec.jobs = {job("vip", "A1", 1), job("vip", "A1", 2)};
+    spec.fleet.quarantineAfter = 1;
+    spec.fleet.probeIntervalMs = 2.0;
+    spec.fleet.maxProbes = 50;
+    spec.fleet.maxQuarantines = 50;
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.verbose = false;
+    opt.pollMs = 2.0;
+    // Ops 1..3 after the launch fail: the first poll quarantines the
+    // host, a probe inside the window fails, a later probe succeeds
+    // and re-admits it; the first attempt keeps running throughout.
+    opt.hosts = {threadHost("flaky", 1, "partition@1+3")};
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+
+    EXPECT_EQ(out.exitCode(), 0);
+    EXPECT_EQ(out.done, 2u);
+    EXPECT_GE(out.hostsQuarantined, 1);
+    EXPECT_EQ(out.hostsDead, 0);
+    ASSERT_EQ(out.hosts.size(), 1u);
+    EXPECT_EQ(out.hosts[0].state, "healthy");
+    EXPECT_GE(out.hosts[0].quarantines, 1);
+    EXPECT_TRUE(out.hosts[0].faulty);
+
+    const std::string report = readFile(out.reportPath);
+    EXPECT_NE(report.find("\"quarantined_hosts\": [\"flaky\"]"),
+              std::string::npos);
+}
+
+TEST_F(FleetTest, ExpiredLeaseMovesTheJobToASurvivingHost)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1)};
+    spec.fleet.maxAttempts = 3;
+    spec.fleet.leaseMs = 40.0;
+    spec.fleet.quarantineAfter = 1000; // isolate lease behavior
+    spec.fleet.fetchRetries = 1;
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.verbose = false;
+    opt.pollMs = 2.0;
+    opt.zombieGraceMs = 50.0;
+    // Host "dark" answers the launch, then every op fails forever:
+    // no liveness evidence ever arrives, the lease expires, and the
+    // retry must land on "good".  The zombie's artifacts are
+    // unfetchable and get discarded.
+    opt.hosts = {threadHost("dark", 1, "partition@1+100000"),
+                 threadHost("good", 1, "")};
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+
+    EXPECT_EQ(out.exitCode(), 0);
+    EXPECT_EQ(out.done, 1u);
+    EXPECT_EQ(out.leaseExpiries, 1);
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_EQ(out.jobs[0].state, JobState::Done);
+    EXPECT_EQ(out.jobs[0].host, "good");
+    EXPECT_EQ(out.jobs[0].leaseExpiries, 1);
+    EXPECT_NE(out.jobs[0].history.back().find("lease expired"),
+              std::string::npos);
+
+    const std::string report = readFile(out.reportPath);
+    EXPECT_NE(report.find("\"reassigned_jobs\": [\"vip-A1-s1\"]"),
+              std::string::npos);
+    EXPECT_NE(report.find("\"lease_expiries\": 1"),
+              std::string::npos);
+}
+
+TEST_F(FleetTest, AllHostsDeadIsTerminalButStillReports)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1), job("vip", "A1", 2)};
+    spec.fleet.quarantineAfter = 1;
+    spec.fleet.probeIntervalMs = 1.0;
+    spec.fleet.maxProbes = 1;
+    spec.fleet.maxQuarantines = 1;
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.verbose = false;
+    opt.pollMs = 2.0;
+    // The host dies on its very first op: launches fail, the one
+    // re-admission probe fails, and the sweep has nowhere left to
+    // run — the one terminal error, reported, exit code 2.
+    opt.hosts = {threadHost("doomed", 2, "die@0")};
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+
+    EXPECT_EQ(out.exitCode(), 2);
+    EXPECT_FALSE(out.fatal.empty());
+    EXPECT_EQ(out.done, 0u);
+    EXPECT_EQ(out.failed, 2u);
+    EXPECT_EQ(out.hostsDead, 1);
+    ASSERT_EQ(out.hosts.size(), 1u);
+    EXPECT_EQ(out.hosts[0].state, "dead");
+    for (const JobProgress &p : out.jobs) {
+        EXPECT_EQ(p.state, JobState::Failed);
+        EXPECT_NE(p.lastError.find("all hosts dead"),
+                  std::string::npos);
+    }
+    const std::string report = readFile(out.reportPath);
+    EXPECT_NE(report.find("\"fatal\""), std::string::npos);
+    EXPECT_NE(report.find("\"hosts_dead\": 1"), std::string::npos);
+}
+
+TEST_F(FleetTest, MultiHostSweepSpreadsWorkAndMergesEveryShard)
+{
+    JobSpec spec = threadSpec(0.05);
+    spec.jobs = {job("vip", "A1", 1), job("vip", "A1", 2),
+                 job("baseline", "A1", 1), job("baseline", "A1", 2)};
+
+    FleetOptions opt;
+    opt.outDir = path("out");
+    opt.mode = WorkerMode::Thread;
+    opt.verbose = false;
+    opt.hosts = {threadHost("h1", 2, ""), threadHost("h2", 2, "")};
+    FleetSupervisor sup(spec, opt);
+    const FleetOutcome out = sup.run();
+
+    EXPECT_EQ(out.exitCode(), 0);
+    EXPECT_EQ(out.done, 4u);
+    std::size_t perHost = 0;
+    for (const HostReport &h : out.hosts)
+        perHost += h.jobsDone;
+    EXPECT_EQ(perHost, 4u);
+    for (const JobProgress &p : out.jobs)
+        EXPECT_TRUE(fs::exists(
+            shardPaths(opt.outDir, p.job.id).statsJson));
+    // The standalone aggregate document rides along with the report.
+    const std::string agg = readFile(path("out/aggregate.json"));
+    EXPECT_NE(agg.find("\"vip-fleet-aggregate\""), std::string::npos);
+    EXPECT_NE(agg.find("\"shards\": 4"), std::string::npos);
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "fleet/supervisor.hh"
+#include "fleet/transport/faulty_transport.hh"
 #include "sim/logging.hh"
 
 namespace
@@ -62,6 +63,18 @@ usage()
         "                       attempt once its heartbeat reaches\n"
         "                       <ms> simulated ms (process mode;\n"
         "                       exercises kill->backoff->resume)\n"
+        "  --hosts <file>       JSON host roster (name, transport\n"
+        "                       process|thread|ssh, slots, optional\n"
+        "                       per-host fault spec).  Default: one\n"
+        "                       local host with the spec's workers\n"
+        "  --fault <spec>       deterministic transport fault\n"
+        "                       injection on every host, e.g.\n"
+        "                       'seed=7,drop=0.1,corrupt=0.05' or\n"
+        "                       'partition@20+15' / 'die@40'\n"
+        "  --heartbeat-grace-ms <ms>\n"
+        "                       startup grace before the liveness\n"
+        "                       watchdog may declare a worker hung\n"
+        "                       (overrides the spec policy)\n"
         "  --print-jobs         list the expanded jobs and exit\n"
         "  --quiet              suppress supervision notes\n");
 }
@@ -131,6 +144,27 @@ main(int argc, char **argv)
                 if (end == ms.c_str() || *end != '\0' ||
                     !(opt.killAtSimMs >= 0.0))
                     vip::fatal("--kill: bad sim-ms '", ms, "'");
+            } else if (arg == "--hosts") {
+                std::string err;
+                if (!vip::fleet::parseHostsFile(next(), &opt.hosts,
+                                                &err))
+                    vip::fatal("--hosts: ", err);
+            } else if (arg == "--fault") {
+                opt.faultSpec = next();
+                vip::fleet::FaultSpec parsed;
+                std::string err;
+                if (!vip::fleet::FaultSpec::parse(opt.faultSpec,
+                                                  &parsed, &err))
+                    vip::fatal("--fault: ", err);
+            } else if (arg == "--heartbeat-grace-ms") {
+                char *end = nullptr;
+                const std::string ms = next();
+                opt.heartbeatGraceMsOverride =
+                    std::strtod(ms.c_str(), &end);
+                if (end == ms.c_str() || *end != '\0' ||
+                    !(opt.heartbeatGraceMsOverride >= 0.0))
+                    vip::fatal("--heartbeat-grace-ms: bad value '",
+                               ms, "'");
             } else if (arg == "--print-jobs") {
                 printJobs = true;
             } else if (arg == "--quiet") {
