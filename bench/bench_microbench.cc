@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -145,9 +146,12 @@ BENCHMARK_CAPTURE(BM_FullPlatformVipRunTraced, FrameLifecycle,
  * how fast the simulator itself executes — millions of simulated
  * ticks (ps) per wall second, serviced events per wall second, and
  * the headline "simulated ms per wall second" a sweep scheduler
- * multiplies out to size a fleet.  Results land in a schemaVersion'd
- * JSON (default BENCH_microbench.json) whose checked-in copy records
- * the trajectory across PRs.
+ * multiplies out to size a fleet.  Each configuration then reruns
+ * with the --prof hot-path profiler armed (default sampling) so the
+ * report also tracks the profiler's wall-time overhead — the number
+ * the <2% overhead budget in CI gates on.  Results land in a
+ * schemaVersion'd JSON (default BENCH_microbench.json) whose
+ * checked-in copy records the trajectory across PRs.
  */
 int
 simThroughputReport(const char *outPath)
@@ -160,33 +164,71 @@ simThroughputReport(const char *outPath)
         const char *config;
         double simMs = 0.0;
         double wallMs = 0.0;
+        double wallProfMs = 0.0;
+        double profOverheadPct = 0.0;
         std::uint64_t events = 0;
         std::uint64_t ticks = 0;
     };
     std::vector<Row> rows;
-    std::printf("%-10s %9s %9s %12s %12s %14s\n", "config", "sim-ms",
-                "wall-ms", "MTicks/s", "Mevents/s", "sim-ms/wall-s");
+    std::printf("%-10s %9s %9s %12s %12s %14s %9s\n", "config",
+                "sim-ms", "wall-ms", "MTicks/s", "Mevents/s",
+                "sim-ms/wall-s", "prof-ovh%");
     for (auto sc : kAllConfigs) {
         Row r;
         r.config = systemConfigName(sc);
         SocConfig cfg;
         cfg.system = sc;
         cfg.simSeconds = seconds;
-        const auto t0 = std::chrono::steady_clock::now();
-        Simulation sim(cfg, WorkloadCatalog::byIndex(4));
-        sim.run();
-        const auto t1 = std::chrono::steady_clock::now();
-        r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
-                       .count();
-        r.simMs = toMs(sim.system().curTick());
-        r.events = sim.system().eventq().servicedEvents();
-        r.ticks = sim.system().curTick();
+
+        // Interleaved off/on pairs, overhead = the *median* of the
+        // per-pair wall ratios: single passes can't resolve a <2%
+        // budget on a shared machine, and even a best-of-N min is
+        // defeated by slow frequency / load drift.  Back-to-back
+        // pairs see the same machine state, so their ratio cancels
+        // the drift; the median discards the pairs a neighbor
+        // disturbed.  The prof path only arms the instrumentation —
+        // nothing is written unless writeProfJson() is called — so
+        // the ratio is pure hot-path overhead.
+        constexpr int kReps = 5;
+        r.wallMs = 1e300;
+        r.wallProfMs = 1e300;
+        std::vector<double> ratios;
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            Simulation sim(cfg, WorkloadCatalog::byIndex(4));
+            sim.run();
+            const auto t1 = std::chrono::steady_clock::now();
+            const double wall =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            r.wallMs = std::min(r.wallMs, wall);
+            if (rep == 0) {
+                r.simMs = toMs(sim.system().curTick());
+                r.events = sim.system().eventq().servicedEvents();
+                r.ticks = sim.system().curTick();
+            }
+
+            SocConfig pcfg = cfg;
+            pcfg.prof.out = "(unwritten)";
+            const auto p0 = std::chrono::steady_clock::now();
+            Simulation psim(pcfg, WorkloadCatalog::byIndex(4));
+            psim.run();
+            const auto p1 = std::chrono::steady_clock::now();
+            const double pwall =
+                std::chrono::duration<double, std::milli>(p1 - p0)
+                    .count();
+            r.wallProfMs = std::min(r.wallProfMs, pwall);
+            ratios.push_back(pwall / wall);
+        }
+        std::sort(ratios.begin(), ratios.end());
+        r.profOverheadPct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+
         const double wallS = r.wallMs / 1e3;
-        std::printf("%-10s %9.1f %9.1f %12.0f %12.2f %14.1f\n",
+        std::printf("%-10s %9.1f %9.1f %12.0f %12.2f %14.1f %9.2f\n",
                     r.config, r.simMs, r.wallMs,
                     static_cast<double>(r.ticks) / wallS / 1e6,
                     static_cast<double>(r.events) / wallS / 1e6,
-                    r.simMs / wallS);
+                    r.simMs / wallS, r.profOverheadPct);
         rows.push_back(r);
     }
 
@@ -210,12 +252,13 @@ simThroughputReport(const char *outPath)
             "    {\"config\": \"%s\", \"sim_ms\": %.3f, "
             "\"wall_ms\": %.1f, \"events\": %llu, "
             "\"mticks_per_s\": %.0f, \"mevents_per_s\": %.3f, "
-            "\"sim_ms_per_wall_s\": %.1f}",
+            "\"sim_ms_per_wall_s\": %.1f, "
+            "\"wall_prof_ms\": %.1f, \"prof_overhead_pct\": %.2f}",
             r.config, r.simMs, r.wallMs,
             static_cast<unsigned long long>(r.events),
             static_cast<double>(r.ticks) / wallS / 1e6,
             static_cast<double>(r.events) / wallS / 1e6,
-            r.simMs / wallS);
+            r.simMs / wallS, r.wallProfMs, r.profOverheadPct);
         os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";

@@ -371,7 +371,8 @@ FlowRuntime::armGen(std::uint64_t k)
 {
     _genNextK = k;
     _genEvent = _p.sys->eventq().schedule(
-        frameTick(k), [this, k] { dispatchGen(k); });
+        frameTick(k), [this, k] { dispatchGen(k); },
+        EventPriority::Default, "flow.gen");
 }
 
 void
@@ -432,7 +433,7 @@ FlowRuntime::scheduleNextInput()
     _inputEvent = _p.sys->eventq().schedule(_nextInput, [this, dur] {
         _inputEvent = InvalidEventId;
         onInputEvent(dur);
-    });
+    }, EventPriority::Default, "flow.input");
 }
 
 void
@@ -948,7 +949,8 @@ FlowRuntime::loadState(SnapshotReader &r)
         _genNextK = r.u64();
         std::uint64_t k = _genNextK;
         eq.restoreEvent(_genEvent, when,
-                        [this, k] { dispatchGen(k); });
+                        [this, k] { dispatchGen(k); },
+                        EventPriority::Default, "flow.gen");
     }
     if (r.b()) {
         _inputEvent = r.u64();
@@ -958,7 +960,7 @@ FlowRuntime::loadState(SnapshotReader &r)
         eq.restoreEvent(_inputEvent, when, [this, dur] {
             _inputEvent = InvalidEventId;
             onInputEvent(dur);
-        });
+        }, EventPriority::Default, "flow.input");
     }
 }
 

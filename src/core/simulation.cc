@@ -1,6 +1,7 @@
 #include "core/simulation.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +53,10 @@ Simulation::Simulation(SocConfig cfg, Workload workload)
         _tracer = std::make_unique<Tracer>(kAllTraceCats,
                                            std::size_t{32} << 10);
         _sys.setTracer(_tracer.get());
+    }
+    if (_cfg.prof.enabled()) {
+        _profiler = std::make_unique<Profiler>(_cfg.prof);
+        _sys.eventq().setProfiler(_profiler.get());
     }
     build();
     attachAuditors();
@@ -387,6 +392,64 @@ Simulation::buildStatsRegistry()
                        "collected", "", [this] {
                            return double(_auditor.violations().size());
                        });
+
+    // Event-queue logical state: the live set is digest-covered and
+    // survives checkpoint/restore bit for bit, so it is always
+    // registered.
+    _registry.addExact("sim.eventq.live", "live (pending) event ids",
+                       "events", [this] {
+                           return double(_sys.eventq().pending());
+                       });
+
+    // Profiler summary plus physical event-queue internals: only
+    // present when --prof is on, so baseline stats files (profiler
+    // off) stay comparable.  heap/tombstones/compactions are
+    // execution history -- a restored run rebuilds a clean heap and
+    // re-counts compactions from zero, so they must not enter
+    // restore-compared stats.
+    if (_profiler) {
+        Profiler *p = _profiler.get();
+        _registry.addExact("sim.eventq.heap", "heap entries incl. "
+                           "tombstones", "events", [this] {
+                               return double(_sys.eventq().heapSize());
+                           });
+        _registry.addExact("sim.eventq.tombstones", "dead heap entries "
+                           "awaiting compaction", "events", [this] {
+                               EventQueue &q = _sys.eventq();
+                               return double(q.heapSize() - q.pending());
+                           });
+        _registry.addExact("sim.eventq.compactions", "heap compaction "
+                           "passes", "", [this] {
+                               return double(_sys.eventq().compactions());
+                           });
+        _registry.addExact("prof.events", "dispatches seen by the "
+                           "profiler", "events",
+                           [p] { return double(p->dispatches()); });
+        _registry.addExact("prof.sampled", "dispatches with a "
+                           "steady_clock sample", "events", [p] {
+                               return double(p->sampledDispatches());
+                           });
+        _registry.addExact("prof.eventq.max_pending", "peak live-set "
+                           "size at sample points", "events",
+                           [p] { return double(p->maxPending()); });
+        _registry.addExact("prof.eventq.max_heap", "peak heap size "
+                           "at sample points", "events",
+                           [p] { return double(p->maxHeap()); });
+        for (std::size_t i = 0; i < kProfKindCatalogSize; ++i) {
+            const char *kind = kProfKindCatalog[i];
+            _registry.addExact(std::string("prof.kind.") + kind +
+                               ".count", "dispatches of this kind",
+                               "events", [p, kind] {
+                                   return double(p->countFor(kind));
+                               });
+            _registry.addTiming(std::string("prof.kind.") + kind +
+                                ".wall_ms", "sampled wall time in "
+                                "this kind's callbacks", "ms",
+                                [p, kind] {
+                                    return p->wallNsFor(kind) * 1e-6;
+                                });
+        }
+    }
 }
 
 void
@@ -398,7 +461,7 @@ Simulation::scheduleAudit()
             _auditor.runAudit(_sys.curTick());
             scheduleAudit();
         },
-        EventPriority::Audit);
+        EventPriority::Audit, "sim.audit");
 }
 
 IpCore *
@@ -449,7 +512,9 @@ Simulation::scheduleStopEvents()
     // a restoring run loads its snapshot.
     for (StopEvent &s : _stopEvents) {
         FlowRuntime *fr = _flows[s.flow].get();
-        s.id = _sys.eventq().schedule(s.when, [fr] { fr->stop(); });
+        s.id = _sys.eventq().schedule(s.when, [fr] { fr->stop(); },
+                                      EventPriority::Default,
+                                      "sim.stop");
     }
 }
 
@@ -507,7 +572,7 @@ Simulation::checkProgress()
     _lastRetired = now;
     _progressEvent = _sys.eventq().scheduleIn(
         fromSec(_cfg.noProgressSec), [this] { checkProgress(); },
-        EventPriority::Teardown);
+        EventPriority::Teardown, "sim.guard");
 }
 
 RunStats
@@ -538,7 +603,7 @@ Simulation::run()
                 _progressEvent = _sys.eventq().scheduleIn(
                     fromSec(_cfg.noProgressSec),
                     [this] { checkProgress(); },
-                    EventPriority::Teardown);
+                    EventPriority::Teardown, "sim.guard");
             }
             if (_cfg.audit.periodic())
                 scheduleAudit();
@@ -549,7 +614,21 @@ Simulation::run()
                 _metrics->start();
             }
         }
-        runEventLoop(fromSec(_cfg.simSeconds));
+        if (_profiler) {
+            // Wall time of the event loop itself; everything outside
+            // (build, stats dump) is deliberately excluded so the
+            // sim-vs-wall figure reflects the hot path.
+            auto w0 = std::chrono::steady_clock::now();
+            runEventLoop(fromSec(_cfg.simSeconds));
+            auto w1 = std::chrono::steady_clock::now();
+            _profiler->setRunWallMs(
+                std::chrono::duration<double, std::milli>(w1 - w0)
+                    .count());
+            _profiler->noteCompactions(_sys.eventq().compactions());
+            _profiler->noteAllocCursor(_alloc.cursor());
+        } else {
+            runEventLoop(fromSec(_cfg.simSeconds));
+        }
         _ledger.closeAll(_sys.curTick());
         // Final audit pass under every enabled mode: catches
         // teardown-time leaks that a periodic pass between frames
@@ -993,14 +1072,14 @@ Simulation::restoreFrom(const std::string &path)
                 _auditor.runAudit(_sys.curTick());
                 scheduleAudit();
             },
-            EventPriority::Audit);
+            EventPriority::Audit, "sim.audit");
     }
     if (r.b()) {
         _progressEvent = r.u64();
         Tick when = r.tick();
         eq.restoreEvent(_progressEvent, when,
                         [this] { checkProgress(); },
-                        EventPriority::Teardown);
+                        EventPriority::Teardown, "sim.guard");
     }
     std::uint32_t nStops = r.u32();
     if (nStops != _stopEvents.size())
@@ -1016,7 +1095,8 @@ Simulation::restoreFrom(const std::string &path)
             s.id = r.u64();
             s.when = r.tick();
             FlowRuntime *fr = _flows[s.flow].get();
-            eq.restoreEvent(s.id, s.when, [fr] { fr->stop(); });
+            eq.restoreEvent(s.id, s.when, [fr] { fr->stop(); },
+                            EventPriority::Default, "sim.stop");
         }
     }
     bool hadTrace = r.b();
@@ -1080,6 +1160,13 @@ void
 Simulation::writeStatsJson(std::ostream &os) const
 {
     _registry.writeJson(os, runMeta());
+}
+
+void
+Simulation::writeProfJson(std::ostream &os) const
+{
+    vip_assert(_profiler, "writeProfJson() without --prof");
+    _profiler->writeJson(os, toMs(_sys.curTick()), runMeta());
 }
 
 void

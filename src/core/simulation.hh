@@ -30,6 +30,7 @@
 #include "fault/fault_injector.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/stat_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/snapshot.hh"
@@ -65,6 +66,8 @@ class Simulation
     Tracer *tracer() { return _tracer.get(); }
     /** The metrics sampler; null unless cfg.metrics is enabled. */
     MetricsSampler *metrics() { return _metrics.get(); }
+    /** The hot-path profiler; null unless cfg.prof is enabled. */
+    Profiler *profiler() { return _profiler.get(); }
     /** Always-on per-frame latency decomposition. */
     LatencyCollector &latencyCollector() { return *_latency; }
     /** The unified stats registry (always built, populated in ctor). */
@@ -142,6 +145,13 @@ class Simulation
     void writeStatsJson(std::ostream &os) const;
 
     /**
+     * Write the profiler report (--prof) as self-describing JSON;
+     * the format tools/vip_prof summarizes.  Call after run();
+     * requires cfg.prof to be enabled.
+     */
+    void writeProfJson(std::ostream &os) const;
+
+    /**
      * Convenience: build + run in one call.
      */
     static RunStats run(SocConfig cfg, Workload workload);
@@ -195,6 +205,8 @@ class Simulation
     std::unique_ptr<LatencyCollector> _latency;
     std::unique_ptr<Tracer> _tracer;
     std::unique_ptr<MetricsSampler> _metrics;
+    /** Hot-path profiler (cfg.prof); observational, digest-neutral. */
+    std::unique_ptr<Profiler> _profiler;
     StatRegistry _registry;
     Auditor _auditor;
     EnergyLedger _ledger;

@@ -16,6 +16,7 @@
 #include "fault/fault_plan.hh"
 #include "ip/ip_types.hh"
 #include "mem/dram_config.hh"
+#include "obs/prof_config.hh"
 #include "obs/trace_config.hh"
 #include "sa/system_agent.hh"
 #include "sim/audit.hh"
@@ -122,6 +123,13 @@ struct SocConfig
 
     /** Periodic metrics sampling (--metrics-out). */
     MetricsConfig metrics{};
+
+    /**
+     * Hot-path self-profiling (--prof[=out.json]).  Samples wall time
+     * per event kind and queue occupancy; observational only, so an
+     * enabled profiler leaves state digests bit-identical.
+     */
+    ProfConfig prof{};
 
     /**
      * Unified stats registry dump (--stats-out): after the run, every

@@ -115,7 +115,7 @@ CpuCore::dispatch(CpuTask task)
             vip_assert(_state == State::Waking, "wake from wrong state");
             enterState(State::Idle);
             tryStart();
-        });
+        }, EventPriority::Default, "cpu.wake");
         return;
     }
     if (_state == State::Waking)
@@ -161,7 +161,8 @@ CpuCore::tryStart()
     // Even a trivial task costs one cycle.
     duration = std::max<Tick>(duration, clock().period());
 
-    scheduleIn(duration, [this] { finishTask(); });
+    scheduleIn(duration, [this] { finishTask(); },
+               EventPriority::Default, "cpu.task");
 }
 
 void
@@ -205,7 +206,7 @@ CpuCore::startup()
         _lastGovActive = _activeTicks;
         _govEvent = scheduleIn(_cfg.governorPeriod,
                                [this] { governorTick(); },
-                               EventPriority::Stats);
+                               EventPriority::Stats, "cpu.gov");
     }
 }
 
@@ -236,7 +237,7 @@ CpuCore::governorTick()
     }
     _govEvent = scheduleIn(_cfg.governorPeriod,
                            [this] { governorTick(); },
-                           EventPriority::Stats);
+                           EventPriority::Stats, "cpu.gov");
 }
 
 void
@@ -245,7 +246,8 @@ CpuCore::maybeSleep()
     if (_state != State::Idle || _sleepEvent != InvalidEventId)
         return;
     _sleepEvent = scheduleIn(_cfg.sleepThreshold,
-                             [this] { sleepTimerFired(); });
+                             [this] { sleepTimerFired(); },
+                             EventPriority::Default, "cpu.sleep");
 }
 
 void
@@ -361,7 +363,8 @@ CpuCore::loadState(SnapshotReader &r)
     if (r.b()) {
         EventId id = r.u64();
         Tick when = r.tick();
-        eq.restoreEvent(id, when, [this] { sleepTimerFired(); });
+        eq.restoreEvent(id, when, [this] { sleepTimerFired(); },
+                        EventPriority::Default, "cpu.sleep");
         _sleepEvent = id;
     } else {
         _sleepEvent = InvalidEventId;
@@ -370,7 +373,7 @@ CpuCore::loadState(SnapshotReader &r)
         EventId id = r.u64();
         Tick when = r.tick();
         eq.restoreEvent(id, when, [this] { governorTick(); },
-                        EventPriority::Stats);
+                        EventPriority::Stats, "cpu.gov");
         _govEvent = id;
     } else {
         _govEvent = InvalidEventId;

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FleetJournal: the supervisor's append-only event journal.
+ *
+ * Every semantically meaningful supervisor transition — launch,
+ * heartbeat-driven lease renewal, chaos/hang kill, lease expiry,
+ * zombie settlement, commit, quarantine, probe, sweep start/end —
+ * is one JSON object on one line of <outDir>/journal.jsonl, written
+ * and flushed immediately so a SIGKILLed sweep still leaves a
+ * replayable record.
+ *
+ * Records carry a strictly monotonic "seq" and the supervisor's
+ * wall-clock "wall_ms"; job-scoped records also carry the attempt's
+ * fencing token, so the journal alone reconstructs the ownership
+ * story chaos tests assert on.
+ *
+ *   {"seq": 12, "wall_ms": 153.2, "type": "lease_expiry",
+ *    "job": "vip-W1-s2", "token": 3, "host": "local"}
+ *
+ * A journal that was never open()ed swallows records silently: the
+ * supervisor calls it unconditionally.
+ */
+
+#ifndef VIP_FLEET_JOURNAL_HH
+#define VIP_FLEET_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace vip
+{
+namespace fleet
+{
+
+class FleetJournal
+{
+  public:
+    /** Truncate-open @p path; fatal on failure.  "" disables. */
+    void open(const std::string &path);
+
+    bool enabled() const { return _out.is_open(); }
+    std::uint64_t records() const { return _seq; }
+
+    /**
+     * One in-flight record; fields append in call order and the
+     * destructor writes + flushes the line.  Returned by event(); use
+     * as a builder:
+     *
+     *   journal.event(now, "launch").str("job", id).u64("token", t);
+     */
+    class Record
+    {
+      public:
+        Record(Record &&o) noexcept : _j(o._j), _line(std::move(o._line))
+        {
+            o._j = nullptr;
+        }
+        Record(const Record &) = delete;
+        Record &operator=(const Record &) = delete;
+        Record &operator=(Record &&) = delete;
+        ~Record();
+
+        Record &str(const char *key, const std::string &v);
+        Record &num(const char *key, double v);
+        Record &u64(const char *key, std::uint64_t v);
+        Record &b(const char *key, bool v);
+
+      private:
+        friend class FleetJournal;
+        Record(FleetJournal *j, double wallMs, const char *type);
+
+        FleetJournal *_j; ///< null when disabled or moved-from
+        std::string _line;
+    };
+
+    /** Start a record (no-op builder when the journal is closed). */
+    Record event(double wallMs, const char *type);
+
+  private:
+    friend class Record;
+    std::ofstream _out;
+    std::uint64_t _seq = 0;
+};
+
+} // namespace fleet
+} // namespace vip
+
+#endif // VIP_FLEET_JOURNAL_HH

@@ -174,6 +174,9 @@ struct FleetSupervisor::Slot
     /** @{ heartbeat tracking */
     long lastSize = -1;      ///< newest observed CSV size
     double lastBeatMs = 0.0; ///< wall time the CSV last changed
+    double lastTickMs = -1.0;     ///< newest simulated progress
+    double lastTickWallMs = -1.0; ///< transport stamp of that sample
+    double simRate = 0.0;    ///< sim ms per wall second (smoothed)
     /** @} */
 
     bool chaosKilled = false;
@@ -269,14 +272,23 @@ FleetSupervisor::hostOpFailure(std::size_t hostIdx, double nowMs,
     if (!h.health.onOpFailure(nowMs, detail))
         return;
     ++_quarantineEvents;
-    if (h.health.state() == HostState::Dead)
+    if (h.health.state() == HostState::Dead) {
+        _journal.event(nowMs, "host_dead")
+            .str("host", h.spec.name)
+            .u64("quarantines",
+                 static_cast<std::uint64_t>(h.health.quarantines()))
+            .str("error", detail);
         note("host " + h.spec.name + ": dead (flapped through " +
              std::to_string(h.health.quarantines() - 1) +
              " quarantines): " + detail);
-    else
+    } else {
+        _journal.event(nowMs, "quarantine")
+            .str("host", h.spec.name)
+            .str("error", detail);
         note("host " + h.spec.name + ": quarantined after " +
              std::to_string(_spec.fleet.quarantineAfter) +
              " consecutive transport failures: " + detail);
+    }
 }
 
 void
@@ -288,13 +300,28 @@ FleetSupervisor::probeQuarantined(double nowMs)
         std::string err;
         if (h.transport->probe(&err)) {
             h.health.onProbeSuccess();
+            _journal.event(nowMs, "probe")
+                .str("host", h.spec.name)
+                .b("ok", true)
+                .b("readmitted", true);
             note("host " + h.spec.name +
                  ": probe answered; re-admitted");
         } else if (h.health.onProbeFailure(nowMs, err)) {
+            _journal.event(nowMs, "probe")
+                .str("host", h.spec.name)
+                .b("ok", false)
+                .str("error", err);
+            _journal.event(nowMs, "host_dead")
+                .str("host", h.spec.name)
+                .str("error", err);
             note("host " + h.spec.name + ": dead (" +
                  std::to_string(_spec.fleet.maxProbes) +
                  " re-admission probes failed): " + err);
         } else {
+            _journal.event(nowMs, "probe")
+                .str("host", h.spec.name)
+                .b("ok", false)
+                .str("error", err);
             note("host " + h.spec.name + ": probe failed (" + err +
                  "); still quarantined");
         }
@@ -324,6 +351,10 @@ FleetSupervisor::launch(Slot &slot, std::size_t jobIdx, double nowMs)
         // The worker never started: hand the claim back untouched
         // (no attempt burned, no zombie possible) and score the
         // host.
+        _journal.event(nowMs, "launch_fail")
+            .str("job", p.job.id)
+            .str("host", h.spec.name)
+            .str("error", err);
         _sched.releaseClaim(jobIdx);
         hostOpFailure(slot.hostIdx, nowMs,
                       "launch " + p.job.id + ": " + err);
@@ -346,6 +377,12 @@ FleetSupervisor::launch(Slot &slot, std::size_t jobIdx, double nowMs)
         ++_retries;
     if (resume)
         ++_resumes;
+    _journal.event(nowMs, "launch")
+        .str("job", p.job.id)
+        .u64("token", p.token)
+        .u64("attempt", static_cast<std::uint64_t>(p.attempts))
+        .str("host", h.spec.name)
+        .b("resume", resume);
     note(p.job.id + ": attempt " + std::to_string(p.attempts) +
          " on " + h.spec.name +
          (resume ? " (resuming from " + paths.checkpoint + ")" : ""));
@@ -430,8 +467,17 @@ FleetSupervisor::settleAttempt(Slot &slot, double nowMs,
                 fatal("fleet: cannot commit accepted artifacts of ",
                       id, ": ", err);
             ++h.jobsDone;
+            _journal.event(nowMs, "commit")
+                .str("job", id)
+                .u64("token", slot.token)
+                .u64("attempt", static_cast<std::uint64_t>(attempt))
+                .str("host", h.spec.name)
+                .num("job_wall_ms", elapsed);
             note(id + ": done (" + fmtNum(elapsed) + " wall ms)");
         } else {
+            _journal.event(nowMs, "stale_reject")
+                .str("job", id)
+                .u64("token", slot.token);
             note(id + ": result rejected (stale fencing token); "
                  "not merged");
         }
@@ -464,6 +510,14 @@ FleetSupervisor::settleAttempt(Slot &slot, double nowMs,
                                  &err))
                 note(id + ": checkpoint commit failed: " + err);
             const JobProgress &q = _sched.job(idx);
+            _journal.event(nowMs, "job_fail")
+                .str("job", id)
+                .u64("token", slot.token)
+                .u64("attempt", static_cast<std::uint64_t>(attempt))
+                .str("host", h.spec.name)
+                .str("why", why)
+                .str("next_state", jobStateName(q.state))
+                .b("will_resume", q.resumeNext);
             note(id + ": " + why + " -> " + jobStateName(q.state) +
                  (q.state == JobState::Backoff
                       ? (q.resumeNext ? " (will resume)"
@@ -511,6 +565,11 @@ FleetSupervisor::tryFetch(Slot &slot, double nowMs)
                 "artifact fetch failed after " +
                 std::to_string(slot.fetchAttempts) +
                 " attempts: " + err;
+            _journal.event(nowMs, "fetch_fail")
+                .str("job", id)
+                .u64("token", slot.token)
+                .str("host", h.spec.name)
+                .str("error", err);
             if (_sched.acceptFailure(idx, slot.token, nowMs,
                                      elapsed, why, false))
                 note(id + ": " + why);
@@ -560,6 +619,28 @@ FleetSupervisor::pollSlot(Slot &slot, double nowMs)
                     slot.lastBeatMs = nowMs;
                     _sched.renewLease(slot.jobIdx, nowMs);
 
+                    // Per-worker rate from the transport's own
+                    // sample stamps (a cached remote observation
+                    // keeps its original stamp).
+                    if (hb.tickMs >= 0.0 && hb.wallMs >= 0.0) {
+                        if (slot.lastTickMs >= 0.0 &&
+                            hb.wallMs > slot.lastTickWallMs)
+                            slot.simRate =
+                                (hb.tickMs - slot.lastTickMs) /
+                                ((hb.wallMs - slot.lastTickWallMs) /
+                                 1000.0);
+                        slot.lastTickMs = hb.tickMs;
+                        slot.lastTickWallMs = hb.wallMs;
+                    }
+                    _journal.event(nowMs, "heartbeat")
+                        .str("job", p.job.id)
+                        .u64("token", slot.token)
+                        .str("host", h.spec.name)
+                        .num("tick_ms", hb.tickMs)
+                        .u64("size",
+                             static_cast<std::uint64_t>(hb.size))
+                        .b("lease_renewed", true);
+
                     // Chaos injection keys on *simulated* progress
                     // so a ring checkpoint older than the kill point
                     // provably exists.
@@ -571,6 +652,10 @@ FleetSupervisor::pollSlot(Slot &slot, double nowMs)
                         _chaosFired = true;
                         slot.chaosKilled = true;
                         h.transport->forceKill(*slot.handle);
+                        _journal.event(nowMs, "chaos_kill")
+                            .str("job", p.job.id)
+                            .u64("token", slot.token)
+                            .num("tick_ms", hb.tickMs);
                         note(p.job.id + ": chaos SIGKILL at " +
                              fmtNum(hb.tickMs) + " simulated ms");
                     }
@@ -589,6 +674,11 @@ FleetSupervisor::pollSlot(Slot &slot, double nowMs)
                 slot.hangKilled = true;
                 ++_hangKills;
                 h.transport->forceKill(*slot.handle);
+                _journal.event(nowMs, "hang_kill")
+                    .str("job", p.job.id)
+                    .u64("token", slot.token)
+                    .str("host", h.spec.name)
+                    .num("silent_ms", nowMs - slot.lastBeatMs);
                 note(p.job.id + ": no heartbeat for " +
                      fmtNum(nowMs - slot.lastBeatMs) +
                      " wall ms; killed as hung");
@@ -622,6 +712,11 @@ FleetSupervisor::expireLease(Slot &slot, double nowMs)
     const bool canResume = fileExists(paths.checkpoint);
     _sched.onLeaseExpired(idx, nowMs, nowMs - slot.startMs, why,
                           canResume);
+    _journal.event(nowMs, "lease_expiry")
+        .str("job", p.job.id)
+        .u64("token", slot.token)
+        .str("host", h.spec.name)
+        .b("can_resume", canResume);
     note(p.job.id + ": " + why + "; reassigning (attempt's fencing "
          "token " + std::to_string(slot.token) + " retired to "
          "zombie)");
@@ -679,6 +774,10 @@ FleetSupervisor::pollZombies(double nowMs)
         }
         if (!ok) {
             if (++z.fetchAttempts >= _spec.fleet.fetchRetries) {
+                _journal.event(nowMs, "zombie_unfetchable")
+                    .str("job", id)
+                    .u64("token", z.token)
+                    .str("error", err);
                 note(id + ": zombie artifacts unfetchable (" + err +
                      "); discarded");
                 drop = true;
@@ -701,10 +800,16 @@ FleetSupervisor::pollZombies(double nowMs)
                         fatal("fleet: cannot commit rescued "
                               "artifacts of ", id, ": ", cerr2);
                     ++h.jobsDone;
+                    _journal.event(nowMs, "zombie_rescue")
+                        .str("job", id)
+                        .u64("token", z.token);
                     note(id + ": zombie attempt (token " +
                          std::to_string(z.token) +
                          ") finished and was rescued");
                 } else {
+                    _journal.event(nowMs, "zombie_reject")
+                        .str("job", id)
+                        .u64("token", z.token);
                     note(id + ": zombie result (token " +
                          std::to_string(z.token) +
                          ") rejected by fencing; not merged");
@@ -716,6 +821,9 @@ FleetSupervisor::pollZombies(double nowMs)
                 (void)_sched.acceptFailure(
                     z.jobIdx, z.token, nowMs, nowMs - z.startMs,
                     "zombie attempt failed", false);
+                _journal.event(nowMs, "zombie_fail")
+                    .str("job", id)
+                    .u64("token", z.token);
                 note(id + ": zombie attempt (token " +
                      std::to_string(z.token) + ") failed; discarded");
             }
@@ -764,6 +872,7 @@ FleetSupervisor::run()
         fatal("cannot create ", _opt.outDir, ": ", ec.message());
 
     buildHosts();
+    _journal.open(_opt.outDir + "/journal.jsonl");
 
     std::size_t totalSlots = 0;
     for (const HostRuntime &h : _hosts)
@@ -779,6 +888,12 @@ FleetSupervisor::run()
                    std::chrono::steady_clock::now() - t0)
             .count();
     };
+    _journal.event(nowMs(), "sweep_start")
+        .str("name", _spec.name)
+        .u64("jobs", _spec.jobs.size())
+        .u64("hosts", _hosts.size())
+        .u64("slots", totalSlots)
+        .str("mode", workerModeName(_opt.mode));
 
     bool interrupted = false;
     double drainStartMs = -1.0;
@@ -787,6 +902,7 @@ FleetSupervisor::run()
         if (!interrupted && _opt.stopFlag &&
             _opt.stopFlag->load(std::memory_order_relaxed) != 0) {
             interrupted = true;
+            _journal.event(now, "interrupt");
             note("interrupted; draining workers");
             interruptAll();
         }
@@ -816,6 +932,7 @@ FleetSupervisor::run()
                 _fatal = "all " + std::to_string(_hosts.size()) +
                          " host(s) dead; " + std::to_string(n) +
                          " unsettled job(s) abandoned";
+                _journal.event(now, "fatal").str("error", _fatal);
                 note("FATAL: " + _fatal);
                 killZombies();
                 for (Slot &slot : _slots) {
@@ -863,6 +980,11 @@ FleetSupervisor::run()
         } else {
             drainStartMs = -1.0;
         }
+        if (_opt.statusIntervalMs > 0.0 &&
+            now - _lastStatusMs >= _opt.statusIntervalMs) {
+            _lastStatusMs = now;
+            writeStatus(now, false);
+        }
         std::this_thread::sleep_for(std::chrono::duration<double,
                                     std::milli>(_opt.pollMs));
     }
@@ -902,6 +1024,25 @@ FleetSupervisor::run()
             ++out.hostsDead;
         out.hosts.push_back(std::move(hr));
     }
+    _journal.event(nowMs(), "sweep_end")
+        .u64("done", out.done)
+        .u64("failed", out.failed)
+        .u64("retries", out.retries)
+        .u64("resumes", out.resumes)
+        .u64("hang_kills", out.hangKills)
+        .u64("lease_expiries",
+             static_cast<std::uint64_t>(out.leaseExpiries))
+        .u64("zombie_rejects",
+             static_cast<std::uint64_t>(out.zombieRejects))
+        .u64("zombie_rescues",
+             static_cast<std::uint64_t>(out.zombieRescues))
+        .u64("hosts_quarantined",
+             static_cast<std::uint64_t>(out.hostsQuarantined))
+        .u64("hosts_dead",
+             static_cast<std::uint64_t>(out.hostsDead))
+        .b("interrupted", out.interrupted)
+        .b("fatal", !out.fatal.empty());
+    writeStatus(nowMs(), true);
     writeReport(out);
     note("sweep '" + _spec.name + "' " +
          (!out.fatal.empty()
@@ -915,6 +1056,108 @@ FleetSupervisor::run()
          std::to_string(out.zombieRejects) + " zombie rejects, "
          "report " + out.reportPath);
     return out;
+}
+
+void
+FleetSupervisor::writeStatus(double nowMs, bool final)
+{
+    const std::vector<JobProgress> &jobs = _sched.jobs();
+    const double targetMs = _spec.seconds * 1000.0;
+
+    // Per-job simulated progress: a running job's newest heartbeat
+    // tick, a done job's full target, otherwise zero.
+    std::vector<double> simMs(jobs.size(), 0.0);
+    std::vector<double> rates(jobs.size(), 0.0);
+    for (const Slot &s : _slots) {
+        if (!s.active || s.jobIdx == FleetScheduler::npos)
+            continue;
+        if (s.lastTickMs > 0.0)
+            simMs[s.jobIdx] = s.lastTickMs;
+        rates[s.jobIdx] = s.simRate;
+    }
+    std::size_t nPending = 0, nRunning = 0, nBackoff = 0, nDone = 0,
+                nFailed = 0;
+    double simDone = 0.0, activeRate = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        switch (jobs[i].state) {
+          case JobState::Pending: ++nPending; break;
+          case JobState::Running: ++nRunning; break;
+          case JobState::Backoff: ++nBackoff; break;
+          case JobState::Done:
+            ++nDone;
+            simMs[i] = targetMs;
+            break;
+          case JobState::Failed: ++nFailed; break;
+        }
+        simDone += simMs[i];
+        activeRate += rates[i];
+    }
+    // ETA from the fleet's current aggregate rate; failed jobs are
+    // out of the race, so their remaining sim time does not count.
+    const double remaining =
+        targetMs * static_cast<double>(jobs.size() - nFailed) -
+        simDone;
+    const double etaMs =
+        activeRate > 0.0 && remaining > 0.0
+            ? remaining / activeRate * 1000.0
+            : (remaining <= 0.0 ? 0.0 : -1.0);
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"kind\": \"vip-fleet-status\",\n"
+       << "  \"schemaVersion\": 1,\n"
+       << "  \"name\": \"" << esc(_spec.name) << "\",\n"
+       << "  \"final\": " << (final ? "true" : "false") << ",\n"
+       << "  \"wall_ms\": " << fmtNum(nowMs) << ",\n"
+       << "  \"jobs\": {\n"
+       << "    \"total\": " << jobs.size() << ",\n"
+       << "    \"pending\": " << nPending << ",\n"
+       << "    \"running\": " << nRunning << ",\n"
+       << "    \"backoff\": " << nBackoff << ",\n"
+       << "    \"done\": " << nDone << ",\n"
+       << "    \"failed\": " << nFailed << "\n  },\n";
+    os << "  \"throughput\": {\n"
+       << "    \"sim_target_ms_per_job\": " << fmtNum(targetMs)
+       << ",\n"
+       << "    \"sim_ms_done\": " << fmtNum(simDone) << ",\n"
+       << "    \"sim_ms_per_wall_s\": " << fmtNum(activeRate)
+       << ",\n"
+       << "    \"eta_ms\": " << fmtNum(etaMs) << "\n  },\n";
+    os << "  \"job_detail\": [\n";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobProgress &p = jobs[i];
+        os << "    {\"id\": \"" << esc(p.job.id) << "\", \"state\": "
+           << "\"" << jobStateName(p.state) << "\", \"attempts\": "
+           << p.attempts << ", \"sim_ms\": " << fmtNum(simMs[i]);
+        if (rates[i] > 0.0)
+            os << ", \"sim_ms_per_wall_s\": " << fmtNum(rates[i]);
+        if (!p.host.empty())
+            os << ", \"host\": \"" << esc(p.host) << "\"";
+        os << "}" << (i + 1 < jobs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"hosts\": [\n";
+    for (std::size_t i = 0; i < _hosts.size(); ++i) {
+        const HostRuntime &h = _hosts[i];
+        os << "    {\"name\": \"" << esc(h.spec.name)
+           << "\", \"state\": \"" << h.health.stateName()
+           << "\", \"quarantines\": " << h.health.quarantines()
+           << ", \"op_failures\": " << h.health.opFailures()
+           << ", \"jobs_done\": " << h.jobsDone;
+        if (h.faulty) {
+            const FaultCounters &fc = h.faulty->counters();
+            os << ", \"faults_injected\": "
+               << (fc.drops + fc.delays + fc.dups + fc.corrupts +
+                   fc.partitioned + (fc.died ? 1 : 0));
+        }
+        os << "}" << (i + 1 < _hosts.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+
+    std::string err;
+    if (!writeFileAtomic(_opt.outDir + "/fleet-status.json",
+                         os.str(), &err))
+        note("cannot write fleet-status.json: " + err);
 }
 
 void

@@ -58,6 +58,7 @@
 #include "fleet/health.hh"
 #include "fleet/hosts.hh"
 #include "fleet/job_spec.hh"
+#include "fleet/journal.hh"
 #include "fleet/scheduler.hh"
 #include "fleet/transport/transport.hh"
 
@@ -135,6 +136,13 @@ struct FleetOptions
 
     /** Supervisor poll cadence, wall ms. */
     double pollMs = 10.0;
+
+    /** Live-status cadence (--status-interval-ms): how often the
+     *  rolling <outDir>/fleet-status.json snapshot is rewritten
+     *  (atomic tmp+rename, so a concurrent reader never sees a torn
+     *  file).  <= 0 disables the periodic write; the final snapshot
+     *  (final: true) is always written. */
+    double statusIntervalMs = 500.0;
 
     bool verbose = true;
 };
@@ -233,6 +241,9 @@ class FleetSupervisor
     void interruptAll();
     void writeReport(const FleetOutcome &out) const;
     void note(const std::string &line) const;
+    /** Rewrite <outDir>/fleet-status.json (atomic).  @p final marks
+     *  the post-sweep snapshot. */
+    void writeStatus(double nowMs, bool final);
 
     JobSpec _spec;
     FleetOptions _opt;
@@ -246,6 +257,8 @@ class FleetSupervisor
     std::size_t _hangKills = 0;
     int _quarantineEvents = 0;
     std::string _fatal;
+    FleetJournal _journal;
+    double _lastStatusMs = -1e300;
 };
 
 } // namespace fleet

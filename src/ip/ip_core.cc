@@ -383,7 +383,8 @@ IpCore::armComputeAttempt(Tick extra_delay)
         return;
     }
     _computeEvent = scheduleIn(extra_delay + _unitTime,
-                               [this] { onComputeAttemptDone(); });
+                               [this] { onComputeAttemptDone(); },
+                               EventPriority::Default, "ip.unit");
     if (!_unitDegraded && _faults)
         armWatchdog(extra_delay);
 }
@@ -396,7 +397,8 @@ IpCore::armWatchdog(Tick extra_delay)
     _watchdogEvent =
         scheduleIn(extra_delay + _unitTime +
                        _faults->plan().watchdogTimeout,
-                   [this] { onWatchdogTimeout(); });
+                   [this] { onWatchdogTimeout(); },
+                   EventPriority::Default, "ip.watchdog");
 }
 
 void
@@ -931,7 +933,7 @@ IpCore::pumpFeeds(int lane)
             if (!ll.feeds.empty())
                 ll.feeds.front().genArmed = false;
             onFeedChunkReady(lane, offset, sz);
-        });
+        }, EventPriority::Default, "ip.gen");
         return;
     }
 

@@ -66,7 +66,7 @@ MemoryController::startup()
 {
     _windowStart = curTick();
     _bwEvent = scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
-                          EventPriority::Stats);
+                          EventPriority::Stats, "dram.bw");
     armLpTimer();
 }
 
@@ -131,7 +131,8 @@ MemoryController::armLpTimer()
                                           : MaxTick);
     if (delay == MaxTick)
         return; // already in the deepest state
-    _lpTimer = scheduleIn(delay, [this] { lpTimerFired(); });
+    _lpTimer = scheduleIn(delay, [this] { lpTimerFired(); },
+                          EventPriority::Default, "dram.lp");
 }
 
 void
@@ -190,7 +191,7 @@ MemoryController::sampleBandwidth()
     _windowBytes = 0;
     _windowStart = now;
     _bwEvent = scheduleIn(_cfg.bwWindow, [this] { sampleBandwidth(); },
-                          EventPriority::Stats);
+                          EventPriority::Stats, "dram.bw");
 }
 
 void
@@ -219,7 +220,7 @@ MemoryController::access(MemRequest req)
             --_idealInFlight;
             if (cb)
                 cb();
-        });
+        }, EventPriority::Default, "dram.burst");
         return;
     }
 
@@ -395,7 +396,7 @@ MemoryController::trySchedule(std::uint32_t ch)
         trySchedule(ch);
         if (inFlight() == 0)
             onAllIdle();
-    });
+    }, EventPriority::Default, "dram.burst");
 }
 
 std::uint64_t
@@ -681,7 +682,8 @@ MemoryController::loadState(SnapshotReader &r)
     if (r.b()) {
         EventId id = r.u64();
         Tick when = r.tick();
-        eq.restoreEvent(id, when, [this] { lpTimerFired(); });
+        eq.restoreEvent(id, when, [this] { lpTimerFired(); },
+                        EventPriority::Default, "dram.lp");
         _lpTimer = id;
     } else {
         _lpTimer = InvalidEventId;
@@ -690,7 +692,7 @@ MemoryController::loadState(SnapshotReader &r)
         EventId id = r.u64();
         Tick when = r.tick();
         eq.restoreEvent(id, when, [this] { sampleBandwidth(); },
-                        EventPriority::Stats);
+                        EventPriority::Stats, "dram.bw");
         _bwEvent = id;
     } else {
         _bwEvent = InvalidEventId;

@@ -47,7 +47,8 @@ MetricsSampler::start()
         }
     }
     _sampleEvent = _sys.eventq().scheduleIn(
-        _interval, [this] { sampleNow(); }, EventPriority::Stats);
+        _interval, [this] { sampleNow(); }, EventPriority::Stats,
+        "obs.metrics");
 }
 
 void
@@ -81,7 +82,8 @@ MetricsSampler::sampleNow()
         _stream->flush();
     }
     _sampleEvent = _sys.eventq().scheduleIn(
-        _interval, [this] { sampleNow(); }, EventPriority::Stats);
+        _interval, [this] { sampleNow(); }, EventPriority::Stats,
+        "obs.metrics");
 }
 
 void
@@ -147,7 +149,7 @@ MetricsSampler::loadState(SnapshotReader &r)
         _sampleEvent = r.u64();
         Tick when = r.tick();
         eq.restoreEvent(_sampleEvent, when, [this] { sampleNow(); },
-                        EventPriority::Stats);
+                        EventPriority::Stats, "obs.metrics");
     }
     std::uint32_t nProbes = r.u32();
     if (nProbes != _probes.size())

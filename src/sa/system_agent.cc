@@ -94,7 +94,7 @@ SystemAgent::transferAttempt(std::uint32_t bytes, Callback done,
                    "SA byte ledger underflow on ", name());
         _bytesInFlight -= bytes;
         done();
-    });
+    }, EventPriority::Default, "sa.transfer");
 }
 
 void
@@ -123,7 +123,7 @@ SystemAgent::signal(Callback on_delivered)
                [this, cb = std::move(on_delivered)] {
         --_signalsInFlight;
         cb();
-    });
+    }, EventPriority::Default, "sa.signal");
 }
 
 double

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include "obs/profiler.hh"
 #include "sim/snapshot.hh"
 
 namespace vip
@@ -27,7 +28,20 @@ EventQueue::serviceOne()
         }
         ++_serviced;
         maybeCompact();
-        e.cb();
+        if (!_prof) {
+            e.cb();
+            return true;
+        }
+        // Profiled dispatch: the hooks are observational (count +
+        // occasional steady_clock read); the callback itself runs
+        // identically, so digests cannot diverge.
+        if (_prof->beginDispatch(e.kind, _curTick, _live.size(),
+                                 _heap.size())) {
+            e.cb();
+            _prof->endDispatch();
+        } else {
+            e.cb();
+        }
         return true;
     }
     return false;
@@ -82,7 +96,7 @@ EventQueue::scheduledWhen(EventId id) const
 
 void
 EventQueue::restoreEvent(EventId id, Tick when, Callback cb,
-                         EventPriority prio)
+                         EventPriority prio, const char *kind)
 {
     vip_assert(id != InvalidEventId && id < _nextId,
                "restoreEvent id ", id, " outside issued range");
@@ -90,7 +104,7 @@ EventQueue::restoreEvent(EventId id, Tick when, Callback cb,
                when, " cur=", _curTick);
     bool inserted = _live.insert(id);
     vip_assert(inserted, "restoreEvent id ", id, " already live");
-    _heap.push_back(Entry{when, static_cast<int>(prio), id,
+    _heap.push_back(Entry{when, static_cast<int>(prio), id, kind,
                           std::move(cb)});
     std::push_heap(_heap.begin(), _heap.end(), Later{});
 }

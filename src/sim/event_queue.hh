@@ -50,6 +50,7 @@ constexpr EventId InvalidEventId = 0;
  */
 class SnapshotWriter;
 class SnapshotReader;
+class Profiler;
 
 class EventQueue : public Auditable
 {
@@ -68,17 +69,25 @@ class EventQueue : public Auditable
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @p kind is an optional profiling tag: a string *literal* (the
+     * profiler compares pointers on the hot path and merges aliases
+     * by name at report time) naming the event's kind, ideally from
+     * kProfKindCatalog.  Untagged events profile as "other".  Kinds
+     * are purely observational — they enter no digest or snapshot.
+     *
      * @return an id usable with deschedule().
      */
     EventId
     schedule(Tick when, Callback cb,
-             EventPriority prio = EventPriority::Default)
+             EventPriority prio = EventPriority::Default,
+             const char *kind = nullptr)
     {
         vip_assert(when >= _curTick,
                    "scheduling in the past: when=", when,
                    " cur=", _curTick);
         EventId id = _nextId++;
-        _heap.push_back(Entry{when, static_cast<int>(prio), id,
+        _heap.push_back(Entry{when, static_cast<int>(prio), id, kind,
                               std::move(cb)});
         std::push_heap(_heap.begin(), _heap.end(), Later{});
         _live.insert(id);
@@ -88,9 +97,10 @@ class EventQueue : public Auditable
     /** Schedule @p cb to run @p delta ticks from now. */
     EventId
     scheduleIn(Tick delta, Callback cb,
-               EventPriority prio = EventPriority::Default)
+               EventPriority prio = EventPriority::Default,
+               const char *kind = nullptr)
     {
-        return schedule(_curTick + delta, std::move(cb), prio);
+        return schedule(_curTick + delta, std::move(cb), prio, kind);
     }
 
     /**
@@ -157,7 +167,8 @@ class EventQueue : public Auditable
      * snapshot (already issued, i.e. below the restored _nextId).
      */
     void restoreEvent(EventId id, Tick when, Callback cb,
-                      EventPriority prio = EventPriority::Default);
+                      EventPriority prio = EventPriority::Default,
+                      const char *kind = nullptr);
 
     /** SimFatal unless re-armed events match the snapshot's id set. */
     void verifyRestore() const;
@@ -193,7 +204,19 @@ class EventQueue : public Auditable
     std::size_t heapSize() const { return _heap.size(); }
     /** Cancelled entries still occupying heap slots. */
     std::size_t deadEntries() const { return _heap.size() - _live.size(); }
+    /** Times the heap was rebuilt to purge dead entries. */
+    std::uint64_t compactions() const { return _compactions; }
     /** @} */
+
+    /**
+     * Attach (or detach, with nullptr) the hot-path self-profiler.
+     * Purely observational: the profiler sees every dispatch's kind
+     * tag and queue occupancy but cannot perturb the event stream,
+     * so digests stay bit-identical with profiling on (see
+     * obs/profiler.hh).
+     */
+    void setProfiler(Profiler *p) { _prof = p; }
+    Profiler *profiler() const { return _prof; }
 
     /** @{ Auditable */
     void auditInvariants(AuditContext &ctx) const override;
@@ -206,6 +229,9 @@ class EventQueue : public Auditable
         Tick when;
         int prio;
         EventId id;
+        /** Profiling tag (string literal or null); never ordered on,
+         *  digested, or serialized. */
+        const char *kind;
         Callback cb;
     };
 
@@ -233,6 +259,8 @@ class EventQueue : public Auditable
     std::uint64_t _compactions = 0;
     /** Transient graceful-stop request; never serialized. */
     bool _stopRequested = false;
+    /** Nullable hot-path observer; never serialized. */
+    Profiler *_prof = nullptr;
     /** Binary heap ordered by Later (std::push_heap/pop_heap). */
     std::vector<Entry> _heap;
     /** Ids scheduled and neither serviced nor cancelled. */

@@ -23,16 +23,18 @@ SimObject::curTick() const
 }
 
 EventId
-SimObject::schedule(Tick when, EventQueue::Callback cb, EventPriority prio)
+SimObject::schedule(Tick when, EventQueue::Callback cb,
+                    EventPriority prio, const char *kind)
 {
-    return _system.eventq().schedule(when, std::move(cb), prio);
+    return _system.eventq().schedule(when, std::move(cb), prio, kind);
 }
 
 EventId
 SimObject::scheduleIn(Tick delta, EventQueue::Callback cb,
-                      EventPriority prio)
+                      EventPriority prio, const char *kind)
 {
-    return _system.eventq().scheduleIn(delta, std::move(cb), prio);
+    return _system.eventq().scheduleIn(delta, std::move(cb), prio,
+                                       kind);
 }
 
 void

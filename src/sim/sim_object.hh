@@ -43,13 +43,16 @@ class SimObject : public Auditable, public Serializable
     /** Current simulated time. */
     Tick curTick() const;
 
-    /** Schedule a callback at an absolute tick. */
+    /** Schedule a callback at an absolute tick.  @p kind is the
+     *  optional profiling tag (see EventQueue::schedule). */
     EventId schedule(Tick when, EventQueue::Callback cb,
-                     EventPriority prio = EventPriority::Default);
+                     EventPriority prio = EventPriority::Default,
+                     const char *kind = nullptr);
 
     /** Schedule a callback @p delta ticks from now. */
     EventId scheduleIn(Tick delta, EventQueue::Callback cb,
-                       EventPriority prio = EventPriority::Default);
+                       EventPriority prio = EventPriority::Default,
+                       const char *kind = nullptr);
 
     /** Cancel a scheduled callback. */
     void deschedule(EventId id);

@@ -64,9 +64,71 @@ EOF
 
 JOBS="vip-A1-s1 vip-A1-s2 vip-W1-s1 vip-W1-s2"
 
-# gate <run-dir> : every job done, nothing failed, and every shard's
-# stats + digest stream (and the merged aggregate) bit-identical to
-# the clean run.
+# journal_gate <run-dir> : the supervisor's journal.jsonl is
+# well-formed (every line parses, seq strictly increasing from 0,
+# wall_ms nondecreasing, sweep_start first / sweep_end last) and its
+# ownership story is coherent: per-job launch tokens strictly
+# increase, every commit cites a token that was actually launched,
+# every job commits exactly once, and no launch reuses a token whose
+# lease already expired.  The final fleet-status.json must agree with
+# the spec's job count.
+journal_gate() {
+    python3 - "$1" <<'EOF'
+import json, sys, collections
+run = sys.argv[1]
+recs = []
+for line in open(run + "/journal.jsonl"):
+    recs.append(json.loads(line))
+assert recs, "empty journal"
+assert [r["seq"] for r in recs] == list(range(len(recs))), \
+    "seq not dense-monotonic"
+walls = [r["wall_ms"] for r in recs]
+assert all(a <= b for a, b in zip(walls, walls[1:])), \
+    "wall_ms went backwards"
+assert recs[0]["type"] == "sweep_start", recs[0]
+assert recs[-1]["type"] == "sweep_end", recs[-1]
+
+launches = collections.defaultdict(list)
+commits = collections.defaultdict(list)
+expired = set()
+for r in recs:
+    t = r["type"]
+    if t == "launch":
+        assert not launches[r["job"]] or \
+            r["token"] > launches[r["job"]][-1], \
+            ("token not increasing", r)
+        assert (r["job"], r["token"]) not in expired, \
+            ("relaunched an expired token", r)
+        launches[r["job"]].append(r["token"])
+    elif t in ("commit", "zombie_rescue"):
+        # A rescue is the commit path for a post-expiry attempt whose
+        # job was never reissued; either way the job settles once.
+        assert r["token"] in launches[r["job"]], ("orphan commit", r)
+        commits[r["job"]].append(r["token"])
+    elif t == "lease_expiry":
+        expired.add((r["job"], r["token"]))
+
+summ = json.load(open(run + "/report.json"))["summary"]
+for j, c in commits.items():
+    assert len(c) == 1, ("job committed twice", j, c)
+assert len(commits) == summ["done"], (len(commits), summ["done"])
+exp = sum(1 for r in recs if r["type"] == "lease_expiry")
+assert exp == summ["lease_expiries"], (exp, summ["lease_expiries"])
+
+st = json.load(open(run + "/fleet-status.json"))
+assert st["kind"] == "vip-fleet-status" and st["final"], st
+jb = st["jobs"]
+assert jb["pending"] + jb["running"] + jb["backoff"] + jb["done"] \
+    + jb["failed"] == jb["total"] == summ["jobs"], jb
+print("journal: %d records, %d launches, %d commits, %d expiries"
+      % (len(recs), sum(map(len, launches.values())),
+         len(commits), exp))
+EOF
+}
+
+# gate <run-dir> : every job done, nothing failed, the journal and
+# status snapshot are coherent, and every shard's stats + digest
+# stream (and the merged aggregate) bit-identical to the clean run.
 gate() {
     run=$1
     python3 - "$run/report.json" <<'EOF'
@@ -81,6 +143,7 @@ print("report: 4/4 done (retries=%d lease_expiries=%d "
       % (s["retries"], s["lease_expiries"], s["zombie_rejects"],
          s["zombie_rescues"]))
 EOF
+    journal_gate "$run"
     for j in $JOBS; do
         "$STATS_DIFF" "$WORK/clean/shards/$j/stats.json" \
             "$run/shards/$j/stats.json"
@@ -95,6 +158,7 @@ echo "== clean reference sweep"
     --vip-sim "$VIP_SIM" --heartbeat-grace-ms 500 --quiet
 test -s "$WORK/clean/report.json"
 test -s "$WORK/clean/aggregate.json"
+journal_gate "$WORK/clean"
 
 echo "== chaos: dropped + delayed + duplicated ops"
 "$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/flaky" \
@@ -111,13 +175,39 @@ echo "== chaos: partition expires a lease and reassigns the job"
 "$VIP_FLEET" --spec "$WORK/spec.json" --out "$WORK/partition" \
     --vip-sim "$VIP_SIM" --fault 'partition@1+250' --quiet
 gate "$WORK/partition"
-python3 - "$WORK/partition/report.json" <<'EOF'
+python3 - "$WORK/partition" <<'EOF'
 import json, sys
-r = json.load(open(sys.argv[1]))
+run = sys.argv[1]
+r = json.load(open(run + "/report.json"))
 s = r["summary"]
 assert s["lease_expiries"] >= 1, s
 assert r["reassigned_jobs"], "no reassigned work enumerated"
 assert s["zombie_rejects"] + s["zombie_rescues"] >= 0
+# The journal must tell the same reassignment story: after every
+# lease_expiry the job relaunches under a strictly newer token, and
+# any zombie_reject cites the expired (stale) token.
+recs = [json.loads(l) for l in open(run + "/journal.jsonl")]
+for i, e in enumerate(recs):
+    if e["type"] != "lease_expiry":
+        continue
+    later = [x for x in recs[i + 1:]
+             if x["type"] == "launch" and x["job"] == e["job"]]
+    # ... unless the orphaned attempt itself finished first and was
+    # rescued (no newer token was ever issued).
+    rescued = [x for x in recs[i + 1:]
+               if x["type"] == "zombie_rescue"
+               and x["job"] == e["job"]]
+    done = [x for x in recs[:i]
+            if x["type"] == "commit" and x["job"] == e["job"]]
+    assert later or rescued or done, \
+        ("expired lease never reassigned", e)
+    assert all(x["token"] > e["token"] for x in later), (e, later)
+stale = {(z["job"], z["token"]) for z in recs
+         if z["type"] == "zombie_reject"}
+exp = {(e["job"], e["token"]) for e in recs
+       if e["type"] == "lease_expiry"}
+assert stale <= exp, ("zombie_reject without lease_expiry",
+                      stale - exp)
 print("partition: lease_expiries=%d reassigned=%s"
       % (s["lease_expiries"], ",".join(r["reassigned_jobs"])))
 EOF
@@ -133,7 +223,38 @@ EOF
     --vip-sim "$VIP_SIM" --hosts "$WORK/die-hosts.json" --quiet
 gate "$WORK/die"
 
-echo "== ssh transport round trip (fake_ssh, no network)"
+echo "== chaos: quarantine journal (dead host scored out at 2 strikes)"
+# Same mortal/survivor roster, but a hair-trigger quarantine_after so
+# the dying host walks the full health state machine — quarantine,
+# re-admission probes, dead — and the journal records every step.
+python3 - "$WORK/spec.json" "$WORK/spec-quar.json" <<'EOF'
+import json, sys
+spec = json.load(open(sys.argv[1]))
+spec["fleet"]["quarantine_after"] = 2
+json.dump(spec, open(sys.argv[2], "w"))
+EOF
+"$VIP_FLEET" --spec "$WORK/spec-quar.json" --out "$WORK/quar" \
+    --vip-sim "$VIP_SIM" --hosts "$WORK/die-hosts.json" --quiet
+gate "$WORK/quar"
+python3 - "$WORK/quar/journal.jsonl" <<'EOF'
+import json, sys
+recs = [json.loads(l) for l in open(sys.argv[1])]
+quars = [r for r in recs if r["type"] == "quarantine"]
+assert quars, "no quarantine record for the dying host"
+assert all(r["host"] == "mortal" for r in quars), quars
+end = recs[-1]
+assert end["hosts_quarantined"] >= 1, end
+# Once the journal declares the host dead, it must never launch
+# another attempt there.
+dead_at = [r["seq"] for r in recs if r["type"] == "host_dead"]
+if dead_at:
+    after = [r for r in recs if r["seq"] > dead_at[0]
+             and r["type"] == "launch" and r["host"] == "mortal"]
+    assert not after, ("launch on a dead host", after)
+probes = [r for r in recs if r["type"] == "probe"]
+print("quarantine journal: %d quarantines, %d probes, dead=%s"
+      % (len(quars), len(probes), bool(dead_at)))
+EOF
 cat > "$WORK/ssh-hosts.json" <<EOF
 { "hosts": [
     { "name": "pseudo-remote", "transport": "ssh", "slots": 2,

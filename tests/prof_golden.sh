@@ -1,0 +1,31 @@
+#!/bin/sh
+# vip_prof golden-output test: the report for a checked-in prof.json
+# fixture must match the checked-in expected text byte for byte.
+# The fixture is a real W4/vip --prof capture; the point is that
+# vip_prof's parsing, estimation math, sorting, and formatting stay
+# deterministic, so any intentional output change shows up in review
+# as a diff of the .expected file.
+#
+# Usage: tests/prof_golden.sh [build-dir] [work-dir]
+set -eu
+
+BUILD=${1:-build}
+WORK=${2:-prof-golden-out}
+SRCDIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+VIP_PROF="$BUILD/tools/vip_prof"
+
+[ -x "$VIP_PROF" ] || { echo "missing binary: $VIP_PROF" >&2; exit 2; }
+case "$VIP_PROF" in /*) ;; *) VIP_PROF="$(pwd)/$VIP_PROF";; esac
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+# Run against a bare filename so the "profile :" header line is
+# machine-independent.
+cp "$SRCDIR/data/prof-golden.json" "$WORK/prof-golden.json"
+cd "$WORK"
+"$VIP_PROF" --top 5 prof-golden.json > got.txt
+if ! diff -u "$SRCDIR/data/prof-golden.expected" got.txt; then
+    echo "vip_prof output diverged from golden expectation" >&2
+    exit 1
+fi
+echo "vip_prof golden output: PASS"

@@ -75,6 +75,14 @@ usage()
         "                       startup grace before the liveness\n"
         "                       watchdog may declare a worker hung\n"
         "                       (overrides the spec policy)\n"
+        "  --status             one-shot: print <out>/fleet-status\n"
+        "                       .json (the rolling snapshot a running\n"
+        "                       sweep maintains) and exit\n"
+        "  --status-interval-ms <ms>\n"
+        "                       rolling fleet-status.json rewrite\n"
+        "                       cadence (default 500; <= 0 disables\n"
+        "                       the periodic write, the final snapshot\n"
+        "                       is always written)\n"
         "  --print-jobs         list the expanded jobs and exit\n"
         "  --quiet              suppress supervision notes\n");
 }
@@ -97,6 +105,7 @@ main(int argc, char **argv)
     int workersOverride = 0;
     int attemptsOverride = 0;
     bool printJobs = false;
+    bool statusOnly = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -165,6 +174,15 @@ main(int argc, char **argv)
                     !(opt.heartbeatGraceMsOverride >= 0.0))
                     vip::fatal("--heartbeat-grace-ms: bad value '",
                                ms, "'");
+            } else if (arg == "--status") {
+                statusOnly = true;
+            } else if (arg == "--status-interval-ms") {
+                char *end = nullptr;
+                const std::string ms = next();
+                opt.statusIntervalMs = std::strtod(ms.c_str(), &end);
+                if (end == ms.c_str() || *end != '\0')
+                    vip::fatal("--status-interval-ms: bad value '",
+                               ms, "'");
             } else if (arg == "--print-jobs") {
                 printJobs = true;
             } else if (arg == "--quiet") {
@@ -178,6 +196,24 @@ main(int argc, char **argv)
                 usage();
                 return 2;
             }
+        }
+        if (statusOnly) {
+            // One-shot observer: no spec needed, just the out tree.
+            if (opt.outDir.empty())
+                vip::fatal("--status needs --out <dir>");
+            const std::string path =
+                opt.outDir + "/fleet-status.json";
+            std::FILE *f = std::fopen(path.c_str(), "rb");
+            if (!f)
+                vip::fatal("no status snapshot at ", path,
+                           " (sweep not started, or "
+                           "--status-interval-ms <= 0)");
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                std::fwrite(buf, 1, n, stdout);
+            std::fclose(f);
+            return 0;
         }
         if (specPath.empty())
             vip::fatal("--spec is required");

@@ -17,13 +17,18 @@
  * A positional argument naming a directory is treated as a crash
  * bundle from --postmortem-dir: the trace is read from its
  * trace-tail.json, and --summary also prints crash.json and the
- * stats.json counter snapshot.
+ * stats.json counter snapshot.  A *fleet shard* directory
+ * (<out>/shards/<job>/, which stages attempts under a<token>/) also
+ * works: the newest attempt's pm/ bundle is surfaced, with the
+ * shard's committed stats.json preferred over the attempt snapshot.
  *
  * Exit codes: 0 ok, 1 validation errors / frame not found, 2 usage
  * or unparseable input.
  */
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -480,10 +485,61 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // A directory is a crash bundle from --postmortem-dir.
+    // A directory is a crash bundle from --postmortem-dir — or a
+    // fleet shard directory whose attempts (a<token>/) each hold
+    // their own pm/ bundle.  For a shard, surface the newest
+    // attempt's bundle (highest fencing token = latest ownership);
+    // the shard's committed stats.json, when present, beats the
+    // attempt's crash snapshot.
     std::string crashFile;
     if (std::filesystem::is_directory(file)) {
         auto dir = std::filesystem::path(file);
+        if (!std::filesystem::exists(dir / "trace-tail.json")) {
+            std::uint64_t best = 0;
+            std::filesystem::path bestPm;
+            for (const auto &e :
+                 std::filesystem::directory_iterator(dir)) {
+                if (!e.is_directory())
+                    continue;
+                const std::string name = e.path().filename().string();
+                if (name.size() < 2 || name[0] != 'a' ||
+                    !std::isdigit(
+                        static_cast<unsigned char>(name[1])))
+                    continue;
+                char *end = nullptr;
+                const std::uint64_t token =
+                    std::strtoull(name.c_str() + 1, &end, 10);
+                if (*end != '\0')
+                    continue;
+                const auto pm = e.path() / "pm";
+                if (std::filesystem::exists(pm / "trace-tail.json") &&
+                    token >= best) {
+                    best = token;
+                    bestPm = pm;
+                }
+            }
+            if (!bestPm.empty()) {
+                std::printf("fleet shard %s: newest postmortem "
+                            "bundle a%llu/pm\n",
+                            dir.filename().string().c_str(),
+                            static_cast<unsigned long long>(best));
+                if (statsFile.empty() &&
+                    std::filesystem::exists(dir / "stats.json"))
+                    statsFile = (dir / "stats.json").string();
+                dir = bestPm;
+            } else if (mode == "--summary" &&
+                       std::filesystem::exists(dir / "stats.json")) {
+                // A shard whose attempts all ran clean leaves no
+                // pm/ bundle; the committed counter snapshot is
+                // still worth surfacing.
+                std::printf("fleet shard %s: no postmortem bundle "
+                            "(clean run); committed stats only\n",
+                            dir.filename().string().c_str());
+                if (statsFile.empty())
+                    statsFile = (dir / "stats.json").string();
+                return printStats(statsFile) ? 0 : 2;
+            }
+        }
         crashFile = (dir / "crash.json").string();
         if (statsFile.empty() &&
             std::filesystem::exists(dir / "stats.json"))
