@@ -61,6 +61,26 @@ Simulation::Simulation(SocConfig cfg, Workload workload)
     build();
     attachAuditors();
     buildStatsRegistry();
+    // The time-series plane snapshots the registry's definitions at
+    // construction, so it is built after buildStatsRegistry() -- and
+    // its own ts.* stats, registered below, are therefore never part
+    // of its selection.  Like prof.*, they only exist when armed, so
+    // baseline stats files stay comparable.
+    if (_cfg.ts.enabled()) {
+        _ts = std::make_unique<TimeSeries>(
+            _cfg.ts, _cfg.metrics.intervalMs, _registry);
+        TimeSeries *t = _ts.get();
+        _registry.addExact("sim.steady.tick", "steady-state detection "
+                           "time (-1 while undetected)", "ms",
+                           [t] { return t->steadyTickMs(); });
+        _registry.addExact("ts.samples", "interval boundaries sampled "
+                           "(pre-decimation)", "",
+                           [t] { return double(t->samplesSeen()); });
+        _registry.addExact("ts.rows", "rows held in the series ring",
+                           "", [t] { return double(t->rows()); });
+        _registry.addExact("ts.stride", "current decimation stride",
+                           "", [t] { return double(t->stride()); });
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -202,6 +222,16 @@ Simulation::buildMetrics()
                                return static_cast<double>(
                                    f->framesInFlight());
                            });
+    }
+
+    // Steady-state verdict in the CSV: -1 until detected, then the
+    // detection tick.  The ts arming state must match across
+    // save/restore (checkpoint identity), so the CSV schema is stable
+    // across resumes.
+    if (_ts) {
+        TimeSeries *t = _ts.get();
+        _metrics->addProbe("steady_tick_ms",
+                           [t] { return t->steadyTickMs(); });
     }
 
     // "(buffer)" is the test sentinel for "keep rows in memory only";
@@ -629,6 +659,12 @@ Simulation::run()
         } else {
             runEventLoop(fromSec(_cfg.simSeconds));
         }
+        // Flush the series up to the final tick.  Safe for
+        // interrupted runs: their checkpoint was written from the
+        // hook before this point, so a resumed run replays the same
+        // tail boundaries and the two series stay byte-identical.
+        if (_ts)
+            _ts->finish(_sys.curTick());
         _ledger.closeAll(_sys.curTick());
         // Final audit pass under every enabled mode: catches
         // teardown-time leaks that a periodic pass between frames
@@ -689,7 +725,7 @@ Simulation::runEventLoop(Tick limit)
                    ? _cfg.interruptFlag->load(std::memory_order_relaxed)
                    : 0;
     };
-    if (_plans.empty() && !probe && !_cfg.interruptFlag) {
+    if (_plans.empty() && !probe && !_cfg.interruptFlag && !_ts) {
         _sys.run(limit);
         return;
     }
@@ -697,6 +733,21 @@ Simulation::runEventLoop(Tick limit)
     std::uint64_t points = 0, quiet = 0;
     Tick lastQuiet = start, maxGap = 0;
     auto hook = [&](Tick next) {
+        // Time-series sampling first: the sample must describe state
+        // *before* the event at `next` services, and before any
+        // checkpoint below snapshots the plane.  When the detector
+        // latches steady, arm the one-shot --checkpoint-on-steady
+        // plan; the due/save loops below pick it up in this same hook
+        // invocation at the first quiescent point.
+        if (_ts) {
+            _ts->observe(next);
+            if (!_steadyPlanArmed && _ts->steadyDetected() &&
+                !_cfg.ts.checkpointOnSteady.empty()) {
+                _steadyPlanArmed = true;
+                _plans.push_back({_cfg.ts.checkpointOnSteady,
+                                  _ts->steadyTick(), 0});
+            }
+        }
         // Graceful interrupt: stop at the first quiescent point,
         // after writing a final checkpoint to every armed plan so the
         // interrupted run leaves a resumable trail.  With no plans
@@ -894,6 +945,13 @@ Simulation::saveCheckpoint(const std::string &path)
         w.tick(*_saLastBusy);
     }
 
+    w.beginSection("timeseries");
+    w.b(_ts != nullptr);
+    if (_ts) {
+        w.b(_steadyPlanArmed);
+        _ts->saveState(w);
+    }
+
     w.beginSection("sim");
     w.u64(_alloc.cursor());
     w.u64(_lastRetired);
@@ -1060,6 +1118,18 @@ Simulation::restoreFrom(const std::string &path)
     }
     r.closeSection();
 
+    r.openSection("timeseries");
+    bool hadTs = r.b();
+    if (hadTs != (_ts != nullptr))
+        fatal("restore: snapshot ", hadTs ? "had" : "had no",
+              " time-series plane, this run ",
+              _ts ? "has one" : "has none", " (config mismatch)");
+    if (_ts) {
+        _steadyPlanArmed = r.b();
+        _ts->loadState(r);
+    }
+    r.closeSection();
+
     r.openSection("sim");
     _alloc.setCursor(r.u64());
     _lastRetired = r.u64();
@@ -1167,6 +1237,13 @@ Simulation::writeProfJson(std::ostream &os) const
 {
     vip_assert(_profiler, "writeProfJson() without --prof");
     _profiler->writeJson(os, toMs(_sys.curTick()), runMeta());
+}
+
+void
+Simulation::writeSeriesJson(std::ostream &os) const
+{
+    vip_assert(_ts, "writeSeriesJson() without --ts");
+    _ts->writeJson(os, runMeta());
 }
 
 void

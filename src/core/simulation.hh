@@ -32,6 +32,7 @@
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/stat_registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/tracer.hh"
 #include "sim/snapshot.hh"
 
@@ -68,6 +69,9 @@ class Simulation
     MetricsSampler *metrics() { return _metrics.get(); }
     /** The hot-path profiler; null unless cfg.prof is enabled. */
     Profiler *profiler() { return _profiler.get(); }
+    /** The time-series plane; null unless cfg.ts is armed. */
+    TimeSeries *timeseries() { return _ts.get(); }
+    const TimeSeries *timeseries() const { return _ts.get(); }
     /** Always-on per-frame latency decomposition. */
     LatencyCollector &latencyCollector() { return *_latency; }
     /** The unified stats registry (always built, populated in ctor). */
@@ -152,6 +156,13 @@ class Simulation
     void writeProfJson(std::ostream &os) const;
 
     /**
+     * Write the time-series report (--ts) as self-describing JSON;
+     * the format tools/vip_top renders.  Call after run(); requires
+     * cfg.ts to be armed.
+     */
+    void writeSeriesJson(std::ostream &os) const;
+
+    /**
      * Convenience: build + run in one call.
      */
     static RunStats run(SocConfig cfg, Workload workload);
@@ -207,6 +218,10 @@ class Simulation
     std::unique_ptr<MetricsSampler> _metrics;
     /** Hot-path profiler (cfg.prof); observational, digest-neutral. */
     std::unique_ptr<Profiler> _profiler;
+    /** Windowed time-series plane (cfg.ts); samples from the event
+     *  loop's pre-service hook, so it is digest-neutral by
+     *  construction. */
+    std::unique_ptr<TimeSeries> _ts;
     StatRegistry _registry;
     Auditor _auditor;
     EnergyLedger _ledger;
@@ -262,6 +277,10 @@ class Simulation
     std::string _lastCheckpointPath;
     Tick _lastCheckpointTick = 0;
     bool _restored = false;
+    /** One-shot --checkpoint-on-steady plan already armed (or, on a
+     *  restore, already written before the snapshot); serialized so a
+     *  resumed run never re-writes the steady snapshot. */
+    bool _steadyPlanArmed = false;
     /** @} */
 };
 

@@ -18,6 +18,7 @@
 #include "mem/dram_config.hh"
 #include "obs/prof_config.hh"
 #include "obs/trace_config.hh"
+#include "obs/ts_config.hh"
 #include "sa/system_agent.hh"
 #include "sim/audit.hh"
 
@@ -130,6 +131,16 @@ struct SocConfig
      * enabled profiler leaves state digests bit-identical.
      */
     ProfConfig prof{};
+
+    /**
+     * Windowed time-series telemetry (--ts[=<glob>], --ts-out,
+     * --checkpoint-on-steady).  Samples glob-selected stats at the
+     * metrics cadence from the event loop's pre-service hook into
+     * bounded decimating ring buffers and runs the steady-state
+     * detector; purely observational, so arming it leaves state
+     * digests bit-identical.
+     */
+    TsConfig ts{};
 
     /**
      * Unified stats registry dump (--stats-out): after the run, every

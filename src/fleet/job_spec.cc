@@ -159,6 +159,7 @@ parsePolicy(const json::JsonValue &spec)
         checkedNum(*f, "fetch_retries", p.fetchRetries, 1, 100));
     p.resume = boolOr(*f, "resume", p.resume);
     p.digests = boolOr(*f, "digests", p.digests);
+    p.timeseries = boolOr(*f, "timeseries", p.timeseries);
     if (p.heartbeatDeadlineMs > 0.0 && p.heartbeatIntervalMs <= 0.0)
         fatal("job spec: heartbeat_deadline_ms needs a positive "
               "heartbeat_interval_ms (the deadline watches the "

@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <deque>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -86,6 +87,7 @@ shardPaths(const std::string &outDir, const std::string &jobId)
     p.dir = outDir + "/shards/" + jobId;
     p.statsJson = p.dir + "/stats.json";
     p.metricsCsv = p.dir + "/metrics.csv";
+    p.series = p.dir + "/series.json";
     p.pmDir = p.dir + "/pm";
     p.checkpoint = p.pmDir + "/checkpoint.vips";
     p.digest = p.dir + "/digest.dig";
@@ -132,6 +134,11 @@ workerArgs(const JobSpec &spec, const FleetJob &job)
         a.push_back("--metrics-interval-ms");
         a.push_back(fmtNum(pol.heartbeatIntervalMs));
     }
+    if (pol.timeseries) {
+        a.push_back("--ts");
+        a.push_back("--ts-out");
+        a.push_back(attempt_files::kSeries);
+    }
     a.push_back("--stats-out");
     a.push_back(attempt_files::kStats);
     a.push_back("--postmortem-dir");
@@ -177,6 +184,10 @@ struct FleetSupervisor::Slot
     double lastTickMs = -1.0;     ///< newest simulated progress
     double lastTickWallMs = -1.0; ///< transport stamp of that sample
     double simRate = 0.0;    ///< sim ms per wall second (smoothed)
+    /** Recent simRate observations, newest last (bounded); the
+     *  per-shard throughput window fleet-status.json publishes and
+     *  vip_top renders as a sparkline. */
+    std::deque<double> rateWindow;
     /** @} */
 
     bool chaosKilled = false;
@@ -421,6 +432,7 @@ FleetSupervisor::commitArtifacts(const std::string &jobId,
     if (success) {
         if (!commit(attempt_files::kStats, paths.statsJson) ||
             !commit(attempt_files::kMetrics, paths.metricsCsv) ||
+            !commit(attempt_files::kSeries, paths.series) ||
             !commit(attempt_files::kDigest, paths.digest))
             return false;
     }
@@ -467,6 +479,23 @@ FleetSupervisor::settleAttempt(Slot &slot, double nowMs,
                 fatal("fleet: cannot commit accepted artifacts of ",
                       id, ": ", err);
             ++h.jobsDone;
+            // Surface the shard's steady-state verdict (if its
+            // stats carry one) into fleet-status.json.
+            if (_jobSteadyTickMs.size() < _sched.jobs().size())
+                _jobSteadyTickMs.resize(_sched.jobs().size(), -1.0);
+            const ShardPaths paths = shardPaths(_opt.outDir, id);
+            std::ifstream sf(paths.statsJson);
+            if (sf) {
+                try {
+                    StatsFile f = parseStatsJson(sf);
+                    if (const StatEntry *e =
+                            f.find("sim.steady.tick"))
+                        _jobSteadyTickMs[idx] = e->value;
+                } catch (const SimFatal &) {
+                    // Informational only; a malformed stats file
+                    // already failed digest/stats gates elsewhere.
+                }
+            }
             _journal.event(nowMs, "commit")
                 .str("job", id)
                 .u64("token", slot.token)
@@ -624,11 +653,15 @@ FleetSupervisor::pollSlot(Slot &slot, double nowMs)
                     // keeps its original stamp).
                     if (hb.tickMs >= 0.0 && hb.wallMs >= 0.0) {
                         if (slot.lastTickMs >= 0.0 &&
-                            hb.wallMs > slot.lastTickWallMs)
+                            hb.wallMs > slot.lastTickWallMs) {
                             slot.simRate =
                                 (hb.tickMs - slot.lastTickMs) /
                                 ((hb.wallMs - slot.lastTickWallMs) /
                                  1000.0);
+                            slot.rateWindow.push_back(slot.simRate);
+                            if (slot.rateWindow.size() > 16)
+                                slot.rateWindow.pop_front();
+                        }
                         slot.lastTickMs = hb.tickMs;
                         slot.lastTickWallMs = hb.wallMs;
                     }
@@ -1068,12 +1101,16 @@ FleetSupervisor::writeStatus(double nowMs, bool final)
     // tick, a done job's full target, otherwise zero.
     std::vector<double> simMs(jobs.size(), 0.0);
     std::vector<double> rates(jobs.size(), 0.0);
+    std::vector<const std::deque<double> *> windows(jobs.size(),
+                                                    nullptr);
     for (const Slot &s : _slots) {
         if (!s.active || s.jobIdx == FleetScheduler::npos)
             continue;
         if (s.lastTickMs > 0.0)
             simMs[s.jobIdx] = s.lastTickMs;
         rates[s.jobIdx] = s.simRate;
+        if (!s.rateWindow.empty())
+            windows[s.jobIdx] = &s.rateWindow;
     }
     std::size_t nPending = 0, nRunning = 0, nBackoff = 0, nDone = 0,
                 nFailed = 0;
@@ -1105,7 +1142,7 @@ FleetSupervisor::writeStatus(double nowMs, bool final)
     std::ostringstream os;
     os << "{\n"
        << "  \"kind\": \"vip-fleet-status\",\n"
-       << "  \"schemaVersion\": 1,\n"
+       << "  \"schemaVersion\": 2,\n"
        << "  \"name\": \"" << esc(_spec.name) << "\",\n"
        << "  \"final\": " << (final ? "true" : "false") << ",\n"
        << "  \"wall_ms\": " << fmtNum(nowMs) << ",\n"
@@ -1133,6 +1170,33 @@ FleetSupervisor::writeStatus(double nowMs, bool final)
             os << ", \"sim_ms_per_wall_s\": " << fmtNum(rates[i]);
         if (!p.host.empty())
             os << ", \"host\": \"" << esc(p.host) << "\"";
+        // Per-shard throughput window (newest last) plus the
+        // steady-state verdict: a running shard is judged on the
+        // relative spread of its rate window; a committed shard
+        // reports the tick its own detector latched (if any).
+        if (const std::deque<double> *w = windows[i]) {
+            os << ", \"rate_window\": [";
+            for (std::size_t k = 0; k < w->size(); ++k)
+                os << (k ? ", " : "") << fmtNum((*w)[k]);
+            os << "]";
+            double lo = (*w)[0], hi = (*w)[0], sum = 0.0;
+            for (double v : *w) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                sum += v;
+            }
+            const double mean =
+                sum / static_cast<double>(w->size());
+            os << ", \"rate_steady\": "
+               << (w->size() >= 8 && mean > 0.0 &&
+                           (hi - lo) <= 0.5 * mean
+                       ? "true"
+                       : "false");
+        }
+        const double steadyTick =
+            i < _jobSteadyTickMs.size() ? _jobSteadyTickMs[i] : -1.0;
+        if (steadyTick >= 0.0)
+            os << ", \"steady_tick_ms\": " << fmtNum(steadyTick);
         os << "}" << (i + 1 < jobs.size() ? ",\n" : "\n");
     }
     os << "  ],\n";

@@ -83,6 +83,7 @@ struct ShardPaths
     std::string dir;        ///< the shard directory
     std::string statsJson;  ///< committed stats dump
     std::string metricsCsv; ///< committed heartbeat stream
+    std::string series;     ///< committed time-series (series.json)
     std::string pmDir;      ///< checkpoint home
     std::string checkpoint; ///< <pmDir>/checkpoint.vips
     std::string digest;     ///< committed digest stream
@@ -259,6 +260,10 @@ class FleetSupervisor
     std::string _fatal;
     FleetJournal _journal;
     double _lastStatusMs = -1e300;
+    /** Per-job steady-state detection tick (simulated ms) parsed
+     *  from the committed stats.json's sim.steady.tick; -1 while
+     *  unknown/undetected.  Sized lazily against _sched.jobs(). */
+    std::vector<double> _jobSteadyTickMs;
 };
 
 } // namespace fleet

@@ -33,7 +33,7 @@ struct ProfConfig
      * Wall-clock timing cadence: every Nth dispatched event is timed
      * with steady_clock and contributes a queue-occupancy sample.
      * Per-kind dispatch *counts* are exact regardless.  The default
-     * keeps measured overhead well under the 2% budget
+     * keeps measured overhead under the 5% budget
      * (bench_microbench --sim-throughput reports the actual figure).
      */
     std::uint64_t sampleEvery = 64;

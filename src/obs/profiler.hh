@@ -22,7 +22,7 @@
  * steady_clock is only read on every sampleEvery-th event, and the
  * queue-occupancy timeline decimates itself (stride doubling) once
  * its bounded buffer fills, so memory and timing cost stay O(1) per
- * event and total overhead stays under the 2% budget that
+ * event and total overhead stays under the 5% budget that
  * bench_microbench --sim-throughput measures.
  */
 

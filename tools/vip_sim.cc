@@ -111,9 +111,26 @@ usage()
         "                               path (per-kind dispatch wall\n"
         "                               time, queue pressure) and\n"
         "                               write prof.json (or <file>);\n"
-        "                               digest-neutral, <2%% overhead\n"
+        "                               digest-neutral, <5%% overhead\n"
         "  --prof-sample-every <n>      steady_clock sampling stride\n"
         "                               (default 64)\n"
+        "  --ts[=<glob>]                sample glob-selected stats at\n"
+        "                               the metrics cadence into a\n"
+        "                               bounded decimating series ring\n"
+        "                               and run the steady-state\n"
+        "                               detector (default glob *);\n"
+        "                               digest-neutral\n"
+        "  --ts-out <file>              write the sampled series plus\n"
+        "                               derived rates/EWMA/min/max as\n"
+        "                               self-describing JSON (the\n"
+        "                               format vip_top renders);\n"
+        "                               implies --ts\n"
+        "  --checkpoint-on-steady[=<f>] write a one-shot snapshot at\n"
+        "                               the first quiescent point\n"
+        "                               after steady state is detected\n"
+        "                               (default steady.vips; implies\n"
+        "                               --ts); the warm-start seed for\n"
+        "                               --restore\n"
         "  --postmortem-dir <dir>       on a fatal error write a crash\n"
         "                               bundle (crash.json, stats.json,\n"
         "                               trace-tail.json) there; also\n"
@@ -513,6 +530,30 @@ main(int argc, char **argv)
                 || cfg.prof.sampleEvery == 0)
                 vip::fatal("--prof-sample-every needs a positive "
                            "count, got '", v, "'");
+        } else if (arg == "--ts") {
+            cfg.ts.armed = true;
+        } else if (arg.rfind("--ts=", 0) == 0) {
+            cfg.ts.armed = true;
+            cfg.ts.glob = arg.substr(5);
+            if (cfg.ts.glob.empty())
+                vip::fatal("--ts= needs a stat glob");
+        } else if (arg == "--ts-out") {
+            cfg.ts.out = next();
+            cfg.ts.armed = true;
+        } else if (arg.rfind("--ts-out=", 0) == 0) {
+            cfg.ts.out = arg.substr(9);
+            cfg.ts.armed = true;
+            if (cfg.ts.out.empty())
+                vip::fatal("--ts-out= needs a file name");
+        } else if (arg == "--checkpoint-on-steady") {
+            cfg.ts.checkpointOnSteady = "steady.vips";
+            cfg.ts.armed = true;
+        } else if (arg.rfind("--checkpoint-on-steady=", 0) == 0) {
+            cfg.ts.checkpointOnSteady = arg.substr(23);
+            cfg.ts.armed = true;
+            if (cfg.ts.checkpointOnSteady.empty())
+                vip::fatal("--checkpoint-on-steady= needs a file "
+                           "name");
         } else if (arg == "--postmortem-dir") {
             cfg.postmortemDir = next();
         } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
@@ -619,6 +660,39 @@ main(int argc, char **argv)
                             sim.profiler()->dispatches()),
                         static_cast<unsigned long long>(
                             sim.profiler()->sampledDispatches()));
+        }
+        if (cfg.ts.enabled() && !cfg.ts.out.empty()) {
+            std::ofstream out(cfg.ts.out);
+            if (!out)
+                vip::fatal("cannot write ", cfg.ts.out);
+            sim.writeSeriesJson(out);
+            const vip::TimeSeries *ts = sim.timeseries();
+            if (ts->steadyDetected()) {
+                std::printf("series written to %s (%zu rows x %zu "
+                            "stats; steady at %.3f ms)\n",
+                            cfg.ts.out.c_str(), ts->rows(),
+                            ts->selected(), ts->steadyTickMs());
+            } else {
+                std::printf("series written to %s (%zu rows x %zu "
+                            "stats; steady state not reached)\n",
+                            cfg.ts.out.c_str(), ts->rows(),
+                            ts->selected());
+            }
+        }
+        if (cfg.ts.enabled() &&
+            !cfg.ts.checkpointOnSteady.empty()) {
+            const vip::TimeSeries *ts = sim.timeseries();
+            if (ts->steadyDetected()) {
+                std::printf("steady      : detected at %.3f ms; "
+                            "warm-start snapshot %s\n",
+                            ts->steadyTickMs(),
+                            cfg.ts.checkpointOnSteady.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "steady      : not reached; no snapshot "
+                             "written to %s\n",
+                             cfg.ts.checkpointOnSteady.c_str());
+            }
         }
         if (!traceFile.empty()) {
             std::ofstream out(traceFile);

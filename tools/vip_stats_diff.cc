@@ -6,7 +6,9 @@
  *   vip_stats_diff baseline.json candidate.json
  *   vip_stats_diff --tol 'dram.avg_bw_gbps=pct:10' base.json cand.json
  *   vip_stats_diff --tol 'latency.*=pct:15' base.json cand.json
+
  *   vip_stats_diff --list run.json          # print the parsed stats
+ *   vip_stats_diff --json base.json cand.json   # machine-readable
  *
  * Exit status: 0 when every stat is within tolerance, 1 when any
  * violation is found (each is printed with the offending path), 2 on
@@ -37,7 +39,108 @@ usage()
         "                        rule is 'exact' or 'pct:<band>'\n"
         "                        (repeatable; longest match wins)\n"
         "  --list                print the parsed stats and exit\n"
+        "  --json                emit a machine-readable per-stat\n"
+        "                        verdict report (path, values, delta,\n"
+        "                        rule applied, pass/fail) on stdout\n"
         "  -q                    quiet: exit status only\n");
+}
+
+/** Longest-match tolerance override for @p path, or "" (mirrors the
+ *  rule compareStats applies; kept in sync with stats_io.cc). */
+std::string
+overrideFor(const vip::ToleranceOverrides &overrides,
+            const std::string &path)
+{
+    std::string best;
+    std::size_t bestLen = 0;
+    for (const auto &[key, rule] : overrides) {
+        bool match;
+        std::size_t len;
+        if (!key.empty() && key.back() == '*') {
+            std::string prefix = key.substr(0, key.size() - 1);
+            match = path.rfind(prefix, 0) == 0;
+            len = prefix.size();
+        } else {
+            match = path == key;
+            len = key.size() + 1;
+        }
+        if (match && (best.empty() || len > bestLen)) {
+            best = rule;
+            bestLen = len;
+        }
+    }
+    return best;
+}
+
+void
+jsonEscape(std::string *s)
+{
+    std::string out;
+    for (char c : *s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    *s = out;
+}
+
+/** The --json report: one row per union-of-paths stat, each with the
+ *  rule that was applied and its verdict. */
+void
+writeJsonReport(const vip::StatsFile &baseline,
+                const vip::StatsFile &candidate,
+                const vip::ToleranceOverrides &overrides,
+                const vip::StatsComparison &cmp)
+{
+    std::printf("{\n"
+                "  \"kind\": \"vip-stats-diff\",\n"
+                "  \"schemaVersion\": 1,\n"
+                "  \"ok\": %s,\n"
+                "  \"compared\": %zu,\n"
+                "  \"violations\": %zu,\n"
+                "  \"stats\": [\n",
+                cmp.ok ? "true" : "false", cmp.compared,
+                cmp.violations.size());
+    bool first = true;
+    auto row = [&](const std::string &path, const char *verdict,
+                   const std::string &rule, const double *b,
+                   const double *c) {
+        std::string p = path;
+        jsonEscape(&p);
+        std::string r = rule;
+        jsonEscape(&r);
+        std::printf("%s    {\"path\": \"%s\", \"verdict\": "
+                    "\"%s\", \"rule\": \"%s\"",
+                    first ? "" : ",\n", p.c_str(), verdict,
+                    r.c_str());
+        if (b)
+            std::printf(", \"baseline\": %.17g", *b);
+        if (c)
+            std::printf(", \"candidate\": %.17g", *c);
+        if (b && c)
+            std::printf(", \"delta\": %.17g", *c - *b);
+        std::printf("}");
+        first = false;
+    };
+    for (const vip::StatEntry &b : baseline.stats) {
+        const vip::StatEntry *c = candidate.find(b.path);
+        std::string rule = overrideFor(overrides, b.path);
+        if (rule.empty())
+            rule = b.tol;
+        if (!c) {
+            row(b.path, "missing", rule, &b.value, nullptr);
+            continue;
+        }
+        const bool ok =
+            vip::valuesWithinTolerance(rule, b.value, c->value);
+        row(b.path, ok ? "pass" : "fail", rule, &b.value,
+            &c->value);
+    }
+    for (const vip::StatEntry &c : candidate.stats) {
+        if (!baseline.find(c.path))
+            row(c.path, "extra", "", nullptr, &c.value);
+    }
+    std::printf("\n  ]\n}\n");
 }
 
 vip::StatsFile
@@ -70,6 +173,7 @@ main(int argc, char **argv)
     std::vector<std::string> files;
     bool wantList = false;
     bool quiet = false;
+    bool wantJson = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -90,6 +194,8 @@ main(int argc, char **argv)
                 overrides[spec.substr(0, eq)] = spec.substr(eq + 1);
             } else if (arg == "--list") {
                 wantList = true;
+            } else if (arg == "--json") {
+                wantJson = true;
             } else if (arg == "-q" || arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -122,6 +228,10 @@ main(int argc, char **argv)
         vip::StatsFile candidate = load(files[1]);
         vip::StatsComparison cmp =
             vip::compareStats(baseline, candidate, overrides);
+        if (wantJson) {
+            writeJsonReport(baseline, candidate, overrides, cmp);
+            return cmp.ok ? 0 : 1;
+        }
         if (!quiet) {
             for (const auto &v : cmp.violations)
                 std::printf("VIOLATION %s\n", v.c_str());
